@@ -1,0 +1,295 @@
+(* The wfa command-line interface.
+
+     dune exec bin/wfa_cli.exe -- <command> ...
+
+   Commands:
+     experiment [ID] [--quick]   run one experiment table (or all)
+     agree --inputs 1,2,3        run approximate agreement on given inputs
+     adversary -k K             attack the Figure 2 algorithm (Lemma 6)
+     counter --procs N --ops M   torture a wait-free counter on domains
+     lincheck-demo               show the checker catching a naive collect *)
+
+open Cmdliner
+
+(* --- experiment ----------------------------------------------------------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (E1..E9); omit to run all.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps, faster run.")
+  in
+  let run id quick =
+    match id with
+    | None ->
+        Experiments.run_all ~quick ();
+        `Ok ()
+    | Some id -> (
+        match Experiments.find ~quick id with
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S" id)
+        | Some e ->
+            Printf.printf "### %s — %s\n" e.Experiments.id e.paper_source;
+            List.iter Experiments.Table.print (e.run ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce a paper claim as a table.")
+    Term.(ret (const run $ id $ quick))
+
+(* --- agree ----------------------------------------------------------------- *)
+
+let agree_cmd =
+  let inputs =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 1.0 ]
+      & info [ "inputs" ] ~docv:"X,Y,..."
+          ~doc:"One input per process (process count = list length).")
+  in
+  let epsilon =
+    Arg.(value & opt float 0.01 & info [ "epsilon" ] ~doc:"Agreement slack.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scheduler seed.")
+  in
+  let run inputs epsilon seed =
+    let inputs = Array.of_list inputs in
+    let procs = Array.length inputs in
+    if procs < 1 then `Error (false, "need at least one input")
+    else begin
+      let module AA = Agreement.Approx_agreement.Make (Pram.Memory.Sim) in
+      let program () =
+        let t = AA.create ~procs ~epsilon in
+        fun pid ->
+          AA.input t ~pid inputs.(pid);
+          AA.output t ~pid
+      in
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run ~max_steps:10_000_000
+        (Pram.Scheduler.random ~seed ())
+        d;
+      for p = 0 to procs - 1 do
+        if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+      done;
+      for p = 0 to procs - 1 do
+        match Pram.Driver.result d p with
+        | Some v ->
+            Printf.printf "process %d: input %g -> output %.9g (%d steps)\n" p
+              inputs.(p) v (Pram.Driver.steps d p)
+        | None -> Printf.printf "process %d: no result\n" p
+      done;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "agree"
+       ~doc:"Run wait-free approximate agreement (Figure 2) on inputs.")
+    Term.(ret (const run $ inputs $ epsilon $ seed))
+
+(* --- adversary ------------------------------------------------------------- *)
+
+let adversary_cmd =
+  let k =
+    Arg.(value & opt int 4 & info [ "k" ] ~doc:"Hierarchy level: eps = 3^-k.")
+  in
+  let run k =
+    let row = Agreement.Hierarchy.theorem7_row k in
+    Printf.printf
+      "k=%d  eps=3^-%d\n\
+       Lemma 6 lower bound : %d steps\n\
+       adversary forced    : %d steps\n\
+       Theorem 5 bound     : %.1f steps\n\
+       agreement preserved : %b\n"
+      k k row.Agreement.Hierarchy.lower_bound row.Agreement.Hierarchy.forced
+      row.Agreement.Hierarchy.upper_bound row.Agreement.Hierarchy.agreement_ok;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Attack the Figure 2 algorithm with the replay adversary of Lemma 6.")
+    Term.(ret (const run $ k))
+
+(* --- counter ---------------------------------------------------------------- *)
+
+let counter_cmd =
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Domains to spawn.")
+  in
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Increments per domain.")
+  in
+  let run procs ops =
+    let module C = Universal.Direct.Counter (Pram.Native.Mem) in
+    let counter = C.create ~procs in
+    let _ =
+      Pram.Native.run_parallel ~procs (fun pid ->
+          for _ = 1 to ops do
+            C.inc counter ~pid 1
+          done)
+    in
+    let final = C.read counter ~pid:0 in
+    Printf.printf "%d domains x %d increments -> %d (expected %d): %s\n" procs
+      ops final (procs * ops)
+      (if final = procs * ops then "OK" else "LOST UPDATES");
+    if final = procs * ops then `Ok () else `Error (false, "counter lost updates")
+  in
+  Cmd.v
+    (Cmd.info "counter"
+       ~doc:"Torture the wait-free counter on real domains.")
+    Term.(ret (const run $ procs $ ops))
+
+(* --- explore ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let run () =
+    (* exhaustively model-check the atomic snapshot vs the naive collect
+       on the same tiny workload, printing the violation census *)
+    let module V = Snapshot.Slot_value.Int in
+    let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim) in
+    let module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim) in
+    let module Spec2 =
+      Snapshot.Array_spec.Make
+        (V)
+        (struct
+          let procs = 2
+        end)
+    in
+    let module Spec3 =
+      Snapshot.Array_spec.Make
+        (V)
+        (struct
+          let procs = 3
+        end)
+    in
+    let module Check = Lincheck.Make (Spec2) in
+    let module Check3 = Lincheck.Make (Spec3) in
+    let recorder = ref (Spec.History.Recorder.create ()) in
+    let run_one ?(procs = 2) name program =
+      let check_events =
+        if procs = 2 then fun ev -> Check.is_linearizable ev
+        else fun ev -> Check3.is_linearizable ev
+      in
+      let outcome =
+        Pram.Explore.exhaustive ~max_schedules:2_000_000 ~procs program
+          (fun _d _sched ->
+            check_events (Spec.History.Recorder.events !recorder))
+      in
+      Printf.printf
+        "%-16s %7d interleavings explored, %5d non-linearizable%s\n" name
+        outcome.Pram.Explore.explored
+        (List.length outcome.Pram.Explore.failures)
+        (if outcome.Pram.Explore.truncated then " (TRUNCATED)" else "")
+    in
+    let atomic_program () =
+      recorder := Spec.History.Recorder.create ();
+      let t = Arr.create ~procs:2 in
+      fun pid ->
+        if pid = 0 then
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
+               (fun () ->
+                 Arr.update t ~pid 10;
+                 `Unit))
+        else
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+                 `View (Arr.snapshot t ~pid)))
+    in
+    let naive_program () =
+      recorder := Spec.History.Recorder.create ();
+      let t = Naive.create ~procs:3 in
+      fun pid ->
+        if pid < 2 then
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid (`Update (pid, pid + 10))
+               (fun () ->
+                 Naive.update t ~pid (pid + 10);
+                 `Unit))
+        else
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+                 `View (Naive.snapshot t ~pid)))
+    in
+    print_endline
+      "exhaustive model checking: updaters vs one snapshotter, every \
+       interleaving";
+    run_one "atomic scan" atomic_program;
+    run_one ~procs:3 "naive collect" naive_program;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively model-check the atomic snapshot against the naive \
+          collect.")
+    Term.(ret (const run $ const ()))
+
+(* --- lincheck-demo ----------------------------------------------------------- *)
+
+let lincheck_demo_cmd =
+  let run () =
+    let module V = Snapshot.Slot_value.Int in
+    let module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim) in
+    let module Spec3 =
+      Snapshot.Array_spec.Make
+        (V)
+        (struct
+          let procs = 3
+        end)
+    in
+    let module Check = Lincheck.Make (Spec3) in
+    let rec search seed =
+      if seed > 5000 then None
+      else begin
+        let recorder = Spec.History.Recorder.create () in
+        let program () =
+          let t = Naive.create ~procs:3 in
+          fun pid ->
+            ignore
+              (Spec.History.Recorder.record recorder ~pid
+                 (`Update (pid, pid + 10)) (fun () ->
+                   Naive.update t ~pid (pid + 10);
+                   `Unit));
+            ignore
+              (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+                   `View (Naive.snapshot t ~pid)))
+        in
+        let d = Pram.Driver.create ~procs:3 program in
+        Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+        let events = Spec.History.Recorder.events recorder in
+        if Check.is_linearizable events then search (seed + 1)
+        else Some (seed, events)
+      end
+    in
+    (match search 0 with
+    | Some (seed, events) ->
+        Printf.printf
+          "naive collect: non-linearizable history found at scheduler seed %d:\n"
+          seed;
+        Format.printf "%a@."
+          (Spec.History.pp Spec3.pp_operation Spec3.pp_response)
+          events
+    | None -> print_endline "no violation found (unexpected)");
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "lincheck-demo"
+       ~doc:
+         "Find and print a non-linearizable history of the naive collect.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "wfa" ~version:"1.0.0"
+      ~doc:"Wait-free data structures in the asynchronous PRAM model."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ experiment_cmd; agree_cmd; adversary_cmd; counter_cmd; explore_cmd; lincheck_demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/clock_sync.ml: Array Float Fun List Printf Wfa

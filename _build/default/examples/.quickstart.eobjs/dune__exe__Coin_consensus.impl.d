@@ -1,0 +1,1 @@
+examples/coin_consensus.ml: Array Bool Consensus Fun List Pram Printf Random Wfa

@@ -1,0 +1,1 @@
+examples/replication_audit.ml: Array Printf Wfa

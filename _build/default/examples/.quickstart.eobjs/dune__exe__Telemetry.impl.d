@@ -1,0 +1,1 @@
+examples/telemetry.ml: Atomic Float List Pram Printf Random Universal

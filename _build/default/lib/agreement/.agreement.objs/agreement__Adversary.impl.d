@@ -1,0 +1,1 @@
+lib/agreement/adversary.ml: Array Float Fun List Pram

@@ -1,0 +1,1 @@
+lib/agreement/adversary.mli:

@@ -1,0 +1,1 @@
+lib/agreement/approx_agreement.ml: Array Float Fun List Pram Printf

@@ -1,0 +1,1 @@
+lib/agreement/approx_agreement.mli: Pram

@@ -1,0 +1,1 @@
+lib/agreement/hierarchy.ml: Adversary Approx_agreement Array Float Pram

@@ -1,0 +1,89 @@
+(* The wait-free hierarchy experiments (Theorems 7 and 8).
+
+   Theorem 7: for each k, the approximate agreement object with inputs in
+   the unit interval and epsilon = 3^-k is K-bounded wait-free for some
+   K = O(nk) but not k-bounded wait-free: the Lemma 6 adversary forces
+   more than k steps, while Theorem 5 bounds every execution by K.
+
+   Theorem 8: with an unbounded input range, no single bound covers all
+   executions: fixing epsilon and letting delta grow, the forced step
+   count grows without bound.
+
+   These functions produce the rows of experiment tables E3 and E4; the
+   bench harness prints them and EXPERIMENTS.md records them. *)
+
+(* Our Figure 2 implementation, packaged for the adversary. *)
+let figure2_protocol ~procs ~epsilon ~inputs =
+  if Array.length inputs <> procs then
+    invalid_arg "Hierarchy.figure2_protocol: inputs size";
+  {
+    Adversary.procs;
+    epsilon;
+    setup =
+      (fun () ->
+        let module A = Approx_agreement.Make (Pram.Memory.Sim) in
+        let t = A.create ~procs ~epsilon in
+        fun pid ->
+          A.input t ~pid inputs.(pid);
+          A.output t ~pid);
+  }
+
+type row = {
+  k : int;  (* hierarchy level: epsilon = 3^-k *)
+  epsilon : float;
+  delta : float;  (* input diameter *)
+  lower_bound : int;  (* floor(log3(delta/epsilon)), Lemma 6 *)
+  forced : int;  (* steps the adversary actually forced (max per process) *)
+  upper_bound : float;  (* Theorem 5's K *)
+  agreement_ok : bool;  (* outputs within epsilon and inside input range *)
+}
+
+let check_outputs ~epsilon ~lo ~hi outputs =
+  let valid v = v >= lo -. 1e-9 && v <= hi +. 1e-9 in
+  let ok_range = Array.for_all valid outputs in
+  let mx = Array.fold_left Float.max neg_infinity outputs in
+  let mn = Array.fold_left Float.min infinity outputs in
+  ok_range && mx -. mn < epsilon +. 1e-12
+
+(* One Theorem 7 row: unit-interval inputs, epsilon = 3^-k, 2 processes
+   attacked by the faithful Lemma 6 adversary. *)
+let theorem7_row k =
+  let epsilon = 1.0 /. Float.pow 3.0 (float_of_int k) in
+  let inputs = [| 0.0; 1.0 |] in
+  let delta = 1.0 in
+  let proto = figure2_protocol ~procs:2 ~epsilon ~inputs in
+  let o = Adversary.run_two_process proto in
+  {
+    k;
+    epsilon;
+    delta;
+    lower_bound = Approx_agreement.adversary_bound ~delta ~epsilon;
+    forced = Adversary.max_forced o;
+    upper_bound = Approx_agreement.step_bound ~procs:2 ~delta ~epsilon;
+    agreement_ok = check_outputs ~epsilon ~lo:0.0 ~hi:1.0 o.Adversary.outputs;
+  }
+
+(* One Theorem 8 row: fixed epsilon = 1, inputs spanning delta. *)
+let theorem8_row ~delta =
+  let epsilon = 1.0 in
+  let inputs = [| 0.0; delta |] in
+  let proto = figure2_protocol ~procs:2 ~epsilon ~inputs in
+  let o = Adversary.run_two_process proto in
+  {
+    k = 0;
+    epsilon;
+    delta;
+    lower_bound = Approx_agreement.adversary_bound ~delta ~epsilon;
+    forced = Adversary.max_forced o;
+    upper_bound = Approx_agreement.step_bound ~procs:2 ~delta ~epsilon;
+    agreement_ok = check_outputs ~epsilon ~lo:0.0 ~hi:delta o.Adversary.outputs;
+  }
+
+(* E8: forced decision ROUNDS for n = 2 vs n = 3 under the greedy
+   adversary (Hoest-Shavit: log3 tight for two processes, log2 for
+   three or more). *)
+let greedy_forced ~procs ~epsilon =
+  let inputs = Array.init procs (fun p -> if p = 0 then 0.0 else 1.0) in
+  let proto = figure2_protocol ~procs ~epsilon ~inputs in
+  let o = Adversary.run_greedy proto in
+  (Adversary.max_forced o, o.Adversary.iterations)

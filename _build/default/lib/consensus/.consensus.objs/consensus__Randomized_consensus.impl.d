@@ -1,0 +1,1 @@
+lib/consensus/randomized_consensus.ml: Array List Pram Shared_coin Universal

@@ -1,0 +1,1 @@
+lib/consensus/randomized_consensus.mli: Pram Random

@@ -1,0 +1,1 @@
+lib/consensus/shared_coin.ml: Pram Random Universal

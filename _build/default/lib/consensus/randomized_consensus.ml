@@ -1,0 +1,98 @@
+(* Randomized binary consensus from registers — possible exactly where
+   deterministic consensus is not (the impossibility the paper builds
+   on [23, 26]; the randomized escape hatch is its reference [6]).
+
+   Round structure (the standard two-board pattern, over linearizable
+   grow-only sets):
+
+   round r, with current preference v:
+   1. MARK: add v to the round's mark board; read it.
+      If only v is present, PROPOSE v, else propose "conflict".
+   2. PROPOSE: add the proposal to the round's proposal board; read it.
+      - only real proposals for a single w present  -> DECIDE w;
+      - some real proposal for w present            -> adopt w;
+      - only conflicts                              -> adopt the shared
+                                                       coin's flip for r.
+
+   Why this is safe (the classical arguments, all resting on the boards'
+   linearizability, which our scan-based Gset provides):
+
+   - At most one value is ever really-proposed per round: two processes
+     proposing different values must each have missed the other's mark,
+     but each marked before reading, so one of the reads must have seen
+     the other's mark — contradiction.
+   - If p decides w at round r, then p's read missed every conflict
+     proposal, so every conflicting q added its proposal after p's read
+     began... more precisely q's proposal-read follows its own add,
+     which follows p's read, hence q sees p's w-proposal and adopts w.
+     From round r+1 every preference is w, and everyone decides by
+     round r+2.
+   - Validity: unanimous inputs decide in round 1.
+   - Termination: a round with no decision ends with conflicted
+     processes flipping the shared coin; with probability bounded away
+     from zero all survivors enter the next round unanimous.  Expected
+     O(1) coin rounds with the shared coin.
+
+   Wait-free termination is probabilistic (randomized wait-freedom, as
+   in the paper's reference [6]): every operation of the implementation
+   is wait-free, and the expected number of rounds is constant. *)
+
+module Make (M : Pram.Memory.S) = struct
+  module Gset = Universal.Direct.Gset (M)
+  module Coin = Shared_coin.Make (M)
+
+  type round = {
+    mark : Gset.t;  (* elements 0 / 1: values present this round *)
+    proposals : Gset.t;  (* elements 0 / 1: real proposals; 2: conflict *)
+    coin : Coin.t;
+  }
+
+  type t = {
+    procs : int;
+    max_rounds : int;
+    rounds : round array;
+  }
+
+  exception No_decision of int
+  (** Raised if [max_rounds] rounds pass without a decision — for sane
+      [max_rounds] this has astronomically small probability and
+      indicates a seed/threshold problem rather than bad luck. *)
+
+  let create ~procs ~max_rounds =
+    {
+      procs;
+      max_rounds;
+      rounds =
+        Array.init max_rounds (fun _ ->
+            {
+              mark = Gset.create ~procs;
+              proposals = Gset.create ~procs;
+              coin = Coin.create ~procs;
+            });
+    }
+
+  let conflict = 2
+
+  let propose t ~pid ~rng value =
+    let rec round r v =
+      if r >= t.max_rounds then raise (No_decision t.max_rounds);
+      let rd = t.rounds.(r) in
+      (* 1. mark *)
+      Gset.add rd.mark ~pid v;
+      let marks = Gset.members rd.mark ~pid in
+      let proposal = if marks = [ v ] then v else conflict in
+      (* 2. propose *)
+      Gset.add rd.proposals ~pid proposal;
+      let props = Gset.members rd.proposals ~pid in
+      let reals = List.filter (fun p -> p <> conflict) props in
+      match reals with
+      | [ w ] when not (List.mem conflict props) -> w (* decide *)
+      | [ w ] -> round (r + 1) w (* adopt the unique real proposal *)
+      | [] -> round (r + 1) (if Coin.flip rd.coin ~pid ~rng then 1 else 0)
+      | _ :: _ :: _ ->
+          (* impossible: two distinct real proposals in one round *)
+          assert false
+    in
+    let v = if value then 1 else 0 in
+    round 0 v = 1
+end

@@ -1,0 +1,26 @@
+(** Randomized wait-free binary consensus from registers — possible
+    exactly where deterministic consensus is not (the impossibility the
+    paper builds on [23, 26]; the randomized escape is its reference
+    [6]).
+
+    Round structure over linearizable grow-only-set boards: mark your
+    preference, propose it if unopposed; decide on a lone unopposed
+    proposal; adopt any real proposal you see; flip the shared coin on
+    pure conflict.  Safety (agreement, validity) is deterministic;
+    termination is probabilistic with expected O(1) coin rounds.  See
+    the implementation for the standard arguments, which rest on the
+    boards' linearizability. *)
+
+module Make (M : Pram.Memory.S) : sig
+  type t
+
+  exception No_decision of int
+  (** [max_rounds] elapsed without a decision — astronomically unlikely
+      for sane bounds; indicates a configuration problem. *)
+
+  val create : procs:int -> max_rounds:int -> t
+
+  (** Propose a value; returns the decided value.  One-shot per process;
+      [rng] drives only the coin flips (safety never depends on it). *)
+  val propose : t -> pid:int -> rng:Random.State.t -> bool -> bool
+end

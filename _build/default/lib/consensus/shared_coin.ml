@@ -1,0 +1,36 @@
+(* A weak shared coin from a wait-free counter — the application the
+   paper cites for its counter ("such a shared counter appears, for
+   example, in randomized shared-memory algorithms [6]").
+
+   The coin is a random walk: undecided processes read the counter and,
+   while it stays inside (-threshold, +threshold), push it +1 or -1 by a
+   local fair flip; once it escapes, its sign is the coin's value.  If
+   the threshold is Omega(n), all processes observe the same escape with
+   constant probability regardless of scheduling — "weak" means the
+   adversary can sometimes split the outcome, which the consensus
+   protocol tolerates by retrying. *)
+
+module Make (M : Pram.Memory.S) = struct
+  module Counter = Universal.Direct.Counter (M)
+
+  type t = { counter : Counter.t; threshold : int }
+
+  let create ~procs =
+    { counter = Counter.create ~procs; threshold = 2 * procs }
+
+  (* Flip the coin: returns true/false.  [rng] is the caller's local
+     randomness; the shared randomness emerges from the interleaving of
+     everyone's pushes. *)
+  let flip t ~pid ~rng =
+    let rec walk () =
+      let v = Counter.read t.counter ~pid in
+      if v >= t.threshold then true
+      else if v <= -t.threshold then false
+      else begin
+        if Random.State.bool rng then Counter.inc t.counter ~pid 1
+        else Counter.dec t.counter ~pid 1;
+        walk ()
+      end
+    in
+    walk ()
+end

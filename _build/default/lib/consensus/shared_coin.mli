@@ -1,0 +1,18 @@
+(** A weak shared coin from the wait-free counter — the application the
+    paper cites for its counter (Section 5.1, reference [6]).
+
+    A random walk on the counter: undecided processes push +-1 by local
+    fair flips until the value escapes a +-2n threshold; the sign is the
+    coin.  "Weak": with constant probability all processes see the same
+    outcome, whatever the scheduler does; the consensus protocol retries
+    on splits. *)
+
+module Make (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** Terminates with probability 1 (expected O(n^2) pushes); [rng] is
+      the caller's local randomness. *)
+  val flip : t -> pid:int -> rng:Random.State.t -> bool
+end

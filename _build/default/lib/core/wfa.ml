@@ -1,0 +1,49 @@
+(* WFA — Wait-Free data structures in the Asynchronous PRAM model.
+
+   The facade library: one flat namespace over the whole system, for
+   users who want `(libraries wfa)` and a single [open].  See README.md
+   for the map and DESIGN.md for the architecture.
+
+   - {!Pram}: the asynchronous-PRAM substrate (simulator + native
+     domains backend);
+   - {!Semilattice}: join-semilattices for the Section 6 scan;
+   - {!Spec}: sequential specifications, histories, and the
+     commute/overwrite algebra of Section 5.1;
+   - {!Lincheck}: the linearizability checker (test oracle);
+   - {!Snapshot}: the Section 6 atomic scan and baselines;
+   - {!Agreement}: Figure 2 approximate agreement, the Lemma 6 adversary,
+     and the Theorem 7/8 hierarchy experiments;
+   - {!Universal}: the Figure 4 universal construction, its graph
+     machinery, the direct (type-optimized) objects and pseudo-RMW. *)
+
+module Pram = Pram
+module Semilattice = Semilattice
+module Spec = Spec
+module Lincheck = Lincheck
+module Snapshot = Snapshot
+module Agreement = Agreement
+module Universal = Universal
+module Workload = Workload
+module Consensus = Consensus
+
+(* Convenience aliases for the most common instantiations: simulator and
+   native variants of the flagship objects. *)
+module Sim = struct
+  module Counter = Universal.Direct.Counter (Pram.Memory.Sim)
+  module Gset = Universal.Direct.Gset (Pram.Memory.Sim)
+  module Max_register = Universal.Direct.Max_register (Pram.Memory.Sim)
+  module Logical_clock = Universal.Direct.Logical_clock (Pram.Memory.Sim)
+  module Approx_agreement = Agreement.Approx_agreement.Make (Pram.Memory.Sim)
+  module Universal_counter =
+    Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+end
+
+module Native = struct
+  module Counter = Universal.Direct.Counter (Pram.Native.Mem)
+  module Gset = Universal.Direct.Gset (Pram.Native.Mem)
+  module Max_register = Universal.Direct.Max_register (Pram.Native.Mem)
+  module Logical_clock = Universal.Direct.Logical_clock (Pram.Native.Mem)
+  module Approx_agreement = Agreement.Approx_agreement.Make (Pram.Native.Mem)
+  module Universal_counter =
+    Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Mem)
+end

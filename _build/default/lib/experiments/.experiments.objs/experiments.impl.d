@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: E_agreement E_iis E_lattice E_snapshot E_universal List Printf String Table

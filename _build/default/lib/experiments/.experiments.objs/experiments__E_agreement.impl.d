@@ -1,0 +1,1 @@
+lib/experiments/e_agreement.ml: Agreement Array Float List Pram Printf Table Workload

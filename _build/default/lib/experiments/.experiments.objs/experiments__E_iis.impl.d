@@ -1,0 +1,1 @@
+lib/experiments/e_iis.ml: Array Float Fun List Pram Printf Snapshot Table Workload

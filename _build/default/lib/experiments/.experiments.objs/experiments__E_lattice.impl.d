@@ -1,0 +1,1 @@
+lib/experiments/e_lattice.ml: List Pram Snapshot Table

@@ -1,0 +1,1 @@
+lib/experiments/e_snapshot.ml: Lincheck List Pram Printf Semilattice Snapshot Spec Table

@@ -1,0 +1,1 @@
+lib/experiments/e_universal.ml: List Pram Snapshot Spec Sys Table Universal

@@ -1,0 +1,172 @@
+(* Experiments E1-E4 and E8: approximate agreement bounds and the
+   wait-free hierarchy.
+
+   E1 (Theorem 5): measured worst-case steps per process across a mix of
+   schedules, swept over process count and delta/epsilon, against the
+   closed-form upper bound (2n+1) log2(delta/eps) + O(n).
+
+   E2 (Lemma 6): steps forced by the faithful two-process replay
+   adversary vs the floor(log3(delta/eps)) lower bound.
+
+   E3 (Theorem 7): the hierarchy: for eps = 3^-k the adversary forces
+   more than k steps while Theorem 5 bounds all executions by K = O(nk).
+
+   E4 (Theorem 8): fixed eps, growing delta: forced steps grow without
+   bound — wait-free but not bounded wait-free.
+
+   E8 (Hoest-Shavit remark): greedy-adversary forced steps for n = 2 vs
+   n = 3 (log3 vs log2 regimes). *)
+
+module AA = Agreement.Approx_agreement.Make (Pram.Memory.Sim)
+
+(* Worst-case measured steps for one configuration across a schedule
+   mix. *)
+let measure_worst ~procs ~epsilon ~inputs ~seeds =
+  let program () =
+    let t = AA.create ~procs ~epsilon in
+    fun pid ->
+      AA.input t ~pid inputs.(pid);
+      AA.output t ~pid
+  in
+  let worst = ref 0 in
+  List.iter
+    (fun kind ->
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run ~max_steps:10_000_000 (Workload.scheduler_of kind) d;
+      for p = 0 to procs - 1 do
+        if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+      done;
+      for p = 0 to procs - 1 do
+        worst := max !worst (Pram.Driver.steps d p)
+      done)
+    (Workload.standard_schedules ~seeds);
+  !worst
+
+let e1 ?(seeds = 10) () =
+  let t =
+    Table.create
+      ~title:
+        "E1 (Theorem 5): approximate agreement, measured worst-case steps vs \
+         upper bound"
+      ~header:
+        [ "n"; "delta/eps"; "measured max steps"; "bound (2n+1)lg(d/e)+O(n)"; "within" ]
+  in
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun ratio ->
+          let epsilon = 1.0 in
+          let delta = ratio in
+          let inputs = Workload.agreement_inputs ~seed:7 ~procs ~delta in
+          let measured = measure_worst ~procs ~epsilon ~inputs ~seeds in
+          let bound =
+            Agreement.Approx_agreement.step_bound ~procs ~delta ~epsilon
+          in
+          Table.add_row t
+            [
+              string_of_int procs;
+              Printf.sprintf "%.0f" ratio;
+              string_of_int measured;
+              Table.fmt_float bound;
+              (if float_of_int measured <= bound then "yes" else "NO");
+            ])
+        [ 10.0; 100.0; 1000.0; 10000.0 ])
+    [ 2; 3; 4; 6; 8 ];
+  t
+
+let e2 ?(max_k = 8) () =
+  let t =
+    Table.create
+      ~title:
+        "E2 (Lemma 6): adversary-forced steps vs floor(log3(delta/eps)) lower \
+         bound (2 processes)"
+      ~header:[ "delta/eps"; "lower bound"; "forced steps"; "holds" ]
+  in
+  for k = 1 to max_k do
+    let epsilon = 1.0 /. Float.pow 3.0 (float_of_int k) in
+    let row = Agreement.Hierarchy.theorem7_row k in
+    ignore epsilon;
+    Table.add_row t
+      [
+        Printf.sprintf "3^%d" k;
+        string_of_int row.Agreement.Hierarchy.lower_bound;
+        string_of_int row.Agreement.Hierarchy.forced;
+        (if row.Agreement.Hierarchy.forced >= row.Agreement.Hierarchy.lower_bound
+         then "yes"
+         else "NO");
+      ]
+  done;
+  t
+
+let e3 ?(max_k = 8) () =
+  let t =
+    Table.create
+      ~title:
+        "E3 (Theorem 7): the hierarchy — eps = 3^-k is K-bounded but not \
+         k-bounded wait-free"
+      ~header:
+        [ "k"; "eps"; "forced steps (>k)"; "upper bound K"; "k < forced <= K"; "agreement" ]
+  in
+  for k = 1 to max_k do
+    let row = Agreement.Hierarchy.theorem7_row k in
+    let ok =
+      row.Agreement.Hierarchy.forced > k
+      && float_of_int row.Agreement.Hierarchy.forced
+         <= row.Agreement.Hierarchy.upper_bound
+    in
+    Table.add_row t
+      [
+        string_of_int k;
+        Printf.sprintf "3^-%d" k;
+        string_of_int row.Agreement.Hierarchy.forced;
+        Table.fmt_float row.Agreement.Hierarchy.upper_bound;
+        (if ok then "yes" else "NO");
+        (if row.Agreement.Hierarchy.agreement_ok then "ok" else "VIOLATED");
+      ]
+  done;
+  t
+
+let e4 ?(max_exp = 6) () =
+  let t =
+    Table.create
+      ~title:
+        "E4 (Theorem 8): unbounded input range — no single bound covers all \
+         executions (eps = 1)"
+      ~header:[ "delta"; "lower bound"; "forced steps"; "upper bound (this delta)" ]
+  in
+  for e = 1 to max_exp do
+    let delta = Float.pow 10.0 (float_of_int e) in
+    let row = Agreement.Hierarchy.theorem8_row ~delta in
+    Table.add_row t
+      [
+        Printf.sprintf "1e%d" e;
+        string_of_int row.Agreement.Hierarchy.lower_bound;
+        string_of_int row.Agreement.Hierarchy.forced;
+        Table.fmt_float row.Agreement.Hierarchy.upper_bound;
+      ]
+  done;
+  t
+
+let e8 ?(ks = [ 2; 3; 4; 5 ]) () =
+  let t =
+    Table.create
+      ~title:
+        "E8 (Hoest-Shavit remark): greedy adversary, 2 vs 3 processes \
+         (log3 vs log2 regimes)"
+      ~header:
+        [ "eps"; "forced steps (n=2)"; "forced steps (n=3)"; "ratio" ]
+  in
+  List.iter
+    (fun k ->
+      let epsilon = 1.0 /. Float.pow 3.0 (float_of_int k) in
+      let f2, _ = Agreement.Hierarchy.greedy_forced ~procs:2 ~epsilon in
+      let f3, _ = Agreement.Hierarchy.greedy_forced ~procs:3 ~epsilon in
+      Table.add_row t
+        [
+          Printf.sprintf "3^-%d" k;
+          string_of_int f2;
+          string_of_int f3;
+          Table.fmt_float2 (float_of_int f3 /. float_of_int (max 1 f2));
+        ])
+    ks;
+  t

@@ -1,0 +1,82 @@
+(* Experiment E11: the Hoest-Shavit constants, realized in the iterated
+   immediate snapshot model.
+
+   The paper (after Lemma 6) quotes Hoest and Shavit: in the iterated
+   snapshot model, log3(delta/eps) is TIGHT for two processes and
+   log2(delta/eps) for three or more.  We run approximate agreement in
+   IIS with exactly ceil(log_base(delta/eps)) layers — the optimal
+   two-thirds rule for n = 2 (base 3) and the midpoint rule for n >= 2
+   (base 2) — and measure the worst residual gap over a schedule mix.
+   The gap must come in at or below epsilon with exactly that many
+   layers: the upper-bound half of tightness, with the paper's exact
+   constants. *)
+
+module IIS = Snapshot.Iis.Make (Pram.Memory.Sim)
+
+let worst_gap ~procs ~layers ~rule ~delta ~seeds =
+  let inputs =
+    Array.init procs (fun p ->
+        if p = 0 then 0.0 else if p = 1 then delta else delta /. 2.0)
+  in
+  let program () =
+    let t = IIS.create ~procs ~layers in
+    fun pid -> IIS.run t ~pid ~rule:(rule ~pid) inputs.(pid)
+  in
+  let worst = ref 0.0 in
+  List.iter
+    (fun kind ->
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run ~max_steps:10_000_000 (Workload.scheduler_of kind) d;
+      for p = 0 to procs - 1 do
+        if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+      done;
+      let outputs =
+        List.filter_map (Pram.Driver.result d) (List.init procs Fun.id)
+      in
+      match outputs with
+      | [] -> ()
+      | x :: rest ->
+          let hi = List.fold_left Float.max x rest in
+          let lo = List.fold_left Float.min x rest in
+          worst := Float.max !worst (hi -. lo))
+    (Workload.standard_schedules ~seeds);
+  !worst
+
+let e11 ?(max_k = 6) ?(seeds = 10) () =
+  let t =
+    Table.create
+      ~title:
+        "E11 (Hoest-Shavit): IIS agreement with exactly \
+         ceil(log_base(delta/eps)) layers (delta = 1)"
+      ~header:
+        [
+          "eps";
+          "layers n=2 (log3)";
+          "worst gap n=2";
+          "ok";
+          "layers n=3 (log2)";
+          "worst gap n=3";
+          "ok";
+        ]
+  in
+  for k = 1 to max_k do
+    let epsilon = 1.0 /. Float.pow 3.0 (float_of_int k) in
+    let l3 = IIS.layers_needed ~base:3.0 ~delta:1.0 ~epsilon in
+    let g2 =
+      worst_gap ~procs:2 ~layers:l3 ~rule:IIS.two_proc_optimal ~delta:1.0
+        ~seeds
+    in
+    let l2 = IIS.layers_needed ~base:2.0 ~delta:1.0 ~epsilon in
+    let g3 = worst_gap ~procs:3 ~layers:l2 ~rule:IIS.midpoint ~delta:1.0 ~seeds in
+    Table.add_row t
+      [
+        Printf.sprintf "3^-%d" k;
+        string_of_int l3;
+        Printf.sprintf "%.2e" g2;
+        (if g2 <= epsilon +. 1e-12 then "yes" else "NO");
+        string_of_int l2;
+        Printf.sprintf "%.2e" g3;
+        (if g3 <= epsilon +. 1e-12 then "yes" else "NO");
+      ]
+  done;
+  t

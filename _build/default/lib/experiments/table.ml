@@ -1,0 +1,43 @@
+(* Minimal fixed-width table rendering for experiment output.  The bench
+   harness and the CLI print the same tables; EXPERIMENTS.md records
+   them. *)
+
+type t = {
+  title : string;
+  header : string list;
+  mutable rows_rev : string list list;
+}
+
+let create ~title ~header = { title; header; rows_rev = [] }
+let add_row t row = t.rows_rev <- row :: t.rows_rev
+
+let render t =
+  let rows = List.rev t.rows_rev in
+  let all = t.header :: rows in
+  let cols = List.length t.header in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("\n== " ^ t.title ^ " ==\n");
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell (List.nth widths i));
+        if i < cols - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.header;
+  render_row (List.map (fun w -> String.make w '-') widths);
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float f = Printf.sprintf "%.1f" f
+let fmt_float2 f = Printf.sprintf "%.2f" f

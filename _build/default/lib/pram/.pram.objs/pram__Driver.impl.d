@@ -1,0 +1,1 @@
+lib/pram/driver.ml: Array Effect Fun List Register Sim_effects Trace

@@ -1,0 +1,1 @@
+lib/pram/driver.mli: Trace

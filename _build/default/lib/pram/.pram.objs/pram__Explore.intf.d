@@ -1,0 +1,1 @@
+lib/pram/explore.mli: Driver

@@ -1,0 +1,1 @@
+lib/pram/memory.ml: Effect Register Sim_effects

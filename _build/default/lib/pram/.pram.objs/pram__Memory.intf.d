@@ -1,0 +1,1 @@
+lib/pram/memory.mli: Register

@@ -1,0 +1,1 @@
+lib/pram/native.ml: Atomic Domain List Memory

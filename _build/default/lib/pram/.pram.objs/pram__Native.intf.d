@@ -1,0 +1,1 @@
+lib/pram/native.mli: Atomic Memory

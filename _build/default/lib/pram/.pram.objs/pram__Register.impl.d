@@ -1,0 +1,1 @@
+lib/pram/register.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/pram/scheduler.ml: Driver Hashtbl List Option Random

@@ -1,0 +1,1 @@
+lib/pram/scheduler.mli: Driver

@@ -1,0 +1,1 @@
+lib/pram/sim_effects.ml: Effect Register

@@ -1,0 +1,1 @@
+lib/pram/trace.ml: Format

@@ -1,0 +1,1 @@
+lib/pram/trace.mli: Format

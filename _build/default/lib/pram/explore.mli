@@ -1,0 +1,34 @@
+(** Exhaustive schedule exploration (bounded model checking).
+
+    Executions are deterministic functions of their schedules, so all
+    behaviours of a small program can be enumerated by DFS over maximal
+    schedules.  The test suite uses this to check linearizability of the
+    paper's algorithms over {e every} interleaving of small
+    configurations — a much stronger guarantee than random scheduling. *)
+
+type outcome = {
+  explored : int;  (** completed executions visited *)
+  failures : int list list;
+      (** schedules of executions that failed the check; crash actions
+          are encoded as [-1 - pid] *)
+  truncated : bool;  (** [max_schedules] stopped the search early *)
+}
+
+(** [exhaustive ~procs setup check] runs [check driver schedule] on every
+    completed execution of the program.  With [max_crashes > 0], also
+    branches on crashing each runnable process at every prefix, up to
+    that many crashes per execution.  The program must be finite (every
+    schedule terminates). *)
+val exhaustive :
+  ?max_schedules:int ->
+  ?max_crashes:int ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  ('r Driver.t -> int list -> bool) ->
+  outcome
+
+(** No failures and the search was not truncated. *)
+val ok : outcome -> bool
+
+(** Number of maximal schedules of the program (no checking). *)
+val count : ?max_schedules:int -> procs:int -> (unit -> int -> 'r) -> int

@@ -1,0 +1,37 @@
+(* The portable shared-memory interface.
+
+   Every algorithm in this repository is a functor over [Memory.S], so the
+   same source code runs (a) deterministically under the simulator, where
+   each access is an effect intercepted by [Driver], and (b) in parallel on
+   OCaml 5 domains, where each access is an [Atomic] operation
+   (see {!Native}). *)
+
+module type S = sig
+  type 'a reg
+
+  val create : ?name:string -> 'a -> 'a reg
+  val read : 'a reg -> 'a
+  val write : 'a reg -> 'a -> unit
+end
+
+(* Simulator backend: registers are [Register.t]; accesses suspend the
+   current fiber via the effects in [Sim_effects].  Code using this module
+   must run inside [Driver]. *)
+module Sim : S with type 'a reg = 'a Register.t = struct
+  type 'a reg = 'a Register.t
+
+  let create ?name init = Register.make ?name init
+  let read r = Effect.perform (Sim_effects.Read r)
+  let write r v = Effect.perform (Sim_effects.Write (r, v))
+end
+
+(* Direct backend: immediate, unscheduled access.  For sequential unit
+   tests and single-threaded library use outside [Driver]; running
+   algorithms against it is equivalent to a solo execution. *)
+module Direct : S with type 'a reg = 'a Register.t = struct
+  type 'a reg = 'a Register.t
+
+  let create ?name init = Register.make ?name init
+  let read = Register.get
+  let write = Register.set
+end

@@ -1,0 +1,34 @@
+(** The portable shared-memory interface of the asynchronous PRAM model.
+
+    Every algorithm in this repository is a functor over {!S}, so one
+    source of truth runs against three backends:
+
+    - {!Sim}: accesses suspend the calling fiber and are fired one at a
+      time by {!Driver} — the deterministic, adversarially schedulable
+      model used for all experiments and most tests;
+    - {!Direct}: accesses happen immediately — equivalent to a solo
+      execution; for sequential unit tests and single-threaded use;
+    - {!Native.Mem} (in {!Native}): accesses are [Atomic] operations on
+      real OCaml domains. *)
+
+module type S = sig
+  type 'a reg
+  (** A shared atomic register holding values of type ['a]. *)
+
+  val create : ?name:string -> 'a -> 'a reg
+  (** Allocate a register with an initial value.  [name] appears in
+      traces and adversary views. *)
+
+  val read : 'a reg -> 'a
+  (** Atomically read the register — one step in the paper's cost
+      model. *)
+
+  val write : 'a reg -> 'a -> unit
+  (** Atomically write the register — one step. *)
+end
+
+(** Simulator backend; code using it must run under {!Driver}. *)
+module Sim : S with type 'a reg = 'a Register.t
+
+(** Immediate backend: no scheduling, no suspension. *)
+module Direct : S with type 'a reg = 'a Register.t

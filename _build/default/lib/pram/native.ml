@@ -1,0 +1,67 @@
+(* Native multicore backend.
+
+   Provides the same [Memory.S] interface as the simulator, implemented
+   with [Atomic] references, plus a [Counting] wrapper that tallies
+   accesses and a [spawn]/[join] helper for running one OCaml domain per
+   process.  This backend demonstrates that the algorithms are not
+   simulator artifacts and supplies the wall-clock Bechamel benches.
+
+   [Atomic.t] gives sequentially consistent single-cell reads and writes —
+   exactly the atomic-register semantics of the asynchronous PRAM model.
+   Values stored are immutable OCaml values, so publication is safe. *)
+
+module Mem : Memory.S with type 'a reg = 'a Atomic.t = struct
+  type 'a reg = 'a Atomic.t
+
+  let create ?name init =
+    ignore name;
+    Atomic.make init
+
+  let read = Atomic.get
+  let write = Atomic.set
+end
+
+(* Wraps a backend with global read/write counters.  Counters are atomic
+   so the wrapper is safe under domains, at the cost of some contention;
+   use it for cost accounting, not for timing benches. *)
+module Counting (M : Memory.S) : sig
+  include Memory.S
+
+  val reset : unit -> unit
+  val reads : unit -> int
+  val writes : unit -> int
+end = struct
+  type 'a reg = 'a M.reg
+
+  let read_count = Atomic.make 0
+  let write_count = Atomic.make 0
+
+  let create ?name init = M.create ?name init
+
+  let read r =
+    Atomic.incr read_count;
+    M.read r
+
+  let write r v =
+    Atomic.incr write_count;
+    M.write r v
+
+  let reset () =
+    Atomic.set read_count 0;
+    Atomic.set write_count 0
+
+  let reads () = Atomic.get read_count
+  let writes () = Atomic.get write_count
+end
+
+(* Run [body p] for p = 0..procs-1, each in its own domain, and return the
+   results in pid order.  The caller is responsible for keeping [procs]
+   within the machine's recommended domain count. *)
+let run_parallel ~procs body =
+  let domains =
+    List.init procs (fun p -> Domain.spawn (fun () -> body p))
+  in
+  List.map Domain.join domains
+
+let recommended_procs () =
+  max 2 (min 8 (Domain.recommended_domain_count ()))

@@ -1,0 +1,30 @@
+(** Native multicore backend: the same {!Memory.S} interface on OCaml 5
+    domains with [Atomic] registers.
+
+    [Atomic.t] provides sequentially consistent single-cell reads and
+    writes — exactly the atomic-register semantics the asynchronous PRAM
+    model assumes — so algorithms verified under the simulator run
+    unchanged, in parallel, here.  Used by the examples, the CLI's
+    [counter] torture command, and the wall-clock benches. *)
+
+(** The domain-safe memory backend. *)
+module Mem : Memory.S with type 'a reg = 'a Atomic.t
+
+(** Wrap any backend with global atomic read/write counters (for cost
+    accounting under domains; adds contention, so do not combine with
+    timing measurements). *)
+module Counting (M : Memory.S) : sig
+  include Memory.S
+
+  val reset : unit -> unit
+  val reads : unit -> int
+  val writes : unit -> int
+end
+
+(** [run_parallel ~procs body] runs [body p] for [p = 0..procs-1], each in
+    its own domain, returning results in pid order. *)
+val run_parallel : procs:int -> (int -> 'a) -> 'a list
+
+(** A sensible domain count for examples and benches: between 2 and 8,
+    bounded by the machine's recommended count. *)
+val recommended_procs : unit -> int

@@ -1,0 +1,32 @@
+(* Simulated atomic registers.
+
+   A register is the asynchronous-PRAM unit of shared state: a cell that
+   supports atomic [read] and [write].  In the simulator a register is a
+   plain mutable cell; atomicity is guaranteed by construction because the
+   scheduler ([Pram.Driver]) fires exactly one access at a time, from a
+   single OCaml thread.  Algorithms never touch registers directly — they
+   go through [Pram.Memory.Sim], which turns each access into an effect the
+   driver intercepts and schedules. *)
+
+type 'a t = {
+  id : int;  (** unique per allocation; used by traces and adversaries *)
+  name : string;
+  mutable value : 'a;
+}
+
+(* Allocation order is deterministic for a deterministic setup function,
+   so ids are stable across replays of the same program. *)
+let next_id = ref 0
+
+let make ?name init =
+  incr next_id;
+  let id = !next_id in
+  let name = match name with Some n -> n | None -> Printf.sprintf "r%d" id in
+  { id; name; value = init }
+
+let get r = r.value
+let set r v = r.value <- v
+let id r = r.id
+let name r = r.name
+
+let pp ppf r = Format.fprintf ppf "%s#%d" r.name r.id

@@ -1,0 +1,25 @@
+(** Simulated atomic single-value registers.
+
+    These are the shared-memory cells of the asynchronous PRAM model.  The
+    simulator guarantees that each [get]/[set] happens atomically at a
+    scheduler-chosen instant.  User algorithms should not call [get]/[set]
+    directly; they should use {!Pram.Memory.Sim} so that accesses are
+    suspended and scheduled by {!Pram.Driver}. *)
+
+type 'a t
+
+(** [make ?name init] allocates a fresh register holding [init].
+    Allocation is deterministic, so a program that allocates its registers
+    in a fixed order gets the same ids on every replay. *)
+val make : ?name:string -> 'a -> 'a t
+
+(** Immediate, unscheduled access — reserved for the driver and for
+    test-harness inspection between steps. *)
+val get : 'a t -> 'a
+
+(** Immediate, unscheduled write — reserved for the driver. *)
+val set : 'a t -> 'a -> unit
+
+val id : 'a t -> int
+val name : 'a t -> string
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,44 @@
+(** Scheduling policies over {!Driver}.
+
+    A scheduler inspects the execution (statuses and pending accesses —
+    the view of a full-information adversary) and decides the next action.
+    The asynchronous PRAM model places no fairness constraints on
+    schedulers; wait-freedom is exactly robustness against every policy
+    expressible here, including ones that crash processes. *)
+
+type action =
+  | Step of int  (** fire this process's pending access *)
+  | Crash of int  (** halt this process forever *)
+  | Stop  (** end the run *)
+
+type 'r t = 'r Driver.t -> action
+
+(** Drive [driver] with [sched] until quiescence, [Stop], or [max_steps]
+    fired accesses (a watchdog against non-wait-free implementations).
+    @raise Failure if the budget is exhausted. *)
+val run : ?max_steps:int -> 'r t -> 'r Driver.t -> unit
+
+(** Fair round-robin over runnable processes. *)
+val round_robin : unit -> 'r t
+
+(** Uniform random scheduling, deterministic in [seed].  If [crash_prob]
+    is positive, each decision may crash a random runnable process while
+    more than [min_alive] processes remain un-crashed. *)
+val random : ?crash_prob:float -> ?min_alive:int -> seed:int -> unit -> 'r t
+
+(** Replay an explicit pid sequence, stopping at its end or at the first
+    non-runnable pid. *)
+val of_list : int list -> 'r t
+
+(** Run process 0 to completion, then process 1, and so on. *)
+val sequential : unit -> 'r t
+
+(** Step any process about to access register [reg_id]; otherwise defer to
+    [fallback]. *)
+val prefer_register : reg_id:int -> 'r t -> 'r t
+
+(** Probabilistic Concurrency Testing (PCT): random priorities, highest
+    runnable first, with [depth] random priority-demotion points over an
+    assumed execution length of [max_steps].  A strong bug-finder for
+    ordering bugs of small depth. *)
+val pct : seed:int -> depth:int -> max_steps:int -> unit -> 'r t

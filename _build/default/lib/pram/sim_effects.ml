@@ -1,0 +1,8 @@
+(* The two effects that connect algorithm code (written in direct style
+   against [Memory.Sim]) to the scheduler in [Driver].  Performing one of
+   these effects suspends the process at the point of the access; the
+   driver later fires the access atomically and resumes the process. *)
+
+type _ Effect.t +=
+  | Read : 'a Register.t -> 'a Effect.t
+  | Write : 'a Register.t * 'a -> unit Effect.t

@@ -1,0 +1,26 @@
+(* Execution traces: the sequence of shared-memory accesses fired by the
+   driver, in the (total) order in which they took effect.  One trace entry
+   is one "step" in the paper's cost model. *)
+
+type kind =
+  | Read
+  | Write
+
+type access = {
+  step : int;  (** global step index, starting at 0 *)
+  pid : int;  (** process that performed the access *)
+  reg_id : int;
+  reg_name : string;
+  kind : kind;
+}
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "R"
+  | Write -> Format.pp_print_string ppf "W"
+
+let pp_access ppf a =
+  Format.fprintf ppf "@[%4d: p%d %a %s#%d@]" a.step a.pid pp_kind a.kind
+    a.reg_name a.reg_id
+
+let pp ppf accesses =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_access ppf accesses

@@ -1,0 +1,20 @@
+(** Execution traces: the totally ordered sequence of shared-memory
+    accesses fired by {!Driver} (when created with [~record_trace:true]).
+    One access is one step of the paper's cost model; experiment E5
+    counts reads and writes from these records. *)
+
+type kind =
+  | Read
+  | Write
+
+type access = {
+  step : int;  (** global step index, from 0 *)
+  pid : int;  (** process that performed the access *)
+  reg_id : int;
+  reg_name : string;
+  kind : kind;
+}
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_access : Format.formatter -> access -> unit
+val pp : Format.formatter -> access list -> unit

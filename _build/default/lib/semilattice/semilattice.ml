@@ -1,0 +1,259 @@
+(* Join-semilattices.
+
+   Section 6 of the paper phrases the atomic-scan problem over an
+   arbitrary join-semilattice L with a bottom element: the shared array's
+   abstract state is the join of all values written, and a snapshot simply
+   returns that join.  This module provides the signature and the
+   instances used throughout the repository:
+
+   - [Int_max] / [Float_max]: max-registers and logical clocks;
+   - [Set_union]: grow-only sets;
+   - [Vector]: fixed-width pointwise products (per-process contribution
+     arrays, e.g. the direct counter);
+   - [Tagged]: a slot whose join keeps the value with the larger tag —
+     the "each array entry has an associated tag, and the maximum of two
+     entries is the one with the higher tag" construction that Section 6
+     uses to turn the scan into a snapshot of single-writer slots;
+   - [Pair]: products;
+   - [Grow_list]: single-writer append-only logs, joined by length. *)
+
+module type S = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]: [join bottom x = x]. *)
+
+  val join : t -> t -> t
+  (** Least upper bound; associative, commutative, idempotent. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(* [leq] is definable in any join-semilattice: a <= b iff a ∨ b = b. *)
+let leq (type a) (module L : S with type t = a) x y = L.equal (L.join x y) y
+
+let comparable (type a) (module L : S with type t = a) x y =
+  leq (module L) x y || leq (module L) y x
+
+module Int_max : S with type t = int = struct
+  type t = int
+
+  let bottom = min_int
+  let join = max
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+(* Naturals with 0 as bottom — convenient for tags and clocks where
+   [min_int] would be noise in output. *)
+module Nat_max : S with type t = int = struct
+  type t = int
+
+  let bottom = 0
+  let join = max
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Float_max : S with type t = float = struct
+  type t = float
+
+  let bottom = neg_infinity
+  let join = Float.max
+  let equal = Float.equal
+  let pp = Format.pp_print_float
+end
+
+module Set_union (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  module Elt_set : Set.S with type elt = Ord.t
+
+  val of_list : Ord.t list -> t
+  val elements : t -> Ord.t list
+end = struct
+  module Elt_set = Set.Make (Ord)
+
+  type t = Elt_set.t
+
+  let bottom = Elt_set.empty
+  let join = Elt_set.union
+  let equal = Elt_set.equal
+  let of_list = Elt_set.of_list
+  let elements = Elt_set.elements
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Ord.pp)
+      (Elt_set.elements s)
+end
+
+(* Fixed-width pointwise product.  [bottom] is the empty vector, which
+   joins with any vector as the identity; vectors of equal width join
+   pointwise.  Joining vectors of different non-zero widths is a misuse
+   (single construction site per object), flagged loudly. *)
+module Vector (L : S) : sig
+  include S with type t = L.t array
+
+  val const : width:int -> L.t -> t
+  val singleton : width:int -> int -> L.t -> t
+end = struct
+  type t = L.t array
+
+  let bottom = [||]
+
+  let join a b =
+    if Array.length a = 0 then b
+    else if Array.length b = 0 then a
+    else if Array.length a <> Array.length b then
+      invalid_arg "Semilattice.Vector.join: width mismatch"
+    else Array.init (Array.length a) (fun i -> L.join a.(i) b.(i))
+
+  let equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> L.equal x y) a b
+
+  let const ~width v = Array.make width v
+
+  let singleton ~width i v =
+    let a = Array.make width L.bottom in
+    a.(i) <- v;
+    a
+
+  let pp ppf a =
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         L.pp)
+      (Array.to_list a)
+end
+
+(* A tagged slot: the join keeps the entry with the larger tag.  For this
+   to be a semilattice the user must guarantee that equal tags imply equal
+   values — true for single-writer slots where the writer increments its
+   tag on every update.  This is the paper's Section 6 device for
+   snapshotting arbitrary (non-monotone) single-writer values. *)
+module Tagged (V : sig
+  type t
+
+  val default : t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S with type t = int * V.t
+
+  val make : tag:int -> V.t -> t
+  val tag : t -> int
+  val value : t -> V.t
+end = struct
+  type t = int * V.t
+
+  let bottom = (0, V.default)
+  let make ~tag v = (tag, v)
+  let tag (t, _) = t
+  let value (_, v) = v
+
+  let join (ta, va) (tb, vb) = if ta >= tb then (ta, va) else (tb, vb)
+
+  let equal (ta, va) (tb, vb) = ta = tb && V.equal va vb
+  let pp ppf (t, v) = Format.fprintf ppf "%a@@%d" V.pp v t
+end
+
+module Pair (A : S) (B : S) : S with type t = A.t * B.t = struct
+  type t = A.t * B.t
+
+  let bottom = (A.bottom, B.bottom)
+  let join (a1, b1) (a2, b2) = (A.join a1 a2, B.join b1 b2)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let pp ppf (a, b) = Format.fprintf ppf "(%a, %a)" A.pp a B.pp b
+end
+
+(* Append-only logs under the prefix order, joined by length.  Sound only
+   for single-writer use, where any two logs in flight are
+   prefix-comparable; this is the lattice behind [Universal.Pseudo_rmw].
+   Logs are stored in reverse (newest first) so append is O(1). *)
+module Grow_list (E : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val empty : t
+  val append : t -> E.t -> t
+  val to_list : t -> E.t list
+  (** Oldest first. *)
+
+  val length : t -> int
+end = struct
+  type t = { len : int; rev_items : E.t list }
+
+  let bottom = { len = 0; rev_items = [] }
+  let empty = bottom
+  let append t e = { len = t.len + 1; rev_items = e :: t.rev_items }
+  let to_list t = List.rev t.rev_items
+  let length t = t.len
+  let join a b = if a.len >= b.len then a else b
+
+  let equal a b =
+    a.len = b.len && List.for_all2 E.equal a.rev_items b.rev_items
+
+  let pp ppf t =
+    Format.fprintf ppf "log<%d>[%a]" t.len
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         E.pp)
+      (to_list t)
+end
+
+(* Maps to naturals under pointwise max; absent keys are 0.  Sound for
+   per-process monotone keyed totals (e.g. histogram buckets), mirroring
+   [Vector] for sparse keys. *)
+module Map_max (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  module Key_map : Map.S with type key = Ord.t
+
+  val of_list : (Ord.t * int) list -> t
+  val bindings : t -> (Ord.t * int) list
+  val find : Ord.t -> t -> int
+  val add : Ord.t -> int -> t -> t
+end = struct
+  module Key_map = Map.Make (Ord)
+
+  type t = int Key_map.t
+
+  let bottom = Key_map.empty
+
+  let join a b =
+    Key_map.union (fun _ x y -> Some (max x y)) a b
+
+  (* canonical form: no explicit zero (= absent) entries *)
+  let normalize m = Key_map.filter (fun _ v -> v <> 0) m
+  let equal a b = Key_map.equal Int.equal (normalize a) (normalize b)
+  let of_list l = normalize (Key_map.of_seq (List.to_seq l))
+  let bindings m = Key_map.bindings (normalize m)
+  let find k m = match Key_map.find_opt k m with Some v -> v | None -> 0
+  let add k v m = Key_map.add k v m
+
+  let pp ppf m =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%a->%d" Ord.pp k v))
+      (bindings m)
+end

@@ -1,0 +1,135 @@
+(** Join-semilattices, the algebraic substrate of the Section 6 atomic
+    scan.
+
+    The paper treats the shared array's abstract state as the join of all
+    values written to it; a snapshot returns that join.  Any [S] below
+    can be plugged into {!Snapshot.Scan.Make}.  Instances here cover all
+    the constructions in the repository:
+
+    - {!Int_max}, {!Nat_max}, {!Float_max}: max-registers, logical
+      clocks, tags;
+    - {!Set_union}: grow-only sets (and the proposal sets of lattice
+      agreement);
+    - {!Vector}: fixed-width pointwise products — per-process
+      contribution arrays (direct counter, vector clocks);
+    - {!Map_max}: sparse keyed variant of {!Vector} (histograms);
+    - {!Tagged}: a slot keeping the value with the larger tag — the
+      paper's device for snapshotting arbitrary single-writer values;
+    - {!Pair}: products;
+    - {!Grow_list}: single-writer append-only logs ordered by length
+      (pseudo read-modify-write).
+
+    Every instance's laws (associativity, commutativity, idempotence,
+    bottom identity) are property-tested in [test/test_semilattice.ml]. *)
+
+module type S = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]: [join bottom x = x]. *)
+
+  val join : t -> t -> t
+  (** Least upper bound; associative, commutative, idempotent. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [leq l x y]: the partial order induced by the join. *)
+val leq : (module S with type t = 'a) -> 'a -> 'a -> bool
+
+(** [comparable l x y]: ordered one way or the other (the conclusion of
+    the paper's Lemma 32 for scan results). *)
+val comparable : (module S with type t = 'a) -> 'a -> 'a -> bool
+
+module Int_max : S with type t = int
+
+(** Naturals with 0 as bottom — for tags and clocks, where [min_int]
+    would be noise. *)
+module Nat_max : S with type t = int
+
+module Float_max : S with type t = float
+
+(** Finite sets under union. *)
+module Set_union (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  module Elt_set : Set.S with type elt = Ord.t
+
+  val of_list : Ord.t list -> t
+  val elements : t -> Ord.t list
+end
+
+(** Fixed-width pointwise product; [bottom] is the empty vector (the
+    join identity).  Joining two non-empty vectors of different widths
+    raises [Invalid_argument] — one object, one width. *)
+module Vector (L : S) : sig
+  include S with type t = L.t array
+
+  val const : width:int -> L.t -> t
+
+  (** [singleton ~width i v]: bottom everywhere except position [i]. *)
+  val singleton : width:int -> int -> L.t -> t
+end
+
+(** A tagged slot: the join keeps the higher-tagged value.  A lattice
+    only under the single-writer discipline (equal tags imply equal
+    values), which all users here obey. *)
+module Tagged (V : sig
+  type t
+
+  val default : t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S with type t = int * V.t
+
+  val make : tag:int -> V.t -> t
+  val tag : t -> int
+  val value : t -> V.t
+end
+
+module Pair (A : S) (B : S) : S with type t = A.t * B.t
+
+(** Append-only logs ordered by length; sound only under the
+    single-writer discipline (in-flight logs are prefix-comparable). *)
+module Grow_list (E : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val empty : t
+  val append : t -> E.t -> t
+
+  val to_list : t -> E.t list
+  (** Oldest first. *)
+
+  val length : t -> int
+end
+
+(** Maps to naturals under pointwise max; absent keys read as 0.  The
+    sparse-keyed sibling of {!Vector}, for per-process monotone keyed
+    totals (e.g. histogram buckets). *)
+module Map_max (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  module Key_map : Map.S with type key = Ord.t
+
+  val of_list : (Ord.t * int) list -> t
+  val bindings : t -> (Ord.t * int) list
+  val find : Ord.t -> t -> int
+  val add : Ord.t -> int -> t -> t
+end

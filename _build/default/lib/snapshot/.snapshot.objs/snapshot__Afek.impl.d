@@ -1,0 +1,1 @@
+lib/snapshot/afek.ml: Array List Pram Printf Slot_value

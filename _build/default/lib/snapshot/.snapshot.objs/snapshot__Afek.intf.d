@@ -1,0 +1,1 @@
+lib/snapshot/afek.mli: Pram Slot_value

@@ -1,0 +1,1 @@
+lib/snapshot/afek_bounded.ml: Array Pram Printf Slot_value

@@ -1,0 +1,1 @@
+lib/snapshot/afek_bounded.mli: Pram Slot_value

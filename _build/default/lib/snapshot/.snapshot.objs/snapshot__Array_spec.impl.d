@@ -1,0 +1,1 @@
+lib/snapshot/array_spec.ml: Array Format Slot_value Spec

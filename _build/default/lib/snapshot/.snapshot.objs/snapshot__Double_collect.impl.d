@@ -1,0 +1,1 @@
+lib/snapshot/double_collect.ml: Array Pram Printf Slot_value

@@ -1,0 +1,1 @@
+lib/snapshot/iis.ml: Array Float Format Immediate_snapshot List Pram

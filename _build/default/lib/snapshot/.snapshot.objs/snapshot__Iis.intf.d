@@ -1,0 +1,1 @@
+lib/snapshot/iis.mli: Immediate_snapshot Pram Slot_value

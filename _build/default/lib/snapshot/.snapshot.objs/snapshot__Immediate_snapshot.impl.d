@@ -1,0 +1,1 @@
+lib/snapshot/immediate_snapshot.ml: Array List Pram Printf Slot_value

@@ -1,0 +1,1 @@
+lib/snapshot/immediate_snapshot.mli: Pram Slot_value

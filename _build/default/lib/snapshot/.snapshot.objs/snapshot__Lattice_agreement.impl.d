@@ -1,0 +1,1 @@
+lib/snapshot/lattice_agreement.ml: Array Format Int Pram Printf Scan Set

@@ -1,0 +1,1 @@
+lib/snapshot/lattice_agreement.mli: Pram Set

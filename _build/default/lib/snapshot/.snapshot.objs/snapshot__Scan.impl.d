@@ -1,0 +1,1 @@
+lib/snapshot/scan.ml: Array Pram Printf Semilattice

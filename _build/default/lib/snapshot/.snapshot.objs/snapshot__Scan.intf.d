@@ -1,0 +1,1 @@
+lib/snapshot/scan.mli: Pram Semilattice

@@ -1,0 +1,1 @@
+lib/snapshot/scan_spec.ml: Format Semilattice Spec

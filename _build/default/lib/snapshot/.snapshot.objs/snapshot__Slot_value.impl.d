@@ -1,0 +1,1 @@
+lib/snapshot/slot_value.ml: Format Stdlib

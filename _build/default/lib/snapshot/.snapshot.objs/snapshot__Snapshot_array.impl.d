@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_array.ml: Array Pram Scan Semilattice Slot_value

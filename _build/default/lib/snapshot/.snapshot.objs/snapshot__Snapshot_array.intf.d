@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_array.mli: Pram Scan Semilattice Slot_value

@@ -1,0 +1,81 @@
+(* The single-writer atomic snapshot of Afek, Attiya, Dolev, Gafni,
+   Merritt and Shavit [2] — developed independently of the paper's
+   Section 6 scan and cited there as having "time complexity comparable to
+   ours".  Implemented here as the wait-free comparison baseline for
+   experiment E7.
+
+   Idea: repair the double collect's starvation by HELPING.  Every update
+   first performs an (embedded) scan and publishes it next to the new
+   value.  A scanning process repeatedly double-collects; if it ever sees
+   some process q change its slot twice, then q's second update started
+   after the scan began, so q's embedded view is a valid snapshot taken
+   entirely within the scan's interval, and the scanner can "borrow" it.
+   At most n changed-twice events can occur before one process reaches
+   two, so a scan finishes within n+1 collects — wait-free with O(n^2)
+   reads, the same asymptotics as Section 6's scan.
+
+   The embedded scan inside [update] makes updates cost O(n^2) as well
+   (the paper's scan has cheap O(n)-ish updates in the snapshot-array
+   usage: a Write_L still pays one full scan; the costs really are
+   comparable, which E7 measures). *)
+
+module Make
+    (V : Slot_value.S)
+    (M : Pram.Memory.S) =
+struct
+  type slot = {
+    tag : int;
+    value : V.t;
+    embedded : V.t array;  (* the view scanned by this update *)
+  }
+
+  type t = { procs : int; slots : slot M.reg array; seq : int array }
+
+  let create ~procs =
+    {
+      procs;
+      slots =
+        Array.init procs (fun p ->
+            M.create ~name:(Printf.sprintf "afek_slot[%d]" p)
+              { tag = 0; value = V.default; embedded = [||] });
+      seq = Array.make procs 0;
+    }
+
+  let collect t = Array.map M.read t.slots
+
+  let scan_inner t ~pid =
+    ignore pid;
+    let n = t.procs in
+    let moved = Array.make n 0 in
+    let rec loop prev =
+      let cur = collect t in
+      let changed = ref [] in
+      for q = 0 to n - 1 do
+        if prev.(q).tag <> cur.(q).tag then changed := q :: !changed
+      done;
+      match !changed with
+      | [] -> Array.map (fun s -> s.value) cur
+      | qs -> (
+          let borrowed = ref None in
+          List.iter
+            (fun q ->
+              moved.(q) <- moved.(q) + 1;
+              if moved.(q) >= 2 && !borrowed = None then
+                (* q completed a whole update inside our scan; its
+                   embedded view is linearizable within our interval. *)
+                borrowed := Some cur.(q).embedded)
+            qs;
+          match !borrowed with
+          | Some view when Array.length view = n -> view
+          | Some _ | None -> loop cur)
+    in
+    let first = collect t in
+    loop first
+
+  let update t ~pid v =
+    let view = scan_inner t ~pid in
+    t.seq.(pid) <- t.seq.(pid) + 1;
+    M.write t.slots.(pid) { tag = t.seq.(pid); value = v; embedded = view }
+
+  let snapshot t ~pid = scan_inner t ~pid
+end

@@ -1,0 +1,18 @@
+(** The single-writer atomic snapshot of Afek, Attiya, Dolev, Gafni,
+    Merritt and Shavit [2] (unbounded-tag variant) — the contemporaneous
+    algorithm the paper's Section 2 cites as having "time complexity
+    comparable to ours".
+
+    Updates HELP scanners by embedding a full snapshot next to the new
+    value; a scanner that sees some process move twice borrows that
+    process's embedded view, which is guaranteed to lie within the
+    scanner's interval.  Wait-free, O(n^2) reads per operation.
+    Compared against the Section 6 scan in experiment E7. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val update : t -> pid:int -> V.t -> unit
+  val snapshot : t -> pid:int -> V.t array
+end

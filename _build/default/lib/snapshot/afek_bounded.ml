@@ -1,0 +1,132 @@
+(* The BOUNDED single-writer atomic snapshot of Afek, Attiya, Dolev,
+   Gafni, Merritt and Shavit [2].
+
+   The paper's Section 2 contrasts its own scan — whose most
+   straightforward implementation "uses unbounded counters to represent
+   lattice elements" — with the Afek et al. proposal, which uses bounded
+   registers.  [Afek] implements their unbounded-tag variant; this module
+   implements the bounded one, replacing tags with two-valued HANDSHAKE
+   bits and a TOGGLE:
+
+   - writer j owns, inside its (single) register, one handshake bit
+     [p.(i)] per scanner i, plus a toggle bit flipped on every update;
+   - scanner i owns one handshake bit [q.(j)] per writer j;
+   - an update by j first sets each [p.(i)] to the NEGATION of the
+     scanner's current [q.(j,i)-bit], embeds a full scan (helping), and
+     publishes value+view+bits in one register write;
+   - a scan first "takes the handshakes" ([q.(j) := p_j.(i)]), then
+     double-collects; writer j is observed to have MOVED if its handshake
+     bit disagrees with [q.(j)] or its toggle changed between the two
+     collects.  A writer observed moving twice has performed a complete
+     update inside the scan, so its embedded view can be borrowed.
+
+   All control state is bounded (bits); only the application values
+   themselves are unbounded.  Linearizability is checked by the test
+   suite both under random schedules and EXHAUSTIVELY on small
+   configurations (see test/test_snapshot.ml and test/test_explore.ml).
+
+   The double collect declares stability only if no writer moved —
+   detected via bits rather than the unbounded tags of [Double_collect].
+   At most n move-observations can accumulate before some writer reaches
+   two, so a scan terminates within n+2 collects: wait-free, O(n^2)
+   reads, like the Section 6 scan. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) = struct
+  type slot = {
+    value : V.t;
+    embedded : V.t array;  (* view scanned by this update; [||] initially *)
+    toggle : bool;
+    p : bool array;  (* p.(i): writer's handshake bit toward scanner i *)
+  }
+
+  type t = {
+    procs : int;
+    slots : slot M.reg array;  (* slots.(j): writer j's register *)
+    q : bool M.reg array array;
+        (* q.(i).(j): scanner i's handshake bit toward writer j;
+           single-writer (owned by i) *)
+  }
+
+  let create ~procs =
+    {
+      procs;
+      slots =
+        Array.init procs (fun j ->
+            M.create
+              ~name:(Printf.sprintf "ab_slot[%d]" j)
+              {
+                value = V.default;
+                embedded = [||];
+                toggle = false;
+                p = Array.make procs false;
+              });
+      q =
+        Array.init procs (fun i ->
+            Array.init procs (fun j ->
+                M.create ~name:(Printf.sprintf "ab_q[%d][%d]" i j) false));
+    }
+
+  let collect t = Array.map M.read t.slots
+
+  (* Did writer j move, from scanner [pid]'s point of view, given the
+     handshake value taken at the start of the scan and two collects? *)
+  let moved ~q_bit (c1 : slot) (c2 : slot) ~pid =
+    c1.p.(pid) <> q_bit || c2.p.(pid) <> q_bit || c1.toggle <> c2.toggle
+
+  let scan_inner t ~pid =
+    let n = t.procs in
+    (* take the handshakes: q.(pid).(j) := p_j.(pid) *)
+    let q_bits = Array.make n false in
+    for j = 0 to n - 1 do
+      let s = M.read t.slots.(j) in
+      q_bits.(j) <- s.p.(pid);
+      M.write t.q.(pid).(j) s.p.(pid)
+    done;
+    let moved_count = Array.make n 0 in
+    let rec loop () =
+      let c1 = collect t in
+      let c2 = collect t in
+      let any_moved = ref false in
+      let borrowed = ref None in
+      for j = 0 to n - 1 do
+        if moved ~q_bit:q_bits.(j) c1.(j) c2.(j) ~pid then begin
+          any_moved := true;
+          moved_count.(j) <- moved_count.(j) + 1;
+          if moved_count.(j) >= 2 && !borrowed = None
+             && Array.length c2.(j).embedded = n
+          then borrowed := Some c2.(j).embedded
+        end
+      done;
+      if not !any_moved then Array.map (fun s -> s.value) c2
+      else
+        match !borrowed with
+        | Some view -> view
+        | None ->
+            (* refresh the handshakes for writers seen moving, so the same
+               old write is not double-counted *)
+            for j = 0 to n - 1 do
+              if moved ~q_bit:q_bits.(j) c1.(j) c2.(j) ~pid then begin
+                q_bits.(j) <- c2.(j).p.(pid);
+                M.write t.q.(pid).(j) c2.(j).p.(pid)
+              end
+            done;
+            loop ()
+    in
+    loop ()
+
+  let update t ~pid v =
+    let n = t.procs in
+    (* handshake toward every potential scanner: set own bit to differ
+       from the scanner's bit, announcing "I have written since your last
+       handshake" *)
+    let new_p = Array.make n false in
+    for i = 0 to n - 1 do
+      new_p.(i) <- not (M.read t.q.(i).(pid))
+    done;
+    let view = scan_inner t ~pid in
+    let old = M.read t.slots.(pid) in
+    M.write t.slots.(pid)
+      { value = v; embedded = view; toggle = not old.toggle; p = new_p }
+
+  let snapshot t ~pid = scan_inner t ~pid
+end

@@ -1,0 +1,24 @@
+(** The BOUNDED variant of the Afek et al. snapshot [2]: unbounded tags
+    replaced by two-valued handshake bits plus a toggle, so all control
+    state fits in bounded registers — the contrast the paper's Section 2
+    draws with its own unbounded lattice scan.
+
+    Writer j keeps one handshake bit toward each scanner inside its slot
+    register (published atomically with the value and the embedded view)
+    and flips a toggle on every write; scanner i owns one bit per writer
+    and "takes the handshakes" before double-collecting.  A writer whose
+    handshake or toggle disagrees twice has completed an update strictly
+    inside the scan, so its embedded view can be borrowed.  Wait-free,
+    O(n^2) reads.
+
+    Verified by the linearizability checker under random schedules and
+    EXHAUSTIVELY over all 126k interleavings of the 2-process
+    update-vs-snapshot configuration (test/test_explore.ml). *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val update : t -> pid:int -> V.t -> unit
+  val snapshot : t -> pid:int -> V.t array
+end

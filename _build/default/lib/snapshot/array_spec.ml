@@ -1,0 +1,62 @@
+(* Sequential specification of the single-writer snapshot-array object:
+   n slots, [Update (p, v)] stores v in slot p, [Snapshot] returns all
+   slots atomically.  The [Lincheck] oracle for [Snapshot_array],
+   [Collect], [Double_collect] and [Afek]. *)
+
+module Make (V : Slot_value.S) (Width : sig
+  val procs : int
+end) :
+  Spec.Object_spec.S
+    with type state = V.t array
+     and type operation = [ `Update of int * V.t | `Snapshot ]
+     and type response = [ `Unit | `View of V.t array ] = struct
+  type state = V.t array
+  type operation = [ `Update of int * V.t | `Snapshot ]
+  type response = [ `Unit | `View of V.t array ]
+
+  let initial = Array.make Width.procs V.default
+
+  let apply s = function
+    | `Update (p, v) ->
+        let s' = Array.copy s in
+        s'.(p) <- v;
+        (s', `Unit)
+    | `Snapshot -> (s, `View (Array.copy s))
+
+  let commutes p q =
+    match (p, q) with
+    | `Update (i, _), `Update (j, _) -> i <> j
+    | `Snapshot, `Snapshot -> true
+    | (`Update _ | `Snapshot), (`Update _ | `Snapshot) -> false
+
+  let overwrites q p =
+    match (q, p) with
+    | `Update (i, _), `Update (j, _) -> i = j
+    | (`Update _ | `Snapshot), `Snapshot -> true
+    | `Snapshot, `Update _ -> false
+
+  let equal_state a b = Array.for_all2 V.equal a b
+
+  let equal_response a b =
+    match (a, b) with
+    | `Unit, `Unit -> true
+    | `View x, `View y -> Array.length x = Array.length y && Array.for_all2 V.equal x y
+    | `Unit, `View _ | `View _, `Unit -> false
+
+  let pp_array ppf a =
+    Format.fprintf ppf "[|%a|]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         V.pp)
+      (Array.to_list a)
+
+  let pp_operation ppf = function
+    | `Update (p, v) -> Format.fprintf ppf "update(%d, %a)" p V.pp v
+    | `Snapshot -> Format.pp_print_string ppf "snapshot"
+
+  let pp_response ppf = function
+    | `Unit -> Format.pp_print_string ppf "()"
+    | `View a -> pp_array ppf a
+
+  let pp_state = pp_array
+end

@@ -1,0 +1,30 @@
+(* The naive "collect" pseudo-snapshot: read the n slots one at a time.
+
+   This is NOT atomic: two slots read at different instants can reflect
+   states that never coexisted, so a collect can return a view that no
+   linearization explains.  It exists as the negative baseline for
+   experiment E7 — the linearizability checker must find violations in
+   its histories — and as the cheap building block (n reads per collect)
+   that [Double_collect] and [Afek] repair. *)
+
+module Make
+    (V : Slot_value.S)
+    (M : Pram.Memory.S) =
+struct
+  type t = { procs : int; slots : V.t M.reg array }
+
+  let create ~procs =
+    {
+      procs;
+      slots =
+        Array.init procs (fun p ->
+            M.create ~name:(Printf.sprintf "slot[%d]" p) V.default);
+    }
+
+  let update t ~pid v = M.write t.slots.(pid) v
+
+  let snapshot t ~pid =
+    ignore pid;
+    (* n reads, one per slot — no atomicity whatsoever *)
+    Array.map M.read t.slots
+end

@@ -1,0 +1,15 @@
+(** The naive "collect": read the n slots one at a time.  NOT atomic —
+    the negative baseline that the linearizability checker must reject
+    (experiment E7b, and exhaustively counted violating schedules in
+    test/test_explore.ml).  Costs n reads per collect. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val update : t -> pid:int -> V.t -> unit
+
+  (** One read per slot, in slot order; no atomicity guarantee
+      whatsoever. *)
+  val snapshot : t -> pid:int -> V.t array
+end

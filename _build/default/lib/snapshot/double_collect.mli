@@ -1,0 +1,19 @@
+(** The "double collect" snapshot: retry until two successive collects of
+    the tagged slots coincide.  Linearizable but only LOCK-FREE: a
+    scheduler that keeps writers writing starves the reader forever (the
+    starvation is demonstrated deterministically in the test suite and in
+    experiment E7a).  The baseline whose failure motivates both the
+    Section 6 scan and the Afek et al. helping technique. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val update : t -> pid:int -> V.t -> unit
+
+  (** [None] if [max_rounds] collects never stabilized (starved). *)
+  val snapshot : ?max_rounds:int -> t -> pid:int -> V.t array option
+
+  (** @raise Failure on starvation. *)
+  val snapshot_exn : ?max_rounds:int -> t -> pid:int -> V.t array
+end

@@ -1,0 +1,38 @@
+(** The iterated immediate snapshot (IIS) model and approximate
+    agreement inside it — realizing the tight Hoest-Shavit constants the
+    paper quotes after Lemma 6 (log3 for two processes, log2 for three
+    or more).  Experiment E11 measures both. *)
+
+module Float_value : Slot_value.S with type t = float
+
+module Make (M : Pram.Memory.S) : sig
+  module IS : module type of Immediate_snapshot.Make (Float_value) (M)
+
+  type t
+
+  (** A fresh chain of [layers] one-shot immediate snapshots. *)
+  val create : procs:int -> layers:int -> t
+
+  val layer_count : t -> int
+
+  (** Run every layer, updating the value by [rule] on each view;
+      one-shot per process. *)
+  val run :
+    t ->
+    pid:int ->
+    rule:(own:float -> view:(int * float) list -> float) ->
+    float ->
+    float
+
+  (** For n = 2: move two-thirds toward the other's value — shrinks the
+      gap by exactly 3 per layer on every schedule, the optimal rate. *)
+  val two_proc_optimal :
+    pid:int -> own:float -> view:(int * float) list -> float
+
+  (** For any n: midpoint of the view's range — factor-2 shrink per
+      layer. *)
+  val midpoint : pid:int -> own:float -> view:(int * float) list -> float
+
+  (** [ceil(log_base (delta /. epsilon))], clamped at 0. *)
+  val layers_needed : base:float -> delta:float -> epsilon:float -> int
+end

@@ -1,0 +1,24 @@
+(** One-shot immediate snapshot (Borowsky-Gafni participating-set
+    algorithm) — the building block of the iterated snapshot model in
+    which Hoest and Shavit proved the paper's approximate-agreement
+    constants tight (quoted after Lemma 6).
+
+    Each participant contributes one value and receives a view
+    satisfying:
+    - self-inclusion: own pair present;
+    - containment: any two views are inclusion-ordered;
+    - immediacy: if q's pair is in p's view then q's view is included in
+      p's view.
+
+    Wait-free, O(n^2) reads.  The properties are qcheck-tested up to 6
+    processes and verified exhaustively (with crash branching) for 2. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** One-shot: at most one call per process.  Returns the view as
+      (pid, value) pairs sorted by pid. *)
+  val participate : t -> pid:int -> V.t -> (int * V.t) list
+end

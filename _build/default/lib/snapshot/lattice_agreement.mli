@@ -1,0 +1,45 @@
+(** One-shot lattice agreement — the technique the paper's Section 2
+    singles out as "closely related to the semilattice construction we
+    use in Section 6" and the basis of asymptotically faster snapshots
+    (Attiya-Rachman).
+
+    Each process proposes once and outputs a value such that:
+    - validity: own proposal <= output <= join of all proposals;
+    - comparability: any two outputs are ordered.
+
+    Values are sets of process ids (each pid standing for that process's
+    proposal); to run lattice agreement over an arbitrary semilattice,
+    map the output's members to their proposed elements and join them. *)
+
+module Pid_set : Set.S with type elt = int
+
+module type S = sig
+  type t
+
+  val create : procs:int -> t
+
+  (** One-shot: at most one call per process; the input must contain the
+      caller's own pid (usually the singleton).
+      @raise Invalid_argument otherwise. *)
+  val propose : t -> pid:int -> Pid_set.t -> Pid_set.t
+
+  (** Exact shared reads of one [propose], for experiment E10. *)
+  val reads_per_propose : procs:int -> int
+end
+
+(** Lattice agreement as one Section 6 scan: O(n^2) reads. *)
+module Via_scan (M : Pram.Memory.S) : S
+
+(** The Attiya-Rachman style classifier tree: processes descend a binary
+    tree of depth ceil(log2 n); the vertex with threshold k sends a
+    process right (with the union of everything it saw there) when that
+    union exceeds k proposals, left (unchanged) otherwise.  Write-once
+    slots per vertex make written sets grow monotonically, which gives
+    the classifier property and comparability.  O(n log n) reads — the
+    asymptotic improvement of experiment E10. *)
+module Classifier (M : Pram.Memory.S) : S
+
+(** [valid ~own ~all output]: the validity condition. *)
+val valid : own:Pid_set.t -> all:Pid_set.t -> Pid_set.t -> bool
+
+val comparable : Pid_set.t -> Pid_set.t -> bool

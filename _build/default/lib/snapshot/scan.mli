@@ -1,0 +1,46 @@
+(** The atomic scan of Section 6 (Figure 5): a wait-free linearizable
+    join-semilattice accumulator over an n x (n+2) grid of single-writer
+    registers.
+
+    The object has two operations (Section 6): [Write_l v], which folds
+    [v] into the abstract join (discarding the scan's internal value),
+    and [Read_max], which returns the join of all earlier writes.  Any
+    two internal scan values are lattice-comparable (Lemma 32), which
+    yields linearizability (Theorem 33).
+
+    NOTE: the combined primitive [scan] — contribute and read the join
+    atomically — is strictly stronger than the paper's object and is NOT
+    linearizable as a single operation; use [write_l] / [read_max] for
+    the linearizable object.  (The test suite exhibits a concrete
+    counterexample; see test/test_snapshot.ml.) *)
+
+type variant =
+  | Plain  (** exactly Figure 5's counted cost: n^2+n+1 reads, n+2 writes *)
+  | Optimized
+      (** the Section 6.2 optimizations: n^2-1 reads, n+1 writes
+          (own-row mirroring and no final write) *)
+
+module Make (L : Semilattice.S) (M : Pram.Memory.S) : sig
+  type t
+
+  (** Allocate the grid for [procs] processes.
+      @raise Invalid_argument if [procs <= 0]. *)
+  val create : procs:int -> t
+
+  (** The raw Scan(P, v) primitive of Figure 5: fold [v] into P's row and
+      return the accumulated join.  Building block for [write_l] and
+      [read_max]; not itself atomic (see above). *)
+  val scan : ?variant:variant -> t -> pid:int -> L.t -> L.t
+
+  (** Contribute a value to the join (the object's write operation). *)
+  val write_l : ?variant:variant -> t -> pid:int -> L.t -> unit
+
+  (** Return the join of all earlier contributions (the object's read
+      operation). *)
+  val read_max : ?variant:variant -> t -> pid:int -> L.t
+end
+
+(** Exact per-Scan access counts of Section 6.2: [(reads, writes)] for
+    one Scan among [procs] processes.  Experiment E5 checks measured
+    executions against these as equalities. *)
+val cost_formula : procs:int -> variant -> int * int

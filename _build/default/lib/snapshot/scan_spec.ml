@@ -1,0 +1,66 @@
+(* Sequential specification of the atomic scan object (Section 6):
+
+     "in any history H, the value returned by a ReadMax(P) operation is
+      the join of the values written by earlier Write_L(Q, v) operations"
+
+   The object's operations are [Write_l v] (no return value) and
+   [Read_max] (returns the join so far).  Note that the raw Scan(P, v)
+   primitive — contribute v AND return the join, atomically — is strictly
+   stronger and is NOT what Theorem 33 promises: the value a Write_L's
+   internal scan computes is discarded, and only this discarding makes the
+   object linearizable.  (A combined fetch-and-join can return a value
+   containing a contribution that a later-linearized Write_L made, which
+   no sequential order explains.  Our test suite documents this with a
+   counterexample; see test_snapshot.ml.)
+
+   Algebra: Write_l operations commute (join is commutative); every
+   operation overwrites Read_max; Write_l b overwrites Write_l a whenever
+   a <= b.  Unlike the combined Scan, this object satisfies Property 1
+   whenever the lattice is a total order; for general lattices two
+   incomparable writes still commute, so Property 1 holds outright. *)
+
+module Make (L : Semilattice.S) :
+  Spec.Object_spec.S
+    with type state = L.t
+     and type operation = [ `Write_l of L.t | `Read_max ]
+     and type response = [ `Unit | `Join of L.t ] = struct
+  type state = L.t
+  type operation = [ `Write_l of L.t | `Read_max ]
+  type response = [ `Unit | `Join of L.t ]
+
+  let initial = L.bottom
+
+  let apply s = function
+    | `Write_l v -> (L.join s v, `Unit)
+    | `Read_max -> (s, `Join s)
+
+  let commutes p q =
+    match (p, q) with
+    | `Write_l _, `Write_l _ -> true
+    | `Read_max, `Read_max -> true
+    | (`Write_l _ | `Read_max), (`Write_l _ | `Read_max) -> false
+
+  let overwrites q p =
+    match (q, p) with
+    | `Write_l b, `Write_l a -> Semilattice.leq (module L) a b
+    | (`Write_l _ | `Read_max), `Read_max -> true
+    | `Read_max, `Write_l _ -> false
+
+  let equal_state = L.equal
+
+  let equal_response a b =
+    match (a, b) with
+    | `Unit, `Unit -> true
+    | `Join x, `Join y -> L.equal x y
+    | `Unit, `Join _ | `Join _, `Unit -> false
+
+  let pp_operation ppf = function
+    | `Write_l v -> Format.fprintf ppf "write_l(%a)" L.pp v
+    | `Read_max -> Format.pp_print_string ppf "read_max"
+
+  let pp_response ppf = function
+    | `Unit -> Format.pp_print_string ppf "()"
+    | `Join v -> L.pp ppf v
+
+  let pp_state = L.pp
+end

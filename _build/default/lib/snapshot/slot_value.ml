@@ -1,0 +1,28 @@
+(* The value type stored in snapshot slots: every snapshot implementation
+   in this library is a functor over it. *)
+
+module type S = sig
+  type t
+
+  val default : t
+  (** Initial content of every slot. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int : S with type t = int = struct
+  type t = int
+
+  let default = 0
+  let equal = Stdlib.Int.equal
+  let pp = Format.pp_print_int
+end
+
+module String : S with type t = string = struct
+  type t = string
+
+  let default = ""
+  let equal = Stdlib.String.equal
+  let pp = Format.pp_print_string
+end

@@ -1,0 +1,44 @@
+(* Atomic snapshots of an array of single-writer slots, built on the
+   Section 6 scan exactly as the paper describes at the end of Section 6.1:
+
+     "we make each value an n-element array of pointers ... Each array
+      entry has an associated tag, and the maximum of two entries is the
+      one with the higher tag.  The join of two values is the element-wise
+      maximum of the two arrays."
+
+   Process P's [update] bumps P's private tag and contributes a vector
+   that is bottom everywhere except position P; [snapshot] contributes
+   bottom and reads back the join — an instantaneous picture of all
+   slots.  Tags are sound because each slot has a single writer. *)
+
+module Make
+    (V : Slot_value.S)
+    (M : Pram.Memory.S) =
+struct
+  module Slot = Semilattice.Tagged (V)
+  module Lat = Semilattice.Vector (Slot)
+  module Scanner = Scan.Make (Lat) (M)
+
+  type t = {
+    procs : int;
+    scanner : Scanner.t;
+    seq : int array;  (* per-process private tag counters *)
+  }
+
+  let create ~procs = { procs; scanner = Scanner.create ~procs; seq = Array.make procs 0 }
+
+  let update ?variant t ~pid v =
+    t.seq.(pid) <- t.seq.(pid) + 1;
+    let contribution =
+      Lat.singleton ~width:t.procs pid (Slot.make ~tag:t.seq.(pid) v)
+    in
+    Scanner.write_l ?variant t.scanner ~pid contribution
+
+  (* Raw (tag, value) view: tag 0 means "never updated". *)
+  let snapshot_tagged ?variant t ~pid =
+    let joined = Scanner.read_max ?variant t.scanner ~pid in
+    if Array.length joined = 0 then Array.make t.procs Slot.bottom else joined
+
+  let snapshot ?variant t ~pid =
+    Array.map Slot.value (snapshot_tagged ?variant t ~pid)
+end

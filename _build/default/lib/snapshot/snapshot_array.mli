@@ -1,0 +1,30 @@
+(** Atomic snapshots of an n-slot single-writer array, built on the
+    Section 6 scan exactly as the paper describes: each slot is a
+    {!Semilattice.Tagged} value (the join keeps the higher tag; tags are
+    per-writer sequence numbers), and the array is a
+    {!Semilattice.Vector} of slots.
+
+    [update] costs one scan ([write_l]); [snapshot] costs one scan
+    ([read_max]): O(n^2) reads, O(n) writes each.  Linearizability is
+    checked by the test suite against {!Array_spec}, both under random
+    schedules with crashes and exhaustively on small configurations. *)
+
+module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+  module Slot : module type of Semilattice.Tagged (V)
+
+  type t
+
+  val create : procs:int -> t
+
+  (** Store [v] in the caller's slot. *)
+  val update : ?variant:Scan.variant -> t -> pid:int -> V.t -> unit
+
+  (** An instantaneous view of all slots ([V.default] for never-updated
+      slots). *)
+  val snapshot : ?variant:Scan.variant -> t -> pid:int -> V.t array
+
+  (** The raw view including per-slot tags (0 = never updated); the
+      universal construction uses the tags as operation sequence
+      numbers. *)
+  val snapshot_tagged : ?variant:Scan.variant -> t -> pid:int -> Slot.t array
+end

@@ -1,0 +1,1 @@
+lib/spec/counter_spec.ml: Format Int

@@ -1,0 +1,1 @@
+lib/spec/gset_spec.ml: Format Int Set

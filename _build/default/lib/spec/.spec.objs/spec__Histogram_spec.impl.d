@@ -1,0 +1,1 @@
+lib/spec/histogram_spec.ml: Format Int Map

@@ -1,0 +1,1 @@
+lib/spec/max_register_spec.ml: Format Int

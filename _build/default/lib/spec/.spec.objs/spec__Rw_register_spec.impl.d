@@ -1,0 +1,1 @@
+lib/spec/rw_register_spec.ml: Format Int

@@ -1,0 +1,1 @@
+lib/spec/sticky_spec.ml: Format Int Option

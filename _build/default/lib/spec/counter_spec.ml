@@ -1,0 +1,63 @@
+(* The counter data type of Section 5.1 — the paper's worked example of a
+   Property-1 object:
+
+     "inc and dec operations commute, every operation overwrites read, and
+      reset overwrites every operation."
+
+   Operations: [Inc n], [Dec n] (n >= 0), [Reset n], [Read]. *)
+
+type operation =
+  | Inc of int
+  | Dec of int
+  | Reset of int
+  | Read
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+let initial = 0
+
+let apply s = function
+  | Inc n -> (s + n, Unit)
+  | Dec n -> (s - n, Unit)
+  | Reset n -> (n, Unit)
+  | Read -> (s, Value s)
+
+(* inc/dec commute with each other; reads commute with reads (identical
+   responses, unchanged state); nothing else commutes. *)
+let commutes p q =
+  match (p, q) with
+  | (Inc _ | Dec _), (Inc _ | Dec _) -> true
+  | Read, Read -> true
+  | (Inc _ | Dec _ | Reset _ | Read), (Inc _ | Dec _ | Reset _ | Read) -> false
+
+(* [overwrites q p]: reset overwrites everything; every operation
+   overwrites read (read leaves the state unchanged), including read
+   itself (mutual — ties broken by process index via dominance). *)
+let overwrites q p =
+  match (q, p) with
+  | Reset _, (Inc _ | Dec _ | Reset _ | Read) -> true
+  | (Inc _ | Dec _ | Read), Read -> true
+  | (Inc _ | Dec _ | Read), (Inc _ | Dec _ | Reset _) -> false
+
+let equal_state = Int.equal
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Value x, Value y -> Int.equal x y
+  | Unit, Value _ | Value _, Unit -> false
+
+let pp_operation ppf = function
+  | Inc n -> Format.fprintf ppf "inc(%d)" n
+  | Dec n -> Format.fprintf ppf "dec(%d)" n
+  | Reset n -> Format.fprintf ppf "reset(%d)" n
+  | Read -> Format.pp_print_string ppf "read"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Value v -> Format.pp_print_int ppf v
+
+let pp_state = Format.pp_print_int

@@ -1,0 +1,65 @@
+(* A grow-only set with bulk clear — one of the "certain kinds of set
+   abstractions" the paper lists as constructible (Section 1).
+
+   [Add x] operations commute; every operation overwrites [Members];
+   [Clear] overwrites everything.  [Remove] would break Property 1
+   (add and remove of the same element neither commute nor overwrite each
+   other), which is why it is absent. *)
+
+module Int_set = Set.Make (Int)
+
+type operation =
+  | Add of int
+  | Clear
+  | Members
+
+type response =
+  | Unit
+  | Elements of int list  (** sorted ascending *)
+
+type state = Int_set.t
+
+let initial = Int_set.empty
+
+let apply s = function
+  | Add x -> (Int_set.add x s, Unit)
+  | Clear -> (Int_set.empty, Unit)
+  | Members -> (s, Elements (Int_set.elements s))
+
+let commutes p q =
+  match (p, q) with
+  | Add _, Add _ -> true
+  | Members, Members -> true
+  (* add x commutes with clear? no: clear-then-add = {x}, add-then-clear = {} *)
+  | (Add _ | Clear | Members), (Add _ | Clear | Members) -> false
+
+let overwrites q p =
+  match (q, p) with
+  | Clear, (Add _ | Clear | Members) -> true
+  | (Add _ | Members), Members -> true
+  | Add x, Add y -> x = y
+  | (Add _ | Members), (Add _ | Clear) -> false
+
+let equal_state = Int_set.equal
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Elements x, Elements y -> x = y
+  | Unit, Elements _ | Elements _, Unit -> false
+
+let pp_operation ppf = function
+  | Add x -> Format.fprintf ppf "add(%d)" x
+  | Clear -> Format.pp_print_string ppf "clear"
+  | Members -> Format.pp_print_string ppf "members"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Elements l ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        l
+
+let pp_state ppf s = pp_response ppf (Elements (Int_set.elements s))

@@ -1,0 +1,77 @@
+(* A histogram (multiset of observations) — a larger constructible
+   "set abstraction" in the sense of Section 1.
+
+   [Observe (bucket, weight)] operations commute (multiset sums are
+   commutative); every operation overwrites the read-only queries
+   [Count bucket] and [Total]; [Reset_all] overwrites everything.  The
+   same algebra as the counter, lifted to a keyed collection — the spec
+   demonstrates that Property 1 objects compose naturally. *)
+
+module Int_map = Map.Make (Int)
+
+type operation =
+  | Observe of int * int  (* bucket, weight (weight >= 0) *)
+  | Count of int  (* read one bucket *)
+  | Total  (* read the sum of all buckets *)
+  | Reset_all
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int Int_map.t
+
+let initial = Int_map.empty
+
+let bucket_value s b =
+  match Int_map.find_opt b s with Some v -> v | None -> 0
+
+let apply s = function
+  | Observe (b, w) -> (Int_map.add b (bucket_value s b + w) s, Unit)
+  | Count b -> (s, Value (bucket_value s b))
+  | Total -> (s, Value (Int_map.fold (fun _ v acc -> acc + v) s 0))
+  | Reset_all -> (Int_map.empty, Unit)
+
+let is_query = function
+  | Count _ | Total -> true
+  | Observe _ | Reset_all -> false
+
+let commutes p q =
+  match (p, q) with
+  | Observe _, Observe _ -> true
+  | (Count _ | Total), (Count _ | Total) -> true
+  | (Observe _ | Count _ | Total | Reset_all), _ -> false
+
+let overwrites q p =
+  match (q, p) with
+  | Reset_all, _ -> true
+  | (Observe _ | Count _ | Total), p when is_query p -> true
+  | (Observe _ | Count _ | Total), _ -> false
+
+(* Canonical states: never store zero buckets (so equal states are
+   structurally equal and print canonically for the checker). *)
+let normalize s = Int_map.filter (fun _ v -> v <> 0) s
+let equal_state a b = Int_map.equal Int.equal (normalize a) (normalize b)
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Value x, Value y -> Int.equal x y
+  | Unit, Value _ | Value _, Unit -> false
+
+let pp_operation ppf = function
+  | Observe (b, w) -> Format.fprintf ppf "observe(%d,%d)" b w
+  | Count b -> Format.fprintf ppf "count(%d)" b
+  | Total -> Format.pp_print_string ppf "total"
+  | Reset_all -> Format.pp_print_string ppf "reset_all"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Value v -> Format.pp_print_int ppf v
+
+let pp_state ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (b, v) -> Format.fprintf ppf "%d->%d" b v))
+    (Int_map.bindings (normalize s))

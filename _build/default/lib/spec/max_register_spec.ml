@@ -1,0 +1,52 @@
+(* A max-register, which doubles as a Lamport logical clock [33]: the
+   state is the largest value ever written.
+
+   [Write_max] operations commute (max is commutative); every operation
+   overwrites [Read_max]; and [Write_max a] is overwritten by
+   [Write_max b] whenever [a <= b]. *)
+
+type operation =
+  | Write_max of int
+  | Read_max
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+let initial = 0
+
+let apply s = function
+  | Write_max v -> (max s v, Unit)
+  | Read_max -> (s, Value s)
+
+let commutes p q =
+  match (p, q) with
+  | Write_max _, Write_max _ -> true
+  | Read_max, Read_max -> true
+  | (Write_max _ | Read_max), (Write_max _ | Read_max) -> false
+
+let overwrites q p =
+  match (q, p) with
+  | Write_max b, Write_max a -> a <= b
+  | (Write_max _ | Read_max), Read_max -> true
+  | Read_max, Write_max _ -> false
+
+let equal_state = Int.equal
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Value x, Value y -> Int.equal x y
+  | Unit, Value _ | Value _, Unit -> false
+
+let pp_operation ppf = function
+  | Write_max v -> Format.fprintf ppf "write_max(%d)" v
+  | Read_max -> Format.pp_print_string ppf "read_max"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Value v -> Format.pp_print_int ppf v
+
+let pp_state = Format.pp_print_int

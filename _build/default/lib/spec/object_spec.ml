@@ -1,0 +1,110 @@
+(* Sequential object specifications and their operation algebra.
+
+   Section 5 of the paper characterizes constructible objects by two
+   relations over *invocations* of their sequential specification:
+
+   - p and q COMMUTE (Definition 10) if, from any legal history, applying
+     them in either order yields legal, equivalent histories;
+   - q OVERWRITES p (Definition 11) if appending p then q is equivalent to
+     appending q alone.
+
+   Property 1: every pair of operations either commutes, or one overwrites
+   the other.  Such objects admit the wait-free implementation of
+   Figure 4 ([Universal.Make]).
+
+   The definitions quantify over all histories, which is undecidable in
+   general, so a spec *declares* its [commutes] and [overwrites] relations.
+   The declarations are proof obligations; [Algebra] below provides
+   pointwise checkers at a given state, and the test suite discharges the
+   obligations by qcheck over random reachable states (sound because our
+   specs use canonical state representations, where state equality implies
+   history equivalence). *)
+
+module type S = sig
+  type state
+  type operation
+  type response
+
+  val initial : state
+
+  val apply : state -> operation -> state * response
+  (** Total and deterministic, per Section 3.2 of the paper. *)
+
+  val commutes : operation -> operation -> bool
+  (** Declared Definition-10 relation; must be symmetric. *)
+
+  val overwrites : operation -> operation -> bool
+  (** [overwrites q p]: appending [p] then [q] is equivalent to appending
+      [q] alone (Definition 11: "q overwrites p"). *)
+
+  val equal_state : state -> state -> bool
+  val equal_response : response -> response -> bool
+  val pp_operation : Format.formatter -> operation -> unit
+  val pp_response : Format.formatter -> response -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+(* Definition 14.  Process indices break ties between mutually
+   overwriting operations; [dominates] is then a strict partial order
+   (Lemma 15). *)
+let dominates (type op) (module O : S with type operation = op) ~p ~p_pid ~q
+    ~q_pid =
+  O.overwrites p q && ((not (O.overwrites q p)) || p_pid > q_pid)
+
+(* Property 1 for a specific pair. *)
+let property1_pair (type op) (module O : S with type operation = op) p q =
+  O.commutes p q || O.overwrites p q || O.overwrites q p
+
+module Algebra (O : S) = struct
+  (* Do p and q commute when applied at state [s]?  This is the pointwise
+     content of Definition 10: both orders must produce the same responses
+     for p and for q, and equivalent states. *)
+  let commutes_at s p q =
+    let s_p, r_p = O.apply s p in
+    let s_pq, r_q_after_p = O.apply s_p q in
+    let s_q, r_q = O.apply s q in
+    let s_qp, r_p_after_q = O.apply s_q p in
+    O.equal_response r_p r_p_after_q
+    && O.equal_response r_q r_q_after_p
+    && O.equal_state s_pq s_qp
+
+  (* Does q overwrite p at state [s]?  Pointwise Definition 11. *)
+  let overwrites_at s ~q ~p =
+    let s_p, _ = O.apply s p in
+    let s_pq, r_q_after_p = O.apply s_p q in
+    let s_q, r_q = O.apply s q in
+    O.equal_response r_q r_q_after_p && O.equal_state s_pq s_q
+
+  (* Run a sequence of operations from a state, returning the final state
+     and the responses in order. *)
+  let run s ops =
+    let state = ref s in
+    let responses =
+      List.map
+        (fun op ->
+          let s', r = O.apply !state op in
+          state := s';
+          r)
+        ops
+    in
+    (!state, responses)
+
+  let reach ops = fst (run O.initial ops)
+
+  (* Check the declared relations against their pointwise meaning at
+     state [s]; returns a human-readable violation if any. *)
+  let check_declarations_at s p q =
+    let fail fmt = Format.kasprintf Option.some fmt in
+    if O.commutes p q && not (commutes_at s p q) then
+      fail "declared commute fails at state %a: %a vs %a" O.pp_state s
+        O.pp_operation p O.pp_operation q
+    else if O.commutes p q && not (O.commutes q p) then
+      fail "commutes not symmetric: %a vs %a" O.pp_operation p O.pp_operation q
+    else if O.overwrites q p && not (overwrites_at s ~q ~p) then
+      fail "declared overwrite fails at state %a: %a overwrites %a"
+        O.pp_state s O.pp_operation q O.pp_operation p
+    else None
+
+  (* Property-1 check for a pair, with declared relations. *)
+  let property1 p q = property1_pair (module O) p q
+end

@@ -1,0 +1,78 @@
+(** Sequential object specifications and the operation algebra of
+    Section 5.1.
+
+    A specification declares its [commutes] (Definition 10) and
+    [overwrites] (Definition 11) relations; Property 1 — every pair of
+    operations commutes or one overwrites the other — is what makes an
+    object constructible by the Figure 4 universal construction.
+
+    The definitions quantify over all histories, so declarations are
+    proof obligations; {!Algebra} provides their pointwise meaning at a
+    given state, and the test suite discharges the obligations by qcheck
+    over random reachable states (sound for specs with canonical state
+    representations, as all of ours are). *)
+
+module type S = sig
+  type state
+  type operation
+  type response
+
+  val initial : state
+
+  val apply : state -> operation -> state * response
+  (** Total and deterministic (Section 3.2). *)
+
+  val commutes : operation -> operation -> bool
+  (** Declared Definition-10 relation; must be symmetric. *)
+
+  val overwrites : operation -> operation -> bool
+  (** [overwrites q p]: appending [p] then [q] is equivalent to
+      appending [q] alone (Definition 11: "q overwrites p"). *)
+
+  val equal_state : state -> state -> bool
+  val equal_response : response -> response -> bool
+  val pp_operation : Format.formatter -> operation -> unit
+  val pp_response : Format.formatter -> response -> unit
+
+  val pp_state : Format.formatter -> state -> unit
+  (** Must print canonically: equal states print equally (the
+      linearizability checker keys its memo table on this). *)
+end
+
+(** Definition 14: [p] (of process [p_pid]) dominates [q] (of [q_pid]) if
+    [p] overwrites [q] and either [q] does not overwrite [p] or
+    [p_pid > q_pid].  A strict partial order (Lemma 15, property-tested). *)
+val dominates :
+  (module S with type operation = 'op) ->
+  p:'op ->
+  p_pid:int ->
+  q:'op ->
+  q_pid:int ->
+  bool
+
+(** Property 1 for one pair, via the declared relations. *)
+val property1_pair : (module S with type operation = 'op) -> 'op -> 'op -> bool
+
+(** Executable pointwise forms of the algebra, for testing declarations
+    and exploring specs. *)
+module Algebra (O : S) : sig
+  (** Do [p] and [q] commute at state [s] (same responses both ways,
+      equivalent final states)? *)
+  val commutes_at : O.state -> O.operation -> O.operation -> bool
+
+  (** Does [q] overwrite [p] at state [s]? *)
+  val overwrites_at : O.state -> q:O.operation -> p:O.operation -> bool
+
+  (** Run a sequence of operations; returns final state and responses. *)
+  val run : O.state -> O.operation list -> O.state * O.response list
+
+  (** State reached from [initial] by a sequence. *)
+  val reach : O.operation list -> O.state
+
+  (** Check the declared relations against their pointwise meaning at a
+      state; [Some message] describes the first violation. *)
+  val check_declarations_at :
+    O.state -> O.operation -> O.operation -> string option
+
+  val property1 : O.operation -> O.operation -> bool
+end

@@ -1,0 +1,64 @@
+(* A FIFO queue — the canonical NON-constructible object.
+
+   The paper (Section 1, citing [23, 26]) notes that queues solve
+   two-process consensus and therefore have no wait-free read/write
+   implementation.  Algebraically this shows up as a Property-1 failure:
+   [Enq x] and [Deq] neither commute (on the empty queue the dequeuer sees
+   different responses depending on the order) nor overwrite one another.
+
+   This spec exists as a negative test input: the property-1 checker must
+   find a counterexample, and [Universal.check_property1] must reject it. *)
+
+type operation =
+  | Enq of int
+  | Deq
+
+type response =
+  | Unit
+  | Dequeued of int option  (** [None] on the empty queue (total spec) *)
+
+type state = int list  (** front of the queue first *)
+
+let initial = []
+
+let apply s = function
+  | Enq x -> (s @ [ x ], Unit)
+  | Deq -> ( match s with [] -> ([], Dequeued None) | x :: rest -> (rest, Dequeued (Some x)))
+
+(* Honest declarations: two enqueues of the same value commute trivially
+   only in the... no — [Enq x; Enq y] vs [Enq y; Enq x] leave different
+   queues unless x = y.  Dequeues never commute with enqueues on all
+   states.  There is deliberately no pair-completion trickery here. *)
+let commutes p q =
+  match (p, q) with
+  | Enq x, Enq y -> x = y
+  | Deq, Deq -> false (* responses differ when the queue has >= 1 element *)
+  | (Enq _ | Deq), (Enq _ | Deq) -> false
+
+let overwrites q p =
+  match (q, p) with
+  | (Enq _ | Deq), (Enq _ | Deq) -> false
+
+let equal_state a b = a = b
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Dequeued x, Dequeued y -> x = y
+  | Unit, Dequeued _ | Dequeued _, Unit -> false
+
+let pp_operation ppf = function
+  | Enq x -> Format.fprintf ppf "enq(%d)" x
+  | Deq -> Format.pp_print_string ppf "deq"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Dequeued None -> Format.pp_print_string ppf "empty"
+  | Dequeued (Some x) -> Format.fprintf ppf "deq->%d" x
+
+let pp_state ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    s

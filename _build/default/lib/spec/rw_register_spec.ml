@@ -1,0 +1,55 @@
+(* A multi-writer read/write register.
+
+   Perhaps surprisingly, this classic object satisfies Property 1: two
+   writes overwrite EACH OTHER (H . write a . write b is equivalent to
+   H . write b, and symmetrically), so the dominance tie-break on process
+   indices orders them; and every operation overwrites a read.  The
+   universal construction therefore yields a wait-free multi-writer
+   register from single-writer registers — a known constructibility
+   result that falls out of the paper's characterization. *)
+
+type operation =
+  | Write of int
+  | Read
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+let initial = 0
+
+let apply s = function
+  | Write v -> (v, Unit)
+  | Read -> (s, Value s)
+
+let commutes p q =
+  match (p, q) with
+  | Write a, Write b -> a = b
+  | Read, Read -> true
+  | (Write _ | Read), (Write _ | Read) -> false
+
+let overwrites q p =
+  match (q, p) with
+  | Write _, (Write _ | Read) -> true
+  | Read, Read -> true
+  | Read, Write _ -> false
+
+let equal_state = Int.equal
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Value x, Value y -> Int.equal x y
+  | Unit, Value _ | Value _, Unit -> false
+
+let pp_operation ppf = function
+  | Write v -> Format.fprintf ppf "write(%d)" v
+  | Read -> Format.pp_print_string ppf "read"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Value v -> Format.pp_print_int ppf v
+
+let pp_state = Format.pp_print_int

@@ -1,0 +1,63 @@
+(* A sticky (write-once) register — the second negative example.
+
+   The first write sticks; later writes are silently ignored.  Sticky
+   registers solve consensus (everyone writes, then reads the winner), so
+   by the impossibility results the paper builds on [23, 26] they have no
+   wait-free read/write implementation — and indeed they fail Property 1:
+   for a != b, [Stick a] and [Stick b] neither commute (the surviving
+   value differs) nor overwrite each other (the FIRST write wins, but
+   Definition 11's overwriting requires the LAST to win).
+
+   Contrast with [Rw_register_spec], where the last write wins and writes
+   mutually overwrite — which is exactly why ordinary registers are
+   constructible but sticky ones are not.  The algebra, not the API
+   shape, decides constructibility. *)
+
+type operation =
+  | Stick of int
+  | Read_sticky
+
+type response =
+  | Unit
+  | Value of int option
+
+type state = int option
+
+let initial = None
+
+let apply s = function
+  | Stick v -> ((match s with None -> Some v | Some _ as kept -> kept), Unit)
+  | Read_sticky -> (s, Value s)
+
+let commutes p q =
+  match (p, q) with
+  | Stick a, Stick b -> a = b
+  | Read_sticky, Read_sticky -> true
+  | (Stick _ | Read_sticky), (Stick _ | Read_sticky) -> false
+
+let overwrites q p =
+  match (q, p) with
+  | Stick b, Stick a -> a = b
+  | (Stick _ | Read_sticky), Read_sticky -> true
+  | Read_sticky, Stick _ -> false
+
+let equal_state = Option.equal Int.equal
+
+let equal_response a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Value x, Value y -> Option.equal Int.equal x y
+  | Unit, Value _ | Value _, Unit -> false
+
+let pp_operation ppf = function
+  | Stick v -> Format.fprintf ppf "stick(%d)" v
+  | Read_sticky -> Format.pp_print_string ppf "read"
+
+let pp_response ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Value None -> Format.pp_print_string ppf "unset"
+  | Value (Some v) -> Format.pp_print_int ppf v
+
+let pp_state ppf = function
+  | None -> Format.pp_print_string ppf "unset"
+  | Some v -> Format.pp_print_int ppf v

@@ -1,0 +1,1 @@
+lib/universal/construction.ml: Array Format Hashtbl Lingraph List Pram Snapshot Spec

@@ -1,0 +1,1 @@
+lib/universal/construction.mli: Pram Spec

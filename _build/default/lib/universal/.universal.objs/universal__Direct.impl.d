@@ -1,0 +1,1 @@
+lib/universal/direct.ml: Array Format Int List Pram Semilattice Snapshot

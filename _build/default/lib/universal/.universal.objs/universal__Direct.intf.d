@@ -1,0 +1,1 @@
+lib/universal/direct.mli: Pram

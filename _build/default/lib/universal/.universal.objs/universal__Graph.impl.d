@@ -1,0 +1,1 @@
+lib/universal/graph.ml: Array Int List Random Set

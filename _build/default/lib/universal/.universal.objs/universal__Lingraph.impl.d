@@ -1,0 +1,1 @@
+lib/universal/lingraph.ml: Graph List

@@ -1,0 +1,1 @@
+lib/universal/pseudo_rmw.ml: Array Format List Pram Semilattice Snapshot

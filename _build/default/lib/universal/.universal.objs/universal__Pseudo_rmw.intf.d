@@ -1,0 +1,1 @@
+lib/universal/pseudo_rmw.mli: Format Pram

@@ -1,0 +1,204 @@
+(* The wait-free universal construction of Figure 4 (Section 5.4).
+
+   Any object whose operations pairwise commute or overwrite (Property 1)
+   gets a wait-free linearizable implementation from single-writer
+   registers:
+
+   - the object is represented by its PRECEDENCE GRAPH of entries, rooted
+     in an n-slot anchor array where slot P points to P's latest entry;
+   - to execute an operation, a process (1) takes an atomic snapshot of
+     the anchor (the Section 6 scan), (2) builds the linearization graph
+     (Figure 3) of every entry reachable from the snapshot, (3) replays
+     the canonical linearization through the sequential specification to
+     compute its response, and (4) publishes a new entry, whose
+     [preceding] array is the snapshot, with a single write (via the
+     scan-based anchor update);
+   - Theorem 26 shows the shared graph always remains linearizable,
+     because dominated operations sit before their dominators and
+     commuting operations may be ordered freely (Lemmas 16-25).
+
+   Each operation costs one snapshot plus one anchor update — O(n^2)
+   reads and writes of synchronization overhead (experiment E6) — plus
+   the local graph work, which grows with the object's history and is the
+   price of full generality (the paper's closing remark in Section 5.4;
+   see [Direct] for the type-specific optimizations it alludes to). *)
+
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
+  type entry = {
+    e_pid : int;
+    e_seq : int;  (* per-process operation counter, from 1 *)
+    e_op : O.operation;
+    e_resp : O.response;
+    e_preceding : entry option array;  (* the snapshot at creation *)
+  }
+
+  (* Entries are uniquely identified by (pid, seq); equality on slots is
+     identity on those keys. *)
+  module Anchor_value = struct
+    type t = entry option
+
+    let default = None
+
+    let equal a b =
+      match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> x.e_pid = y.e_pid && x.e_seq = y.e_seq
+      | None, Some _ | Some _, None -> false
+
+    let pp ppf = function
+      | None -> Format.pp_print_string ppf "-"
+      | Some e -> Format.fprintf ppf "%a@@p%d.%d" O.pp_operation e.e_op e.e_pid e.e_seq
+  end
+
+  module Anchor = Snapshot.Snapshot_array.Make (Anchor_value) (M)
+
+  type t = {
+    procs : int;
+    anchor : Anchor.t;
+    seq : int array;  (* private per-process counters *)
+  }
+
+  let create ~procs =
+    { procs; anchor = Anchor.create ~procs; seq = Array.make procs 0 }
+
+  (* Collect every entry reachable from the view through [preceding]
+     pointers.  Entries are keyed by (pid, seq). *)
+  let collect_entries view =
+    let table = Hashtbl.create 64 in
+    let rec visit = function
+      | None -> ()
+      | Some e ->
+          let key = (e.e_pid, e.e_seq) in
+          if not (Hashtbl.mem table key) then begin
+            Hashtbl.add table key e;
+            Array.iter visit e.e_preceding
+          end
+    in
+    Array.iter visit view;
+    table
+
+  (* Canonical node numbering: (pid, seq) lexicographic is NOT consistent
+     with precedence; instead sort by a precedence-respecting key.  Every
+     [preceding] pointer goes from a new entry to strictly older ones, so
+     the DEPTH of an entry (longest preceding-chain) is a precedence
+     rank; ties broken by (pid, seq) give a canonical order that every
+     process computes identically from the same graph. *)
+  let order_entries table =
+    let depth_memo = Hashtbl.create 64 in
+    let rec depth e =
+      let key = (e.e_pid, e.e_seq) in
+      match Hashtbl.find_opt depth_memo key with
+      | Some d -> d
+      | None ->
+          let d =
+            Array.fold_left
+              (fun acc pred ->
+                match pred with
+                | None -> acc
+                | Some p -> max acc (1 + depth p))
+              0 e.e_preceding
+          in
+          Hashtbl.add depth_memo key d;
+          d
+    in
+    let nodes = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
+    List.sort
+      (fun a b ->
+        let c = compare (depth a) (depth b) in
+        if c <> 0 then c else compare (a.e_pid, a.e_seq) (b.e_pid, b.e_seq))
+      nodes
+
+  (* The linearization of the graph rooted at [view]: Figure 4's line 7. *)
+  let linearization_of_view view =
+    let table = collect_entries view in
+    let nodes = Array.of_list (order_entries table) in
+    let k = Array.length nodes in
+    let index = Hashtbl.create 64 in
+    Array.iteri (fun i e -> Hashtbl.add index (e.e_pid, e.e_seq) i) nodes;
+    let precedence_edges = ref [] in
+    Array.iteri
+      (fun i e ->
+        Array.iter
+          (function
+            | None -> ()
+            | Some p ->
+                let j = Hashtbl.find index (p.e_pid, p.e_seq) in
+                (* p precedes e: edge j -> i *)
+                precedence_edges := (j, i) :: !precedence_edges)
+          e.e_preceding)
+      nodes;
+    let dominates i j =
+      let a = nodes.(i) and b = nodes.(j) in
+      Spec.Object_spec.dominates
+        (module O)
+        ~p:a.e_op ~p_pid:a.e_pid ~q:b.e_op ~q_pid:b.e_pid
+    in
+    let order =
+      Lingraph.linearize ~nodes:k ~precedence_edges:!precedence_edges
+        ~dominates
+    in
+    List.map (fun i -> nodes.(i)) order
+
+  (* Replay a linearization through the sequential specification. *)
+  let state_of_linearization lin =
+    List.fold_left (fun s e -> fst (O.apply s e.e_op)) O.initial lin
+
+  (* Figure 4: execute an invocation. *)
+  let execute t ~pid op =
+    (* Step 1: atomic snapshot of the anchor, linearize, compute the
+       response. *)
+    let view = Anchor.snapshot t.anchor ~pid in
+    let lin = linearization_of_view view in
+    let state = state_of_linearization lin in
+    let _, resp = O.apply state op in
+    t.seq.(pid) <- t.seq.(pid) + 1;
+    let e =
+      {
+        e_pid = pid;
+        e_seq = t.seq.(pid);
+        e_op = op;
+        e_resp = resp;
+        e_preceding = view;
+      }
+    in
+    (* Step 2: write out the entry. *)
+    Anchor.update t.anchor ~pid (Some e);
+    resp
+
+  (* Read-only variant: linearizes the current graph and applies [op] to
+     the resulting state without publishing an entry.  Valid only for
+     operations that do not change the state (e.g. a counter's read); the
+     result is still linearizable because such operations commute with or
+     are overwritten by everything.  Exposed for the E9 ablation. *)
+  let query t ~pid op =
+    let view = Anchor.snapshot t.anchor ~pid in
+    let state = state_of_linearization (linearization_of_view view) in
+    snd (O.apply state op)
+
+  (* Introspection for tests and benches. *)
+  let history_size t ~pid =
+    let view = Anchor.snapshot t.anchor ~pid in
+    Hashtbl.length (collect_entries view)
+end
+
+(* Check Property 1 over a finite universe of operations; returns the
+   first violating pair.  The universal construction is only correct for
+   objects satisfying Property 1 (e.g. it must reject the queue). *)
+let check_property1 (type op) (module O : Spec.Object_spec.S with type operation = op)
+    (ops : op list) =
+  let violation =
+    List.find_map
+      (fun p ->
+        List.find_map
+          (fun q ->
+            if Spec.Object_spec.property1_pair (module O) p q then None
+            else Some (p, q))
+          ops)
+      ops
+  in
+  match violation with
+  | None -> Ok ()
+  | Some (p, q) ->
+      Error
+        (Format.asprintf "operations %a and %a neither commute nor overwrite"
+           O.pp_operation p O.pp_operation q)

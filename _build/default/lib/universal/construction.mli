@@ -1,0 +1,50 @@
+(** The wait-free universal construction of Figure 4 (Section 5.4): a
+    linearizable implementation of ANY object satisfying Property 1
+    (operations pairwise commute or overwrite) from single-writer
+    registers.
+
+    Per operation: one atomic snapshot of the anchor array plus one
+    anchor update — 2 scans, i.e. O(n^2) reads and writes of
+    synchronization (experiment E6, exact) — plus local linearization
+    work over the precedence graph, which grows with the object's
+    history (the generality tax measured by the E9 ablation; see
+    {!Direct} for the paper's suggested type-specific optimizations).
+
+    Correctness (Theorem 26 / Corollary 27) is exercised by the test
+    suite: histories of counters, grow-only sets, max-registers,
+    multi-writer registers and histograms are checked linearizable under
+    random schedules with crash injection. *)
+
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) : sig
+  type entry = {
+    e_pid : int;
+    e_seq : int;  (** per-process operation counter, from 1 *)
+    e_op : O.operation;
+    e_resp : O.response;
+    e_preceding : entry option array;  (** the snapshot at creation *)
+  }
+
+  type t
+
+  val create : procs:int -> t
+
+  (** Figure 4's [execute]: snapshot, linearize, respond, publish. *)
+  val execute : t -> pid:int -> O.operation -> O.response
+
+  (** Compute the response [op] would get from the current state without
+      publishing an entry — valid only for state-preserving operations
+      (reads/queries); cheaper and history-neutral. *)
+  val query : t -> pid:int -> O.operation -> O.response
+
+  (** Number of entries reachable from the caller's current view (the
+      precedence-graph size); test/bench introspection. *)
+  val history_size : t -> pid:int -> int
+end
+
+(** Check Property 1 over a finite operation universe; [Error] carries
+    the first violating pair.  Counters, registers, sets and histograms
+    pass; queues and sticky registers are rejected. *)
+val check_property1 :
+  (module Spec.Object_spec.S with type operation = 'op) ->
+  'op list ->
+  (unit, string) result

@@ -1,0 +1,212 @@
+(* Type-specific optimizations (Section 5.4's closing remark).
+
+   The generic Figure 4 construction keeps the whole precedence graph;
+   for concrete data types "it should be possible to apply type-specific
+   optimizations to discard most of the precedence graph".  These modules
+   do exactly that: they represent the object's state directly as a
+   join-semilattice and use the Section 6 scan, so an operation costs one
+   scan — O(n^2) reads, O(n) writes — and NO graph maintenance, with
+   memory independent of the operation count.
+
+   The encodings:
+   - counter (inc/dec, no reset): per-process pairs of monotone totals
+     (inc_sum, dec_sum); the join is the pointwise max, sound because
+     each process's totals only grow; value = sum of (inc - dec);
+   - grow-only set (add/members): set union;
+   - max register / logical clock: max.
+
+   Experiment E9 measures these against the generic construction. *)
+
+module Counter (M : Pram.Memory.S) = struct
+  module Totals = Semilattice.Pair (Semilattice.Nat_max) (Semilattice.Nat_max)
+  module Lat = Semilattice.Vector (Totals)
+  module Scanner = Snapshot.Scan.Make (Lat) (M)
+
+  type t = {
+    procs : int;
+    scanner : Scanner.t;
+    inc_total : int array;  (* private per-process running totals *)
+    dec_total : int array;
+  }
+
+  let create ~procs =
+    {
+      procs;
+      scanner = Scanner.create ~procs;
+      inc_total = Array.make procs 0;
+      dec_total = Array.make procs 0;
+    }
+
+  let publish t ~pid =
+    let contribution =
+      Lat.singleton ~width:t.procs pid (t.inc_total.(pid), t.dec_total.(pid))
+    in
+    Scanner.write_l t.scanner ~pid contribution
+
+  let inc t ~pid amount =
+    if amount < 0 then invalid_arg "Direct.Counter.inc: negative amount";
+    t.inc_total.(pid) <- t.inc_total.(pid) + amount;
+    publish t ~pid
+
+  let dec t ~pid amount =
+    if amount < 0 then invalid_arg "Direct.Counter.dec: negative amount";
+    t.dec_total.(pid) <- t.dec_total.(pid) + amount;
+    publish t ~pid
+
+  let read t ~pid =
+    let totals = Scanner.read_max t.scanner ~pid in
+    Array.fold_left (fun acc (i, d) -> acc + i - d) 0 totals
+end
+
+module Gset (M : Pram.Memory.S) = struct
+  module Lat = Semilattice.Set_union (struct
+    type t = int
+
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end)
+
+  module Scanner = Snapshot.Scan.Make (Lat) (M)
+
+  type t = { scanner : Scanner.t }
+
+  let create ~procs = { scanner = Scanner.create ~procs }
+
+  let add t ~pid x = Scanner.write_l t.scanner ~pid (Lat.of_list [ x ])
+
+  let members t ~pid = Lat.elements (Scanner.read_max t.scanner ~pid)
+
+  let mem t ~pid x = List.mem x (members t ~pid)
+end
+
+module Max_register (M : Pram.Memory.S) = struct
+  module Scanner = Snapshot.Scan.Make (Semilattice.Nat_max) (M)
+
+  type t = { scanner : Scanner.t }
+
+  let create ~procs = { scanner = Scanner.create ~procs }
+  let write_max t ~pid v =
+    if v < 0 then invalid_arg "Direct.Max_register: negative value";
+    Scanner.write_l t.scanner ~pid v
+
+  let read_max t ~pid = Scanner.read_max t.scanner ~pid
+end
+
+(* Lamport logical clocks [33] on the max register: [tick] produces a
+   timestamp strictly larger than every timestamp this process has
+   observed; [observe] folds in a remote timestamp (e.g. carried on a
+   message); [now] reads without advancing.
+
+   Ticks by concurrent processes may collide; following Lamport, callers
+   who need a total order break ties by process id — [tick] returns the
+   (timestamp, pid) pair ready for lexicographic comparison.  Causally
+   ordered events always get strictly increasing timestamps: causality
+   flows through [observe]/[tick], each of which joins the clock before
+   bumping it. *)
+module Logical_clock (M : Pram.Memory.S) = struct
+  module R = Max_register (M)
+
+  type t = { reg : R.t }
+  type timestamp = int * int  (* (count, pid): compare lexicographically *)
+
+  let create ~procs = { reg = R.create ~procs }
+
+  let tick t ~pid : timestamp =
+    let c = R.read_max t.reg ~pid in
+    R.write_max t.reg ~pid (c + 1);
+    (c + 1, pid)
+
+  let observe t ~pid (c, _ : timestamp) = R.write_max t.reg ~pid c
+
+  let now t ~pid = R.read_max t.reg ~pid
+
+  let compare_ts (a : timestamp) (b : timestamp) = compare a b
+end
+
+(* A keyed histogram: per-process per-bucket monotone totals, merged by
+   pointwise max.  The direct counterpart of [Spec.Histogram_spec]
+   restricted to its commuting core (observe/count/total; reset_all needs
+   the generic construction, exactly like the counter's reset). *)
+module Histogram (M : Pram.Memory.S) = struct
+  module Buckets = Semilattice.Map_max (struct
+    type t = int
+
+    let compare = Int.compare
+    let pp = Format.pp_print_int
+  end)
+
+  module Lat = Semilattice.Vector (Buckets)
+  module Scanner = Snapshot.Scan.Make (Lat) (M)
+
+  type t = {
+    procs : int;
+    scanner : Scanner.t;
+    own : Buckets.t array;  (* private per-process bucket totals *)
+  }
+
+  let create ~procs =
+    {
+      procs;
+      scanner = Scanner.create ~procs;
+      own = Array.make procs Buckets.bottom;
+    }
+
+  let observe t ~pid ~bucket weight =
+    if weight < 0 then invalid_arg "Direct.Histogram.observe: negative weight";
+    t.own.(pid) <-
+      Buckets.add bucket (Buckets.find bucket t.own.(pid) + weight) t.own.(pid);
+    Scanner.write_l t.scanner ~pid
+      (Lat.singleton ~width:t.procs pid t.own.(pid))
+
+  let merged t ~pid =
+    let per_proc = Scanner.read_max t.scanner ~pid in
+    Array.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc (b, v) -> Buckets.add b (Buckets.find b acc + v) acc)
+          acc (Buckets.bindings m))
+      Buckets.bottom per_proc
+
+  let count t ~pid ~bucket = Buckets.find bucket (merged t ~pid)
+
+  let total t ~pid =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Buckets.bindings (merged t ~pid))
+
+  let bindings t ~pid = Buckets.bindings (merged t ~pid)
+end
+
+(* Vector clocks: the per-process causal-time vectors of distributed
+   systems, realized on the snapshot lattice Vector(Nat_max).  [tick]
+   advances the caller's component; [observe] merges a vector received
+   from elsewhere; [now] reads the merged vector.  [leq] is the
+   happened-before test. *)
+module Vector_clock (M : Pram.Memory.S) = struct
+  module Lat = Semilattice.Vector (Semilattice.Nat_max)
+  module Scanner = Snapshot.Scan.Make (Lat) (M)
+
+  type t = {
+    procs : int;
+    scanner : Scanner.t;
+    own_count : int array;  (* private: own component *)
+  }
+
+  let create ~procs =
+    { procs; scanner = Scanner.create ~procs; own_count = Array.make procs 0 }
+
+  let tick t ~pid =
+    t.own_count.(pid) <- t.own_count.(pid) + 1;
+    Scanner.scan t.scanner ~pid
+      (Lat.singleton ~width:t.procs pid t.own_count.(pid))
+
+  let observe t ~pid v = Scanner.write_l t.scanner ~pid v
+
+  let now t ~pid =
+    let v = Scanner.read_max t.scanner ~pid in
+    if Array.length v = 0 then Array.make t.procs 0 else v
+
+  let leq a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> x <= y) a b
+
+  let concurrent a b = (not (leq a b)) && not (leq b a)
+end

@@ -1,0 +1,111 @@
+(** Type-specific optimizations of Section 5.4's closing remark: for
+    concrete data types, the precedence graph can be discarded entirely
+    by representing the state as a join-semilattice over one Section 6
+    scan.  An operation costs one scan — O(n^2) reads, O(n) writes — and
+    constant local work, independent of the operation history
+    (experiment E9 quantifies the win over the generic Figure 4
+    construction).
+
+    The price is generality: only the COMMUTING core of each type fits
+    (e.g. no [reset] on the counter, no [reset_all] on the histogram,
+    no removals on the set) — overwriting operations need the generic
+    construction.  All implementations here are linearizable; the test
+    suite checks the counter exhaustively over every 2-process
+    interleaving. *)
+
+(** Counter with per-process monotone (inc_total, dec_total) pairs. *)
+module Counter (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** @raise Invalid_argument on negative amounts. *)
+  val inc : t -> pid:int -> int -> unit
+
+  (** @raise Invalid_argument on negative amounts. *)
+  val dec : t -> pid:int -> int -> unit
+
+  val read : t -> pid:int -> int
+end
+
+(** Grow-only set of ints under union. *)
+module Gset (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val add : t -> pid:int -> int -> unit
+
+  (** Sorted ascending. *)
+  val members : t -> pid:int -> int list
+
+  val mem : t -> pid:int -> int -> bool
+end
+
+(** Max-register over naturals. *)
+module Max_register (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** @raise Invalid_argument on negative values. *)
+  val write_max : t -> pid:int -> int -> unit
+
+  val read_max : t -> pid:int -> int
+end
+
+(** Lamport logical clocks [33] on the max-register.  Concurrent ticks
+    may collide; [tick] returns [(count, pid)] ready for lexicographic
+    tie-breaking.  Causally ordered events always receive strictly
+    increasing timestamps. *)
+module Logical_clock (M : Pram.Memory.S) : sig
+  type t
+  type timestamp = int * int
+
+  val create : procs:int -> t
+
+  (** A timestamp strictly above everything this process has observed. *)
+  val tick : t -> pid:int -> timestamp
+
+  (** Fold in a timestamp received out of band. *)
+  val observe : t -> pid:int -> timestamp -> unit
+
+  val now : t -> pid:int -> int
+  val compare_ts : timestamp -> timestamp -> int
+end
+
+(** Keyed histogram: per-process per-bucket monotone totals. *)
+module Histogram (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** @raise Invalid_argument on negative weights. *)
+  val observe : t -> pid:int -> bucket:int -> int -> unit
+
+  val count : t -> pid:int -> bucket:int -> int
+  val total : t -> pid:int -> int
+
+  (** Non-zero buckets, sorted by key. *)
+  val bindings : t -> pid:int -> (int * int) list
+end
+
+(** Vector clocks on the Vector(Nat_max) lattice.  [tick] returns the
+    merged vector including the caller's advanced component; concurrent
+    ticks are pairwise comparable (they are scan outputs — Lemma 32) and
+    may coincide, unlike message-passing vector clocks. *)
+module Vector_clock (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+  val tick : t -> pid:int -> int array
+
+  (** Merge a vector received out of band. *)
+  val observe : t -> pid:int -> int array -> unit
+
+  val now : t -> pid:int -> int array
+
+  (** Pointwise order: the happened-before test. *)
+  val leq : int array -> int array -> bool
+
+  val concurrent : int array -> int array -> bool
+end

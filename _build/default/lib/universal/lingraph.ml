@@ -1,0 +1,38 @@
+(* The linearization-graph construction of Figure 3.
+
+   Input: a precedence graph over operations 0 .. k-1 whose node numbering
+   is consistent with precedence (if i precedes j then i < j — callers
+   sort canonically), and the dominance relation of Definition 14.
+
+   The construction visits ordered pairs (i, j), i < j, and adds a
+   dominance edge pointing from the dominated operation to its dominator
+   whenever doing so does not create a cycle.  The result (Lemma 18) is
+   acyclic; its topological sorts are the object's linearizations, and
+   Lemma 20 shows they are all equivalent.
+
+   Dominance edges are directed from dominated to dominator — the
+   intuition (Section 5.3) is that overwritten operations are placed
+   EARLIER in the history, where the overwriter destroys the evidence of
+   their presence. *)
+
+let build ~nodes ~precedence_edges ~dominates =
+  let g = Graph.create nodes in
+  List.iter
+    (fun (u, v) ->
+      if Graph.edge_would_cycle g u v then
+        invalid_arg "Lingraph.build: precedence edges are cyclic"
+      else Graph.add_edge g u v)
+    precedence_edges;
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      (* Figure 3, lines 6-13 *)
+      if dominates i j && not (Graph.edge_would_cycle g j i) then
+        Graph.add_edge g j i
+      else if dominates j i && not (Graph.edge_would_cycle g i j) then
+        Graph.add_edge g i j
+    done
+  done;
+  g
+
+let linearize ~nodes ~precedence_edges ~dominates =
+  Graph.topo_sort (build ~nodes ~precedence_edges ~dominates)

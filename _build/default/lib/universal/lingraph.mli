@@ -1,0 +1,23 @@
+(** The linearization-graph construction of Figure 3.
+
+    Given a precedence DAG over operations [0 .. nodes-1] (numbering
+    consistent with precedence: an edge [(i, j)] implies [i < j]) and the
+    dominance relation of Definition 14, [build] adds a maximal set of
+    dominance edges — each directed from the dominated operation to its
+    dominator — that keeps the graph acyclic (Lemma 18).  Topological
+    sorts of the result are the object's linearizations; Lemma 20 (tested
+    in test/test_universal.ml) shows they are all equivalent. *)
+
+(** @raise Invalid_argument if the precedence edges are cyclic. *)
+val build :
+  nodes:int ->
+  precedence_edges:(int * int) list ->
+  dominates:(int -> int -> bool) ->
+  Graph.t
+
+(** [build] followed by the canonical topological sort. *)
+val linearize :
+  nodes:int ->
+  precedence_edges:(int * int) list ->
+  dominates:(int -> int -> bool) ->
+  int list

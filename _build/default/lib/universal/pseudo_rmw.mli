@@ -1,0 +1,38 @@
+(** Pseudo read-modify-write objects (Anderson and Groselj [5], from the
+    paper's Related Work): apply any function from a COMMUTING family to
+    the shared value, returning nothing; read the folded value.
+
+    Realized as per-process append-only logs under one Section 6 scan
+    (unbounded logs, consistent with the paper's own unbounded
+    counters — see DESIGN.md).  Because the family commutes, the fold
+    order is irrelevant and the multiset of applied functions determines
+    the state. *)
+
+module type FUNCTIONS = sig
+  type value
+  type f
+
+  val init : value
+
+  val apply : value -> f -> value
+  (** Obligation: all [f]s commute —
+      [apply (apply v f) g = apply (apply v g) f]. *)
+
+  val equal_f : f -> f -> bool
+  val pp_f : Format.formatter -> f -> unit
+end
+
+module Make (F : FUNCTIONS) (M : Pram.Memory.S) : sig
+  type t
+
+  val create : procs:int -> t
+
+  (** Apply [f]; no return value (the "pseudo" in the name). *)
+  val pseudo_rmw : t -> pid:int -> F.f -> unit
+
+  (** Fold every applied function over [F.init]. *)
+  val read : t -> pid:int -> F.value
+
+  (** Number of operations applied so far (tests). *)
+  val applied_count : t -> pid:int -> int
+end

@@ -1,0 +1,105 @@
+(* Workload generators for the test suite, the benches and the CLI.
+
+   Everything is deterministic in an explicit seed, so experiment rows are
+   reproducible (the replay property of [Pram.Driver] extends to whole
+   experiments). *)
+
+let rng seed = Random.State.make [| seed; 0x5eed |]
+
+(* --- operation scripts ---------------------------------------------------- *)
+
+(* A script assigns each process a list of operations. *)
+type 'op script = int -> 'op list
+
+let counter_script ~seed ~ops_per_proc : Spec.Counter_spec.operation script =
+  let st = rng seed in
+  let scripts = Hashtbl.create 8 in
+  fun pid ->
+    match Hashtbl.find_opt scripts pid with
+    | Some s -> s
+    | None ->
+        let s =
+          List.init ops_per_proc (fun _ ->
+              match Random.State.int st 10 with
+              | 0 | 1 | 2 | 3 -> Spec.Counter_spec.Inc (1 + Random.State.int st 5)
+              | 4 | 5 | 6 -> Spec.Counter_spec.Dec (1 + Random.State.int st 5)
+              | 7 | 8 -> Spec.Counter_spec.Read
+              | _ -> Spec.Counter_spec.Reset (Random.State.int st 100))
+        in
+        Hashtbl.add scripts pid s;
+        s
+
+let gset_script ~seed ~ops_per_proc : Spec.Gset_spec.operation script =
+  let st = rng seed in
+  let scripts = Hashtbl.create 8 in
+  fun pid ->
+    match Hashtbl.find_opt scripts pid with
+    | Some s -> s
+    | None ->
+        let s =
+          List.init ops_per_proc (fun _ ->
+              match Random.State.int st 10 with
+              | 0 | 1 | 2 | 3 | 4 | 5 -> Spec.Gset_spec.Add (Random.State.int st 20)
+              | 6 | 7 | 8 -> Spec.Gset_spec.Members
+              | _ -> Spec.Gset_spec.Clear)
+        in
+        Hashtbl.add scripts pid s;
+        s
+
+(* Inputs for approximate agreement: [procs] values spread over
+   [0, delta]. *)
+let agreement_inputs ~seed ~procs ~delta =
+  let st = rng seed in
+  Array.init procs (fun p ->
+      if p = 0 then 0.0
+      else if p = 1 then delta
+      else Random.State.float st delta)
+
+(* --- schedules ------------------------------------------------------------ *)
+
+type schedule_kind =
+  | Round_robin
+  | Uniform of int  (** seed *)
+  | Crashy of int  (** seed; 5% crash probability, at least one survivor *)
+  | Bursty of int
+      (** seed; runs a randomly chosen process for a geometric burst before
+          switching — adversarial for algorithms that rely on
+          interleaving *)
+
+let scheduler_of = function
+  | Round_robin -> Pram.Scheduler.round_robin ()
+  | Uniform seed -> Pram.Scheduler.random ~seed ()
+  | Crashy seed -> Pram.Scheduler.random ~crash_prob:0.05 ~min_alive:1 ~seed ()
+  | Bursty seed ->
+      let st = rng seed in
+      let current = ref None in
+      let remaining = ref 0 in
+      fun driver ->
+        let pick () =
+          match Pram.Driver.runnable_list driver with
+          | [] -> None
+          | l -> Some (List.nth l (Random.State.int st (List.length l)))
+        in
+        (match !current with
+        | Some p when !remaining > 0 && Pram.Driver.runnable driver p -> ()
+        | _ ->
+            current := pick ();
+            remaining := 1 + Random.State.int st 16);
+        (match !current with
+        | Some p ->
+            decr remaining;
+            Pram.Scheduler.Step p
+        | None -> Pram.Scheduler.Stop)
+
+let pp_schedule_kind ppf = function
+  | Round_robin -> Format.pp_print_string ppf "round-robin"
+  | Uniform s -> Format.fprintf ppf "uniform(seed=%d)" s
+  | Crashy s -> Format.fprintf ppf "crashy(seed=%d)" s
+  | Bursty s -> Format.fprintf ppf "bursty(seed=%d)" s
+
+(* A standard mix of schedules for worst-case-ish measurements. *)
+let standard_schedules ~seeds =
+  Round_robin
+  :: List.concat_map
+       (fun s -> [ Uniform s; Bursty s; Crashy s ])
+       (List.init seeds Fun.id)

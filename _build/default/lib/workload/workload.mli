@@ -1,0 +1,32 @@
+(** Seeded workload and schedule generators for tests, benches and the
+    CLI.  Everything is deterministic in its seed, so experiment rows
+    are reproducible end to end. *)
+
+type 'op script = int -> 'op list
+(** A script assigns each process its operation list. *)
+
+val counter_script :
+  seed:int -> ops_per_proc:int -> Spec.Counter_spec.operation script
+
+val gset_script :
+  seed:int -> ops_per_proc:int -> Spec.Gset_spec.operation script
+
+(** Inputs for approximate agreement: [procs] values spanning exactly
+    [0, delta]. *)
+val agreement_inputs : seed:int -> procs:int -> delta:float -> float array
+
+type schedule_kind =
+  | Round_robin
+  | Uniform of int  (** uniformly random; the int is the seed *)
+  | Crashy of int
+      (** uniform with 5% crash probability, at least one survivor *)
+  | Bursty of int
+      (** geometric bursts of one process at a time — adversarial for
+          algorithms that rely on interleaving *)
+
+val scheduler_of : schedule_kind -> 'r Pram.Scheduler.t
+val pp_schedule_kind : Format.formatter -> schedule_kind -> unit
+
+(** Round-robin plus [seeds] each of uniform, bursty and crashy — the
+    standard mix behind "measured worst case" columns. *)
+val standard_schedules : seeds:int -> schedule_kind list

@@ -1,0 +1,366 @@
+(* Exhaustive-exploration tests: bounded model checking of the paper's
+   algorithms over EVERY schedule of small configurations.
+
+   These are the strongest correctness statements in the suite: for the
+   configurations below there is no interleaving (and, where enabled, no
+   single crash point) under which the implementation behaves
+   non-linearizably. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- explorer sanity ------------------------------------------------------ *)
+
+let test_count_small () =
+  (* two processes, one write each: schedules = interleavings of 1+1
+     steps = C(2,1) = 2 *)
+  let program () =
+    let a = Pram.Memory.Sim.create 0 and b = Pram.Memory.Sim.create 0 in
+    fun pid -> if pid = 0 then Pram.Memory.Sim.write a 1 else Pram.Memory.Sim.write b 1
+  in
+  check_int "2 interleavings" 2 (Pram.Explore.count ~procs:2 program)
+
+let test_count_binomial () =
+  (* 3 steps each: C(6,3) = 20 *)
+  let program () =
+    let regs = Array.init 2 (fun _ -> Pram.Memory.Sim.create 0) in
+    fun pid ->
+      for i = 1 to 3 do
+        Pram.Memory.Sim.write regs.(pid) i
+      done
+  in
+  check_int "C(6,3)" 20 (Pram.Explore.count ~procs:2 program)
+
+let test_explorer_finds_bugs () =
+  (* the lost-update counter: exploration must find schedules where the
+     final value is 1 instead of 2 *)
+  let program () =
+    let r = Pram.Memory.Sim.create 0 in
+    fun _pid ->
+      let v = Pram.Memory.Sim.read r in
+      Pram.Memory.Sim.write r (v + 1);
+      Pram.Register.get r
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~procs:2 program (fun d _sched ->
+        match (Pram.Driver.result d 0, Pram.Driver.result d 1) with
+        | Some a, Some b -> max a b = 2
+        | _ -> true)
+  in
+  check_bool "some schedule loses an update" true
+    (outcome.Pram.Explore.failures <> []);
+  check_int "C(4,2) executions" 6 outcome.Pram.Explore.explored
+
+let test_truncation () =
+  let program () =
+    let regs = Array.init 2 (fun _ -> Pram.Memory.Sim.create 0) in
+    fun pid ->
+      for i = 1 to 5 do
+        Pram.Memory.Sim.write regs.(pid) i
+      done
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~max_schedules:10 ~procs:2 program (fun _ _ -> true)
+  in
+  check_bool "truncated" true outcome.Pram.Explore.truncated
+
+(* --- exhaustive linearizability of the Section 6 scan -------------------- *)
+
+module L = Semilattice.Nat_max
+module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
+module Scan_spec = Snapshot.Scan_spec.Make (L)
+module Scan_check = Lincheck.Make (Scan_spec)
+
+(* p0: write_l 1 then read_max; p1: read_max.  18 steps total,
+   C(18,6) = 18564 interleavings — every one must be linearizable. *)
+let test_scan_exhaustive () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Scan.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then begin
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Write_l 1) (fun () ->
+               Scan.write_l t ~pid 1;
+               `Unit));
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+      end
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~procs:2 program (fun _d _sched ->
+        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "no interleaving violates linearizability" true
+    (Pram.Explore.ok outcome);
+  check_bool "meaningful state space" true (outcome.Pram.Explore.explored > 5_000)
+
+(* Same workload, plus one crash anywhere: pending operations must still
+   linearize (or be droppable). *)
+let test_scan_exhaustive_with_crash () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Scan.create ~procs:2 in
+    fun pid ->
+      ignore
+        (Spec.History.Recorder.record !recorder ~pid (`Write_l (pid + 1))
+           (fun () ->
+             Scan.write_l t ~pid (pid + 1);
+             `Unit))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun _d _sched ->
+        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "no interleaving+crash violates linearizability" true
+    (Pram.Explore.ok outcome)
+
+(* --- exhaustive linearizability of the direct counter -------------------- *)
+
+module DC = Universal.Direct.Counter (Pram.Memory.Sim)
+module Check_counter = Lincheck.Make (Spec.Counter_spec)
+
+let test_direct_counter_exhaustive () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = DC.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
+             (fun () ->
+               DC.inc t ~pid 1;
+               Spec.Counter_spec.Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
+             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun _d _sched ->
+        Check_counter.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "direct counter exhaustively linearizable" true
+    (Pram.Explore.ok outcome)
+
+(* --- the naive collect's violations, counted exhaustively ----------------- *)
+
+module V = Snapshot.Slot_value.Int
+module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim)
+module Arr_spec =
+  Snapshot.Array_spec.Make
+    (V)
+    (struct
+      let procs = 3
+    end)
+
+module Arr_check = Lincheck.Make (Arr_spec)
+
+let test_naive_collect_violations_counted () =
+  (* p0 and p1 write (1 step each); p2 collects (3 reads); 10 steps total.
+     Exhaustive search must find a nonzero number of violating
+     interleavings — the checker and the explorer agree on exactly which
+     interleavings are broken, deterministically. *)
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Naive.create ~procs:3 in
+    fun pid ->
+      if pid < 2 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Update (pid, pid + 10))
+             (fun () ->
+               Naive.update t ~pid (pid + 10);
+               `Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+               `View (Naive.snapshot t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~procs:3 program (fun _d _sched ->
+        Arr_check.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "naive collect has violating schedules" true
+    (outcome.Pram.Explore.failures <> []);
+  (* determinism: the same count every run *)
+  let outcome2 =
+    Pram.Explore.exhaustive ~procs:3 program (fun _d _sched ->
+        Arr_check.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_int "violation count deterministic"
+    (List.length outcome.Pram.Explore.failures)
+    (List.length outcome2.Pram.Explore.failures)
+
+(* ...while the atomic snapshot on an update-vs-snapshot workload has
+   zero violating schedules (2 processes: C(12,6) = 924 interleavings). *)
+module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim)
+module Arr_spec2 =
+  Snapshot.Array_spec.Make
+    (V)
+    (struct
+      let procs = 2
+    end)
+
+module Arr_check2 = Lincheck.Make (Arr_spec2)
+
+let test_atomic_snapshot_no_violations () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Arr.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
+             (fun () ->
+               Arr.update t ~pid 10;
+               `Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+               `View (Arr.snapshot t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~procs:2 program (fun _d _sched ->
+        Arr_check2.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "atomic snapshot: zero violating schedules" true
+    (Pram.Explore.ok outcome);
+  check_int "C(12,6) executions" 924 outcome.Pram.Explore.explored
+
+(* --- exhaustive linearizability of the BOUNDED Afek et al. snapshot ------- *)
+
+module AB = Snapshot.Afek_bounded.Make (V) (Pram.Memory.Sim)
+
+let test_afek_bounded_exhaustive () =
+  (* p0 updates, p1 snapshots: every interleaving must linearize.  The
+     handshake-bit protocol is the subtlest code in the repository, so
+     this exhaustive check matters more than random sampling. *)
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = AB.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
+             (fun () ->
+               AB.update t ~pid 10;
+               `Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+               `View (AB.snapshot t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~max_schedules:2_000_000 ~procs:2 program
+      (fun _d _sched ->
+        Arr_check2.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "bounded afek: zero violating schedules" true
+    (Pram.Explore.ok outcome)
+
+let qcheck_afek_bounded_contended =
+  (* two writers doing several updates each against one scanner: the
+     moved-twice / borrow path triggers on many of these seeds (the full
+     double-update state space exceeds 3M interleavings, so this is
+     randomized rather than exhaustive) *)
+  QCheck.Test.make ~name:"bounded afek contended linearizable" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let module Arr_spec3 =
+        Snapshot.Array_spec.Make
+          (V)
+          (struct
+            let procs = 3
+          end)
+      in
+      let module Check3 = Lincheck.Make (Arr_spec3) in
+      let recorder = Spec.History.Recorder.create () in
+      let program () =
+        let t = AB.create ~procs:3 in
+        fun pid ->
+          if pid = 0 then
+            ignore
+              (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+                   `View (AB.snapshot t ~pid)))
+          else
+            for i = 1 to 3 do
+              ignore
+                (Spec.History.Recorder.record recorder ~pid
+                   (`Update (pid, (10 * pid) + i)) (fun () ->
+                     AB.update t ~pid ((10 * pid) + i);
+                     `Unit))
+            done
+      in
+      let d = Pram.Driver.create ~procs:3 program in
+      Pram.Scheduler.run ~max_steps:5_000_000 (Pram.Scheduler.random ~seed ()) d;
+      Check3.is_linearizable (Spec.History.Recorder.events recorder))
+
+(* --- exhaustive approximate agreement (tiny configuration) ---------------- *)
+
+module AA = Agreement.Approx_agreement.Make (Pram.Memory.Sim)
+
+let test_agreement_exhaustive () =
+  (* Two processes with inputs within 2*eps: few rounds, small tree.
+     Check validity and epsilon-agreement on every interleaving. *)
+  let epsilon = 1.0 in
+  let program () =
+    let t = AA.create ~procs:2 ~epsilon in
+    fun pid ->
+      let x = if pid = 0 then 0.0 else 0.9 in
+      AA.input t ~pid x;
+      AA.output t ~pid
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~max_schedules:500_000 ~procs:2 program
+      (fun d _sched ->
+        match (Pram.Driver.result d 0, Pram.Driver.result d 1) with
+        | Some a, Some b ->
+            Float.abs (a -. b) < epsilon
+            && a >= 0.0 && a <= 0.9 && b >= 0.0 && b <= 0.9
+        | _ -> false)
+  in
+  check_bool "agreement holds on every interleaving" true
+    (Pram.Explore.ok outcome);
+  check_bool "meaningful state space" true
+    (outcome.Pram.Explore.explored > 10_000)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "count small" `Quick test_count_small;
+          Alcotest.test_case "count binomial" `Quick test_count_binomial;
+          Alcotest.test_case "finds lost updates" `Quick test_explorer_finds_bugs;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+        ] );
+      ( "exhaustive verification",
+        [
+          Alcotest.test_case "scan linearizable on all schedules" `Slow
+            test_scan_exhaustive;
+          Alcotest.test_case "scan linearizable with crashes" `Slow
+            test_scan_exhaustive_with_crash;
+          Alcotest.test_case "direct counter on all schedules" `Slow
+            test_direct_counter_exhaustive;
+          Alcotest.test_case "naive collect violations counted" `Quick
+            test_naive_collect_violations_counted;
+          Alcotest.test_case "atomic snapshot zero violations" `Slow
+            test_atomic_snapshot_no_violations;
+          Alcotest.test_case "agreement on all schedules" `Slow
+            test_agreement_exhaustive;
+          Alcotest.test_case "bounded afek on all schedules" `Slow
+            test_afek_bounded_exhaustive;
+          QCheck_alcotest.to_alcotest qcheck_afek_bounded_contended;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the asynchronous-PRAM simulator substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A tiny two-process program: each process increments a shared counter
+   register [rounds] times with a read-then-write (not atomic increment —
+   lost updates are possible under interleaving, which is exactly what the
+   scheduler tests exploit). *)
+let incr_program ~rounds () =
+  let r = Pram.Memory.Sim.create ~name:"counter" 0 in
+  fun _pid ->
+    for _ = 1 to rounds do
+      let v = Pram.Memory.Sim.read r in
+      Pram.Memory.Sim.write r (v + 1)
+    done;
+    Pram.Register.get r
+
+(* Each process writes its pid to its own slot then reads the other slot. *)
+let slot_program () =
+  let slots = Array.init 2 (fun i -> Pram.Memory.Sim.create ~name:(Printf.sprintf "slot%d" i) (-1)) in
+  fun pid ->
+    Pram.Memory.Sim.write slots.(pid) pid;
+    Pram.Memory.Sim.read slots.(1 - pid)
+
+let test_solo_run () =
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:3) in
+  check_bool "p0 finishes solo" true (Pram.Driver.run_solo d 0);
+  check_int "p0 result" 3 (match Pram.Driver.result d 0 with Some v -> v | None -> -1);
+  check_int "p0 steps = 2 per increment" 6 (Pram.Driver.steps d 0);
+  check_bool "p1 still runnable" true (Pram.Driver.runnable d 1)
+
+let test_lost_update_interleaving () =
+  (* Schedule: both read (seeing 0), then both write 1: classic lost
+     update, demonstrating that a step is exactly one atomic access. *)
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:1) in
+  Pram.Driver.step d 0 (* p0 reads 0 *);
+  Pram.Driver.step d 1 (* p1 reads 0 *);
+  Pram.Driver.step d 0 (* p0 writes 1 *);
+  Pram.Driver.step d 1 (* p1 writes 1 *);
+  check_int "lost update" 1 (match Pram.Driver.result d 1 with Some v -> v | None -> -1)
+
+let test_sequential_no_lost_update () =
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:5) in
+  Pram.Scheduler.run (Pram.Scheduler.sequential ()) d;
+  check_int "sequential total" 10 (match Pram.Driver.result d 1 with Some v -> v | None -> -1)
+
+let test_determinism_replay () =
+  let program = incr_program ~rounds:4 in
+  let d1 = Pram.Driver.create ~procs:2 program in
+  Pram.Scheduler.run (Pram.Scheduler.random ~seed:42 ()) d1;
+  let sched = Pram.Driver.schedule d1 in
+  let d2 = Pram.Driver.replay ~procs:2 program sched in
+  check_int "replayed result p0" (Option.get (Pram.Driver.result d1 0))
+    (Option.get (Pram.Driver.result d2 0));
+  check_int "replayed result p1" (Option.get (Pram.Driver.result d1 1))
+    (Option.get (Pram.Driver.result d2 1));
+  check_int "replayed total steps" (Pram.Driver.total_steps d1)
+    (Pram.Driver.total_steps d2)
+
+let test_random_seed_stability () =
+  let program = incr_program ~rounds:4 in
+  let run seed =
+    let d = Pram.Driver.create ~procs:2 program in
+    Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+    Pram.Driver.schedule d
+  in
+  check_bool "same seed, same schedule" true (run 7 = run 7)
+
+let test_crash_halts_forever () =
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:3) in
+  Pram.Driver.step d 0;
+  Pram.Driver.crash d 0;
+  check_bool "crashed not runnable" false (Pram.Driver.runnable d 0);
+  check_bool "status halted" true (Pram.Driver.status d 0 = Pram.Driver.Halted);
+  check_bool "other process unaffected" true (Pram.Driver.run_solo d 1);
+  Alcotest.check_raises "stepping crashed raises"
+    (Pram.Driver.Process_not_runnable 0) (fun () -> Pram.Driver.step d 0)
+
+let test_pending_view () =
+  let d = Pram.Driver.create ~procs:2 slot_program in
+  (match Pram.Driver.pending d 0 with
+  | Some pv ->
+      check_bool "first access is a write" true (pv.Pram.Driver.v_kind = Pram.Trace.Write);
+      check_bool "targets own slot" true (pv.Pram.Driver.v_reg_name = "slot0")
+  | None -> Alcotest.fail "expected a pending access");
+  Pram.Driver.step d 0;
+  match Pram.Driver.pending d 0 with
+  | Some pv ->
+      check_bool "second access is a read" true (pv.Pram.Driver.v_kind = Pram.Trace.Read);
+      check_bool "targets other slot" true (pv.Pram.Driver.v_reg_name = "slot1")
+  | None -> Alcotest.fail "expected a pending access"
+
+let test_trace_recording () =
+  let d = Pram.Driver.create ~record_trace:true ~procs:2 slot_program in
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  let tr = Pram.Driver.trace d in
+  check_int "4 accesses traced" 4 (List.length tr);
+  let steps = List.map (fun a -> a.Pram.Trace.step) tr in
+  check_bool "step indices are 0..3" true (steps = [ 0; 1; 2; 3 ])
+
+let test_round_robin_fair () =
+  let d = Pram.Driver.create ~procs:3 (incr_program ~rounds:10) in
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  check_int "p0 took its 20 steps" 20 (Pram.Driver.steps d 0);
+  check_int "p1 took its 20 steps" 20 (Pram.Driver.steps d 1);
+  check_int "p2 took its 20 steps" 20 (Pram.Driver.steps d 2)
+
+let test_of_list_scheduler () =
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:2) in
+  Pram.Scheduler.run (Pram.Scheduler.of_list [ 0; 0; 1; 0 ]) d;
+  check_int "p0 stepped thrice" 3 (Pram.Driver.steps d 0);
+  check_int "p1 stepped once" 1 (Pram.Driver.steps d 1)
+
+let test_zero_access_process () =
+  (* A body with no shared accesses finishes at its (lazy) start; the
+     first step is a free completion. *)
+  let d = Pram.Driver.create ~procs:1 (fun () -> fun pid -> pid + 42) in
+  check_bool "not yet started" true (Pram.Driver.status d 0 = Pram.Driver.Running);
+  Pram.Driver.step d 0;
+  check_bool "done after free step" true (Pram.Driver.status d 0 = Pram.Driver.Done);
+  check_int "result available" 42 (Option.get (Pram.Driver.result d 0));
+  check_int "no access counted" 0 (Pram.Driver.steps d 0);
+  check_bool "quiescent" true (Pram.Driver.all_quiescent d)
+
+let test_run_solo_budget () =
+  let d = Pram.Driver.create ~procs:1 (incr_program ~rounds:100) in
+  check_bool "budget too small" false (Pram.Driver.run_solo ~max_steps:10 d 0);
+  check_bool "budget large enough" true (Pram.Driver.run_solo d 0)
+
+let test_prefer_register_scheduler () =
+  let program () =
+    let a = Pram.Memory.Sim.create ~name:"a" 0 in
+    let b = Pram.Memory.Sim.create ~name:"b" 0 in
+    let reg_b_id = Pram.Register.id b in
+    ignore reg_b_id;
+    fun pid ->
+      if pid = 0 then Pram.Memory.Sim.write a 1 else Pram.Memory.Sim.write b 2;
+      0
+  in
+  (* We cannot easily learn register ids from outside [setup]; exercise
+     the combinator by preferring an id that does not exist, checking it
+     degrades to the fallback. *)
+  let d = Pram.Driver.create ~procs:2 program in
+  Pram.Scheduler.run
+    (Pram.Scheduler.prefer_register ~reg_id:(-1) (Pram.Scheduler.round_robin ()))
+    d;
+  check_bool "completes via fallback" true (Pram.Driver.all_quiescent d)
+
+let test_native_parallel_counter () =
+  (* Same read/write interface, real domains: per-process independent
+     registers so the result is deterministic. *)
+  let module M = Pram.Native.Mem in
+  let regs = Array.init 4 (fun _ -> M.create 0) in
+  let results =
+    Pram.Native.run_parallel ~procs:4 (fun p ->
+        for _ = 1 to 1000 do
+          M.write regs.(p) (M.read regs.(p) + 1)
+        done;
+        M.read regs.(p))
+  in
+  check_bool "each domain did its 1000 increments" true
+    (List.for_all (fun v -> v = 1000) results)
+
+let test_native_counting () =
+  let module C = Pram.Native.Counting (Pram.Native.Mem) in
+  C.reset ();
+  let r = C.create 0 in
+  C.write r 5;
+  check_int "read back" 5 (C.read r);
+  ignore (C.read r);
+  check_int "reads counted" 2 (C.reads ());
+  check_int "writes counted" 1 (C.writes ())
+
+let qcheck_replay_determinism =
+  (* Property: for random programs (random interleaving seeds), replaying
+     the recorded schedule reproduces results and step counts. *)
+  QCheck.Test.make ~name:"replay reproduces execution" ~count:100
+    QCheck.(pair small_nat (int_bound 1_000_000))
+    (fun (rounds, seed) ->
+      let rounds = 1 + (rounds mod 6) in
+      let program = incr_program ~rounds in
+      let d1 = Pram.Driver.create ~procs:3 program in
+      Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d1;
+      let d2 = Pram.Driver.replay ~procs:3 program (Pram.Driver.schedule d1) in
+      List.for_all
+        (fun p -> Pram.Driver.result d1 p = Pram.Driver.result d2 p)
+        [ 0; 1; 2 ]
+      && Pram.Driver.total_steps d1 = Pram.Driver.total_steps d2)
+
+let qcheck_crashes_never_block_others =
+  (* Wait-freedom at the substrate level: crashing some processes never
+     prevents the survivor from finishing its (finite) program. *)
+  QCheck.Test.make ~name:"crashes never block survivors" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let d = Pram.Driver.create ~procs:4 (incr_program ~rounds:5) in
+      Pram.Scheduler.run
+        (Pram.Scheduler.random ~crash_prob:0.2 ~min_alive:1 ~seed ())
+        d;
+      (* After the random run, any process not crashed can finish solo. *)
+      List.for_all
+        (fun p ->
+          match Pram.Driver.status d p with
+          | Pram.Driver.Halted | Pram.Driver.Done -> true
+          | Pram.Driver.Running -> Pram.Driver.run_solo d p)
+        [ 0; 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "solo run" `Quick test_solo_run;
+    Alcotest.test_case "lost update interleaving" `Quick test_lost_update_interleaving;
+    Alcotest.test_case "sequential scheduler" `Quick test_sequential_no_lost_update;
+    Alcotest.test_case "determinism and replay" `Quick test_determinism_replay;
+    Alcotest.test_case "random seed stability" `Quick test_random_seed_stability;
+    Alcotest.test_case "crash halts forever" `Quick test_crash_halts_forever;
+    Alcotest.test_case "pending access view" `Quick test_pending_view;
+    Alcotest.test_case "trace recording" `Quick test_trace_recording;
+    Alcotest.test_case "round robin fairness" `Quick test_round_robin_fair;
+    Alcotest.test_case "of_list scheduler" `Quick test_of_list_scheduler;
+    Alcotest.test_case "zero-access process" `Quick test_zero_access_process;
+    Alcotest.test_case "run_solo budget" `Quick test_run_solo_budget;
+    Alcotest.test_case "prefer_register fallback" `Quick test_prefer_register_scheduler;
+    Alcotest.test_case "native parallel counter" `Quick test_native_parallel_counter;
+    Alcotest.test_case "native counting wrapper" `Quick test_native_counting;
+    QCheck_alcotest.to_alcotest qcheck_replay_determinism;
+    QCheck_alcotest.to_alcotest qcheck_crashes_never_block_others;
+  ]
+
+let () = Alcotest.run "pram" [ ("pram", suite) ]

@@ -1,0 +1,121 @@
+(* Semilattice law tests: associativity, commutativity, idempotence and
+   bottom-identity for every instance, via qcheck. *)
+
+let law_tests (type a) ~name (module L : Semilattice.S with type t = a)
+    (arb : a QCheck.arbitrary) =
+  let open QCheck in
+  [
+    Test.make ~name:(name ^ ": join associative") ~count:200 (triple arb arb arb)
+      (fun (a, b, c) -> L.equal (L.join a (L.join b c)) (L.join (L.join a b) c));
+    Test.make ~name:(name ^ ": join commutative") ~count:200 (pair arb arb)
+      (fun (a, b) -> L.equal (L.join a b) (L.join b a));
+    Test.make ~name:(name ^ ": join idempotent") ~count:200 arb (fun a ->
+        L.equal (L.join a a) a);
+    Test.make ~name:(name ^ ": bottom is identity") ~count:200 arb (fun a ->
+        L.equal (L.join L.bottom a) a && L.equal (L.join a L.bottom) a);
+    Test.make ~name:(name ^ ": leq reflexive") ~count:200 arb (fun a ->
+        Semilattice.leq (module L) a a);
+    Test.make ~name:(name ^ ": join is upper bound") ~count:200 (pair arb arb)
+      (fun (a, b) ->
+        Semilattice.leq (module L) a (L.join a b)
+        && Semilattice.leq (module L) b (L.join a b));
+  ]
+
+module Int_set_union = Semilattice.Set_union (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+module Int_vector = Semilattice.Vector (Semilattice.Nat_max)
+module Tagged_int = Semilattice.Tagged (struct
+  type t = int
+
+  let default = 0
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+module Nat_pair = Semilattice.Pair (Semilattice.Nat_max) (Semilattice.Nat_max)
+
+module Int_log = Semilattice.Grow_list (struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+let set_gen =
+  QCheck.map Int_set_union.of_list QCheck.(small_list small_int)
+
+let vector_gen =
+  (* Vectors of a fixed width 4, or bottom — mirrors actual usage where a
+     single object picks one width. *)
+  QCheck.map
+    (fun l ->
+      match l with
+      | None -> Int_vector.bottom
+      | Some (a, b, c, d) -> [| a; b; c; d |])
+    QCheck.(option (quad small_nat small_nat small_nat small_nat))
+
+(* Tags must determine values for Tagged to be a lattice (single-writer
+   discipline); generate accordingly: value = tag * 10. *)
+let tagged_gen =
+  QCheck.map (fun t -> Tagged_int.make ~tag:t (t * 10)) QCheck.small_nat
+
+(* Logs must be prefix-comparable (single-writer discipline): generate
+   prefixes of a fixed infinite sequence. *)
+let log_gen =
+  QCheck.map
+    (fun n ->
+      let rec build acc i = if i = n then acc else build (Int_log.append acc i) (i + 1) in
+      build Int_log.empty 0)
+    QCheck.small_nat
+
+let unit_tests =
+  [
+    Alcotest.test_case "vector singleton" `Quick (fun () ->
+        let v = Int_vector.singleton ~width:3 1 7 in
+        Alcotest.(check bool) "slots" true (v = [| 0; 7; 0 |]));
+    Alcotest.test_case "vector width mismatch rejected" `Quick (fun () ->
+        Alcotest.check_raises "join"
+          (Invalid_argument "Semilattice.Vector.join: width mismatch")
+          (fun () -> ignore (Int_vector.join [| 1 |] [| 1; 2 |])));
+    Alcotest.test_case "tagged keeps higher tag" `Quick (fun () ->
+        let a = Tagged_int.make ~tag:3 30 and b = Tagged_int.make ~tag:5 50 in
+        Alcotest.(check int) "value" 50 (Tagged_int.value (Tagged_int.join a b));
+        Alcotest.(check int) "tag" 5 (Tagged_int.tag (Tagged_int.join a b)));
+    Alcotest.test_case "grow list order" `Quick (fun () ->
+        let l = Int_log.append (Int_log.append Int_log.empty 1) 2 in
+        Alcotest.(check (list int)) "oldest first" [ 1; 2 ] (Int_log.to_list l);
+        Alcotest.(check int) "length" 2 (Int_log.length l));
+    Alcotest.test_case "comparable helper" `Quick (fun () ->
+        Alcotest.(check bool) "3 vs 5" true
+          (Semilattice.comparable (module Semilattice.Nat_max) 3 5);
+        let a = Int_set_union.of_list [ 1 ] and b = Int_set_union.of_list [ 2 ] in
+        Alcotest.(check bool) "disjoint sets incomparable" false
+          (Semilattice.comparable (module Int_set_union) a b));
+  ]
+
+let () =
+  let qsuite =
+    List.concat
+      [
+        law_tests ~name:"Int_max" (module Semilattice.Int_max) QCheck.int;
+        law_tests ~name:"Nat_max" (module Semilattice.Nat_max) QCheck.small_nat;
+        law_tests ~name:"Float_max"
+          (module Semilattice.Float_max)
+          QCheck.(map float_of_int small_int);
+        law_tests ~name:"Set_union" (module Int_set_union) set_gen;
+        law_tests ~name:"Vector" (module Int_vector) vector_gen;
+        law_tests ~name:"Tagged" (module Tagged_int) tagged_gen;
+        law_tests ~name:"Pair"
+          (module Nat_pair)
+          QCheck.(pair small_nat small_nat);
+        law_tests ~name:"Grow_list" (module Int_log) log_gen;
+      ]
+    |> List.map QCheck_alcotest.to_alcotest
+  in
+  Alcotest.run "semilattice"
+    [ ("laws", qsuite); ("units", unit_tests) ]

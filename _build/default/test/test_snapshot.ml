@@ -1,0 +1,576 @@
+(* Tests for the Section 6 atomic scan and its baselines.
+
+   The central checks:
+   - Lemma 32 (comparability): values returned by concurrent Scans are
+     always comparable in the lattice, under random schedules and crashes;
+   - Theorem 33 (linearizability): recorded Scan histories pass the
+     linearizability checker against the scan object's sequential spec;
+   - Section 6.2 (cost): a Scan performs exactly n^2+n+1 reads / n+2
+     writes (plain) and n^2-1 reads / n+1 writes (optimized);
+   - the naive collect baseline FAILS the checker on a crafted schedule;
+   - the double-collect baseline starves under an adversary, while our
+     scan and the Afek et al. baseline terminate. *)
+
+module L = Semilattice.Nat_max
+module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
+
+(* Direct-backend instantiations for sequential (outside-the-driver)
+   tests. *)
+module Scan_d = Snapshot.Scan.Make (L) (Pram.Memory.Direct)
+module Arr_d =
+  Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
+module DC_d =
+  Snapshot.Double_collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
+module AF_d = Snapshot.Afek.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
+module Set_lat = Semilattice.Set_union (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+module Scan_set = Snapshot.Scan.Make (Set_lat) (Pram.Memory.Sim)
+
+module Scan_seq_spec = Snapshot.Scan_spec.Make (L)
+module Scan_check = Lincheck.Make (Scan_seq_spec)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- basic sequential behaviour ---------------------------------------- *)
+
+let test_scan_sequential () =
+  let t = Scan_d.create ~procs:3 in
+  check_int "first scan returns own value" 5 (Scan_d.scan t ~pid:0 5);
+  check_int "second process sees the join" 7 (Scan_d.scan t ~pid:1 7);
+  check_int "read_max sees the join" 7 (Scan_d.read_max t ~pid:2);
+  Scan_d.write_l t ~pid:2 9;
+  check_int "after write_l" 9 (Scan_d.read_max t ~pid:0)
+
+let test_scan_plain_equals_optimized () =
+  let run variant =
+    let t = Scan_d.create ~procs:2 in
+    let a = Scan_d.scan ~variant t ~pid:0 3 in
+    let b = Scan_d.scan ~variant t ~pid:1 8 in
+    let c = Scan_d.read_max ~variant t ~pid:0 in
+    (a, b, c)
+  in
+  check_bool "variants agree sequentially" true
+    (run Snapshot.Scan.Plain = run Snapshot.Scan.Optimized)
+
+(* --- Section 6.2 cost formulas (experiment E5's unit-level form) ------- *)
+
+let scan_cost ~procs ~variant =
+  let program () =
+    let t = Scan.create ~procs in
+    fun pid -> Scan.scan ~variant t ~pid (pid + 1)
+  in
+  let d = Pram.Driver.create ~procs program in
+  (* run only process 0 to completion; count its steps *)
+  check_bool "finished" true (Pram.Driver.run_solo d 0);
+  Pram.Driver.steps d 0
+
+let test_cost_plain () =
+  List.iter
+    (fun n ->
+      let reads, writes = Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Plain in
+      check_int
+        (Printf.sprintf "plain scan cost at n=%d" n)
+        (reads + writes)
+        (scan_cost ~procs:n ~variant:Snapshot.Scan.Plain))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_cost_optimized () =
+  List.iter
+    (fun n ->
+      let reads, writes =
+        Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Optimized
+      in
+      check_int
+        (Printf.sprintf "optimized scan cost at n=%d" n)
+        (reads + writes)
+        (scan_cost ~procs:n ~variant:Snapshot.Scan.Optimized))
+    [ 1; 2; 3; 5; 8 ]
+
+(* --- Lemma 32: comparability of concurrent scan results ---------------- *)
+
+let qcheck_comparability =
+  QCheck.Test.make ~name:"Lemma 32: scan results pairwise comparable"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1))
+    (fun (seed, crashes) ->
+      let procs = 3 in
+      let program () =
+        let t = Scan_set.create ~procs in
+        fun pid ->
+          (* two scans per process, each contributing a distinct element *)
+          let r1 = Scan_set.scan t ~pid (Set_lat.of_list [ (pid * 2) + 1 ]) in
+          let r2 = Scan_set.scan t ~pid (Set_lat.of_list [ (pid * 2) + 2 ]) in
+          [ r1; r2 ]
+      in
+      let d = Pram.Driver.create ~procs program in
+      let crash_prob = if crashes = 1 then 0.05 else 0.0 in
+      Pram.Scheduler.run
+        (Pram.Scheduler.random ~crash_prob ~min_alive:1 ~seed ())
+        d;
+      (* finish the survivors *)
+      for p = 0 to procs - 1 do
+        if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+      done;
+      let results =
+        List.concat_map
+          (fun p -> match Pram.Driver.result d p with Some l -> l | None -> [])
+          [ 0; 1; 2 ]
+      in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> Semilattice.comparable (module Set_lat) a b)
+            results)
+        results)
+
+(* --- Theorem 33: linearizability under random schedules ---------------- *)
+
+(* One run of the write/read workload: each process does Write_l then
+   Read_max, under a random schedule; returns the recorded history. *)
+let scan_object_history ~procs ~seed ~with_crash =
+  let recorder = Spec.History.Recorder.create () in
+  let program () =
+    let t = Scan.create ~procs in
+    fun pid ->
+      ignore
+        (Spec.History.Recorder.record recorder ~pid (`Write_l (pid + 1))
+           (fun () ->
+             Scan.write_l t ~pid (pid + 1);
+             `Unit));
+      ignore
+        (Spec.History.Recorder.record recorder ~pid `Read_max (fun () ->
+             `Join (Scan.read_max t ~pid)))
+  in
+  let d = Pram.Driver.create ~procs program in
+  let crash_prob = if with_crash then 0.05 else 0.0 in
+  Pram.Scheduler.run (Pram.Scheduler.random ~crash_prob ~min_alive:1 ~seed ()) d;
+  for p = 0 to procs - 1 do
+    if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+  done;
+  Spec.History.Recorder.events recorder
+
+let qcheck_scan_linearizable =
+  QCheck.Test.make ~name:"Theorem 33: write_l/read_max histories linearizable"
+    ~count:300
+    QCheck.(pair (int_bound 1_000_000) bool)
+    (fun (seed, with_crash) ->
+      Scan_check.is_linearizable
+        (scan_object_history ~procs:3 ~seed ~with_crash))
+
+(* The combined Scan primitive — contribute v and return the join, as one
+   atomic operation — is STRICTLY STRONGER than the paper's object, and
+   the implementation does not provide it: a Write_L's internal value may
+   contain contributions of operations that must linearize after it.
+   This test documents the distinction by finding a violating schedule. *)
+let test_combined_scan_not_atomic () =
+  let module Combined = struct
+    type state = int
+    type operation = int
+    type response = int
+
+    let initial = 0
+
+    let apply s v =
+      let s' = max s v in
+      (s', s')
+
+    let commutes _ _ = false
+    let overwrites _ _ = false
+    let equal_state = Int.equal
+    let equal_response = Int.equal
+    let pp_operation = Format.pp_print_int
+    let pp_response = Format.pp_print_int
+    let pp_state = Format.pp_print_int
+  end in
+  let module Check = Lincheck.Make (Combined) in
+  let violation_for_seed seed =
+    let procs = 3 in
+    let recorder = Spec.History.Recorder.create () in
+    let program () =
+      let t = Scan.create ~procs in
+      fun pid ->
+        for round = 0 to 1 do
+          let v = 1 + (pid * 2) + round in
+          ignore
+            (Spec.History.Recorder.record recorder ~pid v (fun () ->
+                 Scan.scan t ~pid v))
+        done
+    in
+    let d = Pram.Driver.create ~procs program in
+    Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+    not (Check.is_linearizable (Spec.History.Recorder.events recorder))
+  in
+  let rec exists seed =
+    if seed > 2000 then false
+    else violation_for_seed seed || exists (seed + 1)
+  in
+  Alcotest.(check bool)
+    "a schedule violating atomic fetch-and-join exists" true (exists 0)
+
+(* Lemma 29's flavor, observed at the object level: values returned by
+   real-time-ordered operations are monotone in the lattice — a process's
+   successive read_max results never decrease, and a read_max that begins
+   after another completes returns at least as much. *)
+let qcheck_scan_monotone =
+  QCheck.Test.make ~name:"Lemma 29: read_max monotone per process"
+    ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let procs = 3 in
+      let program () =
+        let t = Scan.create ~procs in
+        fun pid ->
+          Scan.write_l t ~pid (pid + 1);
+          let a = Scan.read_max t ~pid in
+          let b = Scan.read_max t ~pid in
+          Scan.write_l t ~pid (10 * (pid + 1));
+          let c = Scan.read_max t ~pid in
+          (a, b, c)
+      in
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+      for p = 0 to procs - 1 do
+        if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+      done;
+      List.for_all
+        (fun p ->
+          match Pram.Driver.result d p with
+          | Some (a, b, c) -> a <= b && b <= c && c >= 10 * (p + 1)
+          | None -> false)
+        (List.init procs Fun.id))
+
+(* --- wait-freedom: solo completion no matter what others did ----------- *)
+
+let qcheck_wait_free =
+  QCheck.Test.make ~name:"scan is wait-free (solo completion, others crashed)"
+    ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound 200))
+    (fun (seed, prefix_len) ->
+      let procs = 4 in
+      let program () =
+        let t = Scan.create ~procs in
+        fun pid -> Scan.scan t ~pid pid
+      in
+      (* random prefix, then crash everyone except process 0 *)
+      let d = Pram.Driver.create ~procs program in
+      let sched = Pram.Scheduler.random ~seed () in
+      (try
+         for _ = 1 to prefix_len do
+           match sched d with
+           | Pram.Scheduler.Step p -> Pram.Driver.step d p
+           | _ -> ()
+         done
+       with _ -> ());
+      for p = 1 to procs - 1 do
+        Pram.Driver.crash d p
+      done;
+      (* the scan must finish within its deterministic step bound *)
+      let reads, writes =
+        Snapshot.Scan.cost_formula ~procs Snapshot.Scan.Optimized
+      in
+      let bound = reads + writes in
+      (not (Pram.Driver.runnable d 0))
+      || Pram.Driver.run_solo ~max_steps:bound d 0)
+
+(* --- snapshot array on top of the scan --------------------------------- *)
+
+module Arr = Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+module Arr_spec =
+  Snapshot.Array_spec.Make
+    (Snapshot.Slot_value.Int)
+    (struct
+      let procs = 3
+    end)
+
+module Arr_check = Lincheck.Make (Arr_spec)
+
+let snapshot_array_program ~procs recorder () =
+  let t = Arr.create ~procs in
+  fun pid ->
+    Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
+      (fun () ->
+        Arr.update t ~pid (pid + 10);
+        `Unit)
+    |> ignore;
+    Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+        `View (Arr.snapshot t ~pid))
+    |> ignore
+
+let qcheck_snapshot_array_linearizable =
+  QCheck.Test.make ~name:"snapshot array linearizable" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let procs = 3 in
+      let recorder = Spec.History.Recorder.create () in
+      let d =
+        Pram.Driver.create ~procs (snapshot_array_program ~procs recorder)
+      in
+      Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+      Arr_check.is_linearizable (Spec.History.Recorder.events recorder))
+
+let test_snapshot_array_sequential () =
+  let t = Arr_d.create ~procs:3 in
+  Arr_d.update t ~pid:0 100;
+  Arr_d.update t ~pid:2 300;
+  let view = Arr_d.snapshot t ~pid:1 in
+  check_bool "view" true (view = [| 100; 0; 300 |]);
+  Arr_d.update t ~pid:0 111;
+  let view = Arr_d.snapshot t ~pid:2 in
+  check_bool "updated view" true (view = [| 111; 0; 300 |])
+
+(* --- the naive collect is NOT atomic ------------------------------------ *)
+
+module Naive = Snapshot.Collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+
+let test_naive_collect_violation () =
+  (* Two writers p0 (slot 0) and p1 (slot 1); reader p2 collects.
+     Schedule: p2 reads slot0 (=0); p0 writes slot0=1; p1 (after seeing
+     p0's write via its own read) writes slot1=1; p2 reads slot1 (=1).
+     p2's view [0; 1] is inconsistent with the write order: slot1 was
+     written strictly after slot0, so any atomic view showing slot1=1 must
+     show slot0=1.  The checker sees the writes' real-time order and the
+     reader's view and must reject. *)
+  let recorder = Spec.History.Recorder.create () in
+  let program () =
+    let t = Naive.create ~procs:3 in
+    fun pid ->
+      match pid with
+      | 0 ->
+          ignore
+            (Spec.History.Recorder.record recorder ~pid (`Update (0, 1))
+               (fun () ->
+                 Naive.update t ~pid 1;
+                 `Unit))
+      | 1 ->
+          ignore
+            (Spec.History.Recorder.record recorder ~pid (`Update (1, 1))
+               (fun () ->
+                 Naive.update t ~pid 1;
+                 `Unit))
+      | _ ->
+          ignore
+            (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+                 `View (Naive.snapshot t ~pid)))
+  in
+  let d = Pram.Driver.create ~procs:3 program in
+  (* p2's snapshot reads slots in order 0,1. *)
+  Pram.Driver.step d 2 (* p2 reads slot0 = 0 *);
+  Pram.Driver.step d 0 (* p0 writes slot0 = 1 *);
+  Pram.Driver.step d 1 (* p1 writes slot1 = 1 (after p0 in real time) *);
+  Pram.Driver.step d 2 (* p2 reads slot1 = 1 *);
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  check_bool "naive collect rejected" false
+    (Arr_check.is_linearizable (Spec.History.Recorder.events recorder))
+
+(* --- double collect: linearizable but starvable ------------------------- *)
+
+module DC = Snapshot.Double_collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+
+let test_double_collect_correct_when_quiet () =
+  let t = DC_d.create ~procs:2 in
+  DC_d.update t ~pid:0 5;
+  let v = DC_d.snapshot_exn t ~pid:1 in
+  check_bool "view" true (v = [| 5; 0 |])
+
+let test_double_collect_starves () =
+  (* Adversary: let the reader finish one collect, then always schedule a
+     writer write between the reader's collects.  The reader never sees
+     two equal collects. *)
+  let program () =
+    let t = DC.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then begin
+        (* endless writer *)
+        for i = 1 to 1_000 do
+          DC.update t ~pid i
+        done;
+        None
+      end
+      else DC.snapshot ~max_rounds:50 t ~pid
+  in
+  let d = Pram.Driver.create ~procs:2 program in
+  (* interleave: 1 writer write (2 slots... update = 1 write), then the
+     reader's full collect (2 reads), repeatedly *)
+  let rec loop k =
+    if k = 0 then ()
+    else if Pram.Driver.runnable d 1 then begin
+      if Pram.Driver.runnable d 0 then Pram.Driver.step d 0;
+      if Pram.Driver.runnable d 1 then begin
+        Pram.Driver.step d 1;
+        if Pram.Driver.runnable d 1 then Pram.Driver.step d 1
+      end;
+      loop (k - 1)
+    end
+  in
+  loop 400;
+  (* reader exhausted its rounds without success *)
+  if Pram.Driver.runnable d 1 then ignore (Pram.Driver.run_solo d 1);
+  match Pram.Driver.result d 1 with
+  | Some None -> () (* starved, as expected *)
+  | Some (Some _) -> Alcotest.fail "double collect unexpectedly succeeded"
+  | None -> Alcotest.fail "reader did not finish"
+
+(* --- Afek et al.: wait-free via helping --------------------------------- *)
+
+module AF = Snapshot.Afek.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+module AB = Snapshot.Afek_bounded.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+module AB_d = Snapshot.Afek_bounded.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
+
+let test_afek_sequential () =
+  let t = AF_d.create ~procs:3 in
+  AF_d.update t ~pid:0 7;
+  AF_d.update t ~pid:1 8;
+  let v = AF_d.snapshot t ~pid:2 in
+  check_bool "view" true (v = [| 7; 8; 0 |])
+
+let qcheck_afek_linearizable =
+  QCheck.Test.make ~name:"afek snapshot linearizable" ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let procs = 3 in
+      let recorder = Spec.History.Recorder.create () in
+      let program () =
+        let t = AF.create ~procs in
+        fun pid ->
+          ignore
+            (Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
+               (fun () ->
+                 AF.update t ~pid (pid + 10);
+                 `Unit));
+          ignore
+            (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+                 `View (AF.snapshot t ~pid)))
+      in
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+      Arr_check.is_linearizable (Spec.History.Recorder.events recorder))
+
+let test_afek_bounded_sequential () =
+  let t = AB_d.create ~procs:3 in
+  AB_d.update t ~pid:0 7;
+  AB_d.update t ~pid:1 8;
+  check_bool "view" true (AB_d.snapshot t ~pid:2 = [| 7; 8; 0 |]);
+  AB_d.update t ~pid:0 9;
+  check_bool "second view" true (AB_d.snapshot t ~pid:1 = [| 9; 8; 0 |])
+
+let qcheck_afek_bounded_linearizable =
+  QCheck.Test.make ~name:"bounded afek snapshot linearizable" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let procs = 3 in
+      let recorder = Spec.History.Recorder.create () in
+      let program () =
+        let t = AB.create ~procs in
+        fun pid ->
+          ignore
+            (Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
+               (fun () ->
+                 AB.update t ~pid (pid + 10);
+                 `Unit));
+          ignore
+            (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
+                 `View (AB.snapshot t ~pid)))
+      in
+      let d = Pram.Driver.create ~procs program in
+      Pram.Scheduler.run ~max_steps:5_000_000 (Pram.Scheduler.random ~seed ()) d;
+      Arr_check.is_linearizable (Spec.History.Recorder.events recorder))
+
+let qcheck_afek_bounded_wait_free =
+  QCheck.Test.make ~name:"bounded afek scan bounded under contention"
+    ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_bound 300))
+    (fun (seed, prefix_len) ->
+      let procs = 3 in
+      let program () =
+        let t = AB.create ~procs in
+        fun pid ->
+          if pid = 0 then ignore (AB.snapshot t ~pid)
+          else
+            for i = 1 to 30 do
+              AB.update t ~pid i
+            done
+      in
+      let d = Pram.Driver.create ~procs program in
+      let sched = Pram.Scheduler.random ~seed () in
+      for _ = 1 to prefix_len do
+        match sched d with
+        | Pram.Scheduler.Step p -> Pram.Driver.step d p
+        | _ -> ()
+      done;
+      (not (Pram.Driver.runnable d 0)) || Pram.Driver.run_solo ~max_steps:500 d 0)
+
+let qcheck_afek_wait_free_bound =
+  QCheck.Test.make ~name:"afek scan bounded despite concurrency" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_bound 300))
+    (fun (seed, prefix_len) ->
+      let procs = 3 in
+      let program () =
+        let t = AF.create ~procs in
+        fun pid ->
+          if pid = 0 then begin
+            ignore (AF.snapshot t ~pid);
+            [||]
+          end
+          else begin
+            for i = 1 to 50 do
+              AF.update t ~pid i
+            done;
+            [||]
+          end
+      in
+      let d = Pram.Driver.create ~procs program in
+      let sched = Pram.Scheduler.random ~seed () in
+      (try
+         for _ = 1 to prefix_len do
+           match sched d with
+           | Pram.Scheduler.Step p -> Pram.Driver.step d p
+           | _ -> ()
+         done
+       with _ -> ());
+      (* reader must finish within O(n^2 * updates-in-flight) steps solo *)
+      (not (Pram.Driver.runnable d 0)) || Pram.Driver.run_solo ~max_steps:200 d 0)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "sequential joins" `Quick test_scan_sequential;
+          Alcotest.test_case "variants agree" `Quick test_scan_plain_equals_optimized;
+          Alcotest.test_case "cost: plain formula" `Quick test_cost_plain;
+          Alcotest.test_case "cost: optimized formula" `Quick test_cost_optimized;
+          QCheck_alcotest.to_alcotest qcheck_comparability;
+          QCheck_alcotest.to_alcotest qcheck_scan_linearizable;
+          Alcotest.test_case "combined fetch-and-join is not atomic" `Quick
+            test_combined_scan_not_atomic;
+          QCheck_alcotest.to_alcotest qcheck_scan_monotone;
+          QCheck_alcotest.to_alcotest qcheck_wait_free;
+        ] );
+      ( "snapshot array",
+        [
+          Alcotest.test_case "sequential" `Quick test_snapshot_array_sequential;
+          QCheck_alcotest.to_alcotest qcheck_snapshot_array_linearizable;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "naive collect violates atomicity" `Quick
+            test_naive_collect_violation;
+          Alcotest.test_case "double collect correct when quiet" `Quick
+            test_double_collect_correct_when_quiet;
+          Alcotest.test_case "double collect starves" `Quick
+            test_double_collect_starves;
+          Alcotest.test_case "afek sequential" `Quick test_afek_sequential;
+          QCheck_alcotest.to_alcotest qcheck_afek_linearizable;
+          QCheck_alcotest.to_alcotest qcheck_afek_wait_free_bound;
+          Alcotest.test_case "bounded afek sequential" `Quick
+            test_afek_bounded_sequential;
+          QCheck_alcotest.to_alcotest qcheck_afek_bounded_linearizable;
+          QCheck_alcotest.to_alcotest qcheck_afek_bounded_wait_free;
+        ] );
+    ]
