@@ -144,88 +144,125 @@ let counter_cmd =
 (* --- explore ------------------------------------------------------------------ *)
 
 let explore_cmd =
-  let run () =
-    (* exhaustively model-check the atomic snapshot vs the naive collect
-       on the same tiny workload, printing the violation census *)
-    let module V = Snapshot.Slot_value.Int in
-    let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim) in
-    let module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim) in
-    let module Spec2 =
-      Snapshot.Array_spec.Make
-        (V)
-        (struct
-          let procs = 2
-        end)
-    in
-    let module Spec3 =
-      Snapshot.Array_spec.Make
-        (V)
-        (struct
-          let procs = 3
-        end)
-    in
-    let module Check = Lincheck.Make (Spec2) in
-    let module Check3 = Lincheck.Make (Spec3) in
-    let recorder = ref (Spec.History.Recorder.create ()) in
-    let run_one ?(procs = 2) name program =
-      let check_events =
-        if procs = 2 then fun ev -> Check.is_linearizable ev
-        else fun ev -> Check3.is_linearizable ev
+  let naive_flag =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Enumerate every maximal schedule (the default; sound for \
+             linearizability).  Mutually exclusive with $(b,--dpor).")
+  in
+  let dpor_flag =
+    Arg.(
+      value & flag
+      & info [ "dpor" ]
+          ~doc:
+            "Use dynamic partial-order reduction: orders of magnitude \
+             fewer schedules, but violations living purely in the \
+             real-time order of independent accesses (such as the naive \
+             collect's) can be missed — states are preserved under \
+             commuting, event order is not.")
+  in
+  let shrink_flag =
+    Arg.(
+      value & opt bool true
+      & info [ "shrink" ] ~docv:"BOOL"
+          ~doc:
+            "Delta-debug a failing schedule to a locally minimal \
+             counterexample before printing it.")
+  in
+  let max_schedules =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Stop the search after exploring N schedules.")
+  in
+  let run naive dpor shrink max_schedules =
+    if naive && dpor then `Error (false, "--naive and --dpor are exclusive")
+    else begin
+      let mode =
+        if dpor then Pram.Explore.Dpor else Pram.Explore.Naive
       in
-      let outcome =
-        Pram.Explore.exhaustive ~max_schedules:2_000_000 ~procs program
-          (fun _d _sched ->
-            check_events (Spec.History.Recorder.events !recorder))
+      let module V = Snapshot.Slot_value.Int in
+      let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim) in
+      let module Naive_c = Snapshot.Collect.Make (V) (Pram.Memory.Sim) in
+      let module Spec2 =
+        Snapshot.Array_spec.Make
+          (V)
+          (struct
+            let procs = 2
+          end)
       in
-      Printf.printf
-        "%-16s %7d interleavings explored, %5d non-linearizable%s\n" name
-        outcome.Pram.Explore.explored
-        (List.length outcome.Pram.Explore.failures)
-        (if outcome.Pram.Explore.truncated then " (TRUNCATED)" else "")
-    in
-    let atomic_program () =
-      recorder := Spec.History.Recorder.create ();
-      let t = Arr.create ~procs:2 in
-      fun pid ->
-        if pid = 0 then
-          ignore
-            (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
-               (fun () ->
-                 Arr.update t ~pid 10;
-                 `Unit))
-        else
-          ignore
-            (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
-                 `View (Arr.snapshot t ~pid)))
-    in
-    let naive_program () =
-      recorder := Spec.History.Recorder.create ();
-      let t = Naive.create ~procs:3 in
-      fun pid ->
-        if pid < 2 then
-          ignore
-            (Spec.History.Recorder.record !recorder ~pid (`Update (pid, pid + 10))
-               (fun () ->
-                 Naive.update t ~pid (pid + 10);
-                 `Unit))
-        else
-          ignore
-            (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
-                 `View (Naive.snapshot t ~pid)))
-    in
-    print_endline
-      "exhaustive model checking: updaters vs one snapshotter, every \
-       interleaving";
-    run_one "atomic scan" atomic_program;
-    run_one ~procs:3 "naive collect" naive_program;
-    `Ok ()
+      let module Spec3 =
+        Snapshot.Array_spec.Make
+          (V)
+          (struct
+            let procs = 3
+          end)
+      in
+      let module Check2 = Lincheck.Make (Spec2) in
+      let module Check3 = Lincheck.Make (Spec3) in
+      (* the atomic snapshot: updater vs snapshotter, every interleaving
+         (or one representative of each equivalence class) is clean *)
+      let recorder2 = ref (Spec.History.Recorder.create ()) in
+      let atomic_program () =
+        recorder2 := Spec.History.Recorder.create ();
+        let t = Arr.create ~procs:2 in
+        fun pid ->
+          if pid = 0 then
+            ignore
+              (Spec.History.Recorder.record !recorder2 ~pid (`Update (0, 10))
+                 (fun () ->
+                   Arr.update t ~pid 10;
+                   `Unit))
+          else
+            ignore
+              (Spec.History.Recorder.record !recorder2 ~pid `Snapshot
+                 (fun () -> `View (Arr.snapshot t ~pid)))
+      in
+      print_endline
+        "atomic scan, updater vs snapshotter (2 processes, correct):";
+      let report =
+        Check2.explore_check ~mode ~shrink ~max_schedules ~procs:2
+          ~recorder:recorder2 atomic_program
+      in
+      Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report report;
+      (* the naive collect: two updaters vs a snapshotter is NOT
+         linearizable; the explorer finds, shrinks and prints a
+         counterexample schedule with its history *)
+      let recorder3 = ref (Spec.History.Recorder.create ()) in
+      let collect_program () =
+        recorder3 := Spec.History.Recorder.create ();
+        let t = Naive_c.create ~procs:3 in
+        fun pid ->
+          if pid < 2 then
+            ignore
+              (Spec.History.Recorder.record !recorder3 ~pid
+                 (`Update (pid, pid + 10)) (fun () ->
+                   Naive_c.update t ~pid (pid + 10);
+                   `Unit))
+          else
+            ignore
+              (Spec.History.Recorder.record !recorder3 ~pid `Snapshot
+                 (fun () -> `View (Naive_c.snapshot t ~pid)))
+      in
+      print_endline "naive collect, 2 updaters vs snapshotter (3 processes, buggy):";
+      let report =
+        Check3.explore_check ~mode ~shrink ~max_schedules ~procs:3
+          ~recorder:recorder3 collect_program
+      in
+      Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report report;
+      `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
-         "Exhaustively model-check the atomic snapshot against the naive \
-          collect.")
-    Term.(ret (const run $ const ()))
+         "Model-check the atomic snapshot (clean) and the naive collect \
+          (broken) over every schedule; failing schedules are shrunk to \
+          minimal counterexamples.  $(b,--dpor) prunes the search to one \
+          representative per Mazurkiewicz trace.")
+    Term.(ret (const run $ naive_flag $ dpor_flag $ shrink_flag $ max_schedules))
 
 (* --- lincheck-demo ----------------------------------------------------------- *)
 

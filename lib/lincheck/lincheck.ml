@@ -116,4 +116,20 @@ module Make (O : Spec.Object_spec.S) = struct
         Format.fprintf ppf "p%d: %a" c.Spec.History.c_pid O.pp_operation
           c.Spec.History.c_op)
       ppf calls
+
+  (* The unified checker entry point: wire Pram.Explore (DPOR by
+     default) straight to this checker.  [recorder] must be re-created
+     by every instantiation of [program] — the recorder-by-reference
+     idiom the exhaustive tests already use — so that at every leaf the
+     ref holds exactly the just-completed execution's history. *)
+  let explore_check ?mode ?shrink ?max_schedules ?max_crashes ~procs ~recorder
+      program =
+    Pram.Explore.check_linearizable ?mode ?shrink ?max_schedules ?max_crashes
+      ~procs program
+      ~linearizable:(fun () ->
+        is_linearizable (Spec.History.Recorder.events !recorder))
+      ~pp_history:(fun ppf () ->
+        Spec.History.pp O.pp_operation O.pp_response ppf
+          (Spec.History.Recorder.events !recorder))
+      ()
 end

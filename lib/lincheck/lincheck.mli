@@ -32,4 +32,21 @@ module Make (O : Spec.Object_spec.S) : sig
   val check_calls : call array -> verdict
 
   val pp_witness : Format.formatter -> call list -> unit
+
+  (** [explore_check ~procs ~recorder program] explores every schedule
+      of [program] (naive enumeration by default; [~mode:Dpor] for
+      partial-order reduction, with the caveat documented at
+      {!Pram.Explore.check_linearizable}) and checks the history in
+      [!recorder] at each completed execution.  [program] must re-create
+      [recorder] on each instantiation.  On failure the counterexample
+      schedule is shrunk and rendered along with its history. *)
+  val explore_check :
+    ?mode:Pram.Explore.mode ->
+    ?shrink:bool ->
+    ?max_schedules:int ->
+    ?max_crashes:int ->
+    procs:int ->
+    recorder:(O.operation, O.response) Spec.History.Recorder.t ref ->
+    (unit -> int -> 'x) ->
+    Pram.Explore.report
 end

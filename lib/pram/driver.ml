@@ -99,6 +99,10 @@ let start_process (type r) (t : r t) p =
 
 let create ?(record_trace = false) ~procs setup =
   if procs <= 0 then invalid_arg "Driver.create: procs must be positive";
+  (* Make register ids a function of the step sequence alone, so that
+     explorers can compare ids across instances replaying the same
+     prefix (see Register.reset_ids). *)
+  Register.reset_ids ();
   let body = setup () in
   {
     procs;
@@ -135,6 +139,23 @@ let pending t p =
   | Suspended pd ->
       Some { v_kind = pd.kind; v_reg_id = pd.reg_id; v_reg_name = pd.reg_name }
   | Finished _ | Crashed -> None
+
+type lookahead =
+  | Lk_unknown
+  | Lk_access of pending_view
+  | Lk_done
+
+(* Like [pending], but never forces a [Not_started] process: its
+   prologue (which may record history events) keeps running at its first
+   [step], exactly as under any other scheduler.  Explore's DPOR uses
+   this and treats [Lk_unknown] as dependent with everything. *)
+let lookahead t p =
+  match t.cells.(p) with
+  | Not_started -> Lk_unknown
+  | Suspended pd ->
+      Lk_access
+        { v_kind = pd.kind; v_reg_id = pd.reg_id; v_reg_name = pd.reg_name }
+  | Finished _ | Crashed -> Lk_done
 
 let result t p = match t.cells.(p) with Finished r -> Some r | _ -> None
 let steps t p = t.steps.(p)

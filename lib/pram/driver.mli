@@ -46,6 +46,16 @@ val create : ?record_trace:bool -> procs:int -> (unit -> int -> 'r) -> 'r t
 val procs : 'r t -> int
 val status : 'r t -> int -> status
 val pending : 'r t -> int -> pending_view option
+
+type lookahead =
+  | Lk_unknown  (** not started; finding out would run its prologue *)
+  | Lk_access of pending_view  (** next access of a started process *)
+  | Lk_done  (** finished or crashed: no further access *)
+
+(** Like {!pending} but never forces a [Not_started] process, so
+    prologues still run at first-{!step} time (history events stay
+    faithful to the schedule).  Used by {!Explore}'s DPOR lookahead. *)
+val lookahead : 'r t -> int -> lookahead
 val result : 'r t -> int -> 'r option
 
 (** Number of accesses fired so far by one process / by all processes. *)

@@ -1,109 +1,572 @@
-(* Exhaustive schedule exploration (bounded model checking).
+(* Schedule exploration (bounded model checking), naive and DPOR-pruned.
 
    Because executions are deterministic functions of their schedules
    ([Driver.replay]), the set of all behaviours of a program up to a step
    bound is exactly the set of maximal schedules — enumerable by DFS.
-   [exhaustive] enumerates every schedule (optionally with crash
-   injection) and calls a user check on each completed execution; the
-   test suite uses this to verify linearizability of the paper's
-   algorithms over EVERY interleaving of small configurations, not just
-   random samples.
+   [exhaustive] enumerates schedules (optionally with crash injection)
+   and calls a user check on each completed execution; the test suite
+   uses this to verify linearizability of the paper's algorithms over
+   EVERY interleaving of small configurations, not just random samples.
+
+   Two modes:
+
+   - [Naive] enumerates every maximal schedule.  This is the right tool
+     when the user check counts schedules (violation censuses) or when
+     crash branches are injected.
+
+   - [Dpor] is dynamic partial-order reduction in the style of Flanagan
+     and Godefroid (POPL 2005) with sleep sets (Godefroid's thesis; see
+     also dejafu's BPOR).  Two accesses are DEPENDENT iff they touch the
+     same register and at least one is a write; schedules that only
+     reorder independent accesses reach the same final state, so it
+     suffices to explore one representative per Mazurkiewicz trace.
+     After each step of the search the explorer computes backtrack
+     points from the happens-before relation of the executed prefix
+     (tracked with vector clocks) and only revisits schedules that flip
+     a dependent pair; sleep sets additionally prune branches whose
+     first step commutes with an already-explored sibling.  On the
+     paper's algorithms this cuts schedule counts by orders of
+     magnitude, making 3-4 process configurations checkable.
+
+   Soundness caveat (inherent to any POR): DPOR preserves properties
+   that are invariant under commuting independent accesses.  Final
+   states and operation results are; the *real-time order* of recorded
+   history events attached to independent accesses of different
+   processes is not, so a history that is non-linearizable only due to
+   the relative order of two commuting boundary events may be reported
+   via a different (equivalent, still-failing-or-passing) representative.
+   Every state-dependent violation is still found, and [Naive] mode
+   remains available as the ground truth; the test suite compares both
+   modes on the paper's algorithms.
 
    The enumeration replays the whole prefix for each extension, costing
-   O(length) per node; for the configuration sizes where exhaustive
-   search is feasible at all (shallow trees, 2-3 processes) this is
-   negligible, and it keeps the driver free of any snapshot/undo
-   machinery.
+   O(length) per node; the first child of every node consumes the
+   current driver, so the leftmost spine is never replayed.  At every
+   leaf the most recently created program instance is the one whose
+   execution just completed — an invariant user checks may rely on
+   (e.g. history recorders captured by reference); both modes preserve
+   it. *)
 
-   A [partial-order reduction] is deliberately absent: the paper's cost
-   model makes every access a visible event, and the point of this module
-   is exhaustiveness, not scale.  Use [Scheduler.random] for large
-   configurations. *)
+type mode =
+  | Naive
+  | Dpor
 
 type outcome = {
   explored : int;  (** completed executions visited *)
   failures : int list list;
       (** schedules whose completed execution failed the check *)
   truncated : bool;  (** true if [max_schedules] stopped the search early *)
+  pending : int;
+      (** branch points abandoned because of [max_schedules]; a lower
+          bound on the number of unexplored schedules (0 iff the search
+          completed) *)
+  mode : mode;  (** the mode that produced this outcome *)
 }
-
-(* Enumerate maximal schedules depth-first.  [crashes] adds, at every
-   prefix, branches that crash each runnable process (at most
-   [max_crashes] per execution).  [check] receives the driver of a
-   completed execution (all processes Done or Halted) and the schedule
-   that produced it. *)
-let exhaustive ?(max_schedules = 1_000_000) ?(max_crashes = 0) ~procs setup
-    check =
-  let explored = ref 0 in
-  let failures = ref [] in
-  let truncated = ref false in
-  (* A choice point is described by the reversed prefix of actions.  An
-     action is Step p or Crash p; we re-execute from scratch. *)
-  let module A = struct
-    type action = Step of int | Crash of int
-  end in
-  let replay actions_rev =
-    let d = Driver.create ~procs setup in
-    List.iter
-      (fun a ->
-        match a with
-        | A.Step p -> Driver.step d p
-        | A.Crash p -> Driver.crash d p)
-      (List.rev actions_rev);
-    d
-  in
-  let schedule_of actions_rev =
-    List.rev_map (function A.Step p -> p | A.Crash p -> -1 - p) actions_rev
-  in
-  (* DFS carrying the driver for the current node, so only siblings after
-     the first need a fresh replay (roughly halves the work; the leftmost
-     spine of the tree is never replayed at all). *)
-  let rec dfs actions_rev d crashes_used =
-    if !truncated then ()
-    else
-      let runnable = Driver.runnable_list d in
-      if runnable = [] then begin
-        incr explored;
-        if !explored >= max_schedules then truncated := true;
-        if not (check d (schedule_of actions_rev)) then
-          failures := schedule_of actions_rev :: !failures
-      end
-      else begin
-        (match runnable with
-        | [] -> ()
-        | first :: rest ->
-            (* The first child consumes [d] and is explored FIRST: along
-               the reused chain no new [setup] runs, so at every leaf the
-               most recently created program instance is the one whose
-               execution just completed — an invariant user checks may
-               rely on (e.g. history recorders captured by reference). *)
-            Driver.step d first;
-            dfs (A.Step first :: actions_rev) d crashes_used;
-            List.iter
-              (fun p ->
-                if not !truncated then begin
-                  let d' = replay actions_rev in
-                  Driver.step d' p;
-                  dfs (A.Step p :: actions_rev) d' crashes_used
-                end)
-              rest;
-            if crashes_used < max_crashes then
-              List.iter
-                (fun p ->
-                  if not !truncated then begin
-                    let d' = replay actions_rev in
-                    Driver.crash d' p;
-                    dfs (A.Crash p :: actions_rev) d' (crashes_used + 1)
-                  end)
-                runnable)
-      end
-  in
-  dfs [] (Driver.create ~procs setup) 0;
-  { explored = !explored; failures = List.rev !failures; truncated = !truncated }
 
 let ok outcome = outcome.failures = [] && not outcome.truncated
 
+(* --- encoded schedules ----------------------------------------------------
+
+   An action in an encoded schedule is an int: [p >= 0] steps process p;
+   [-1 - p] crashes process p.  Schedules returned in [failures] use this
+   encoding (pure step schedules are their own encoding). *)
+
+let apply_action d a =
+  if a >= 0 then Driver.step d a else Driver.crash d (-1 - a)
+
+(* Replay an encoded schedule tolerantly — actions targeting processes
+   that are no longer runnable are dropped — then run every surviving
+   process to completion in pid order, so the result is a maximal
+   execution comparable to the explorer's leaves.  Returns the driver
+   and the normalized maximal schedule actually applied. *)
+let replay_encoded ?record_trace ?(completion_fuel = 1_000_000) ~procs setup
+    enc =
+  let d = Driver.create ?record_trace ~procs setup in
+  let applied = ref [] in
+  List.iter
+    (fun a ->
+      if a >= 0 then begin
+        if Driver.runnable d a then begin
+          Driver.step d a;
+          applied := a :: !applied
+        end
+      end
+      else begin
+        let p = -1 - a in
+        if Driver.runnable d p then begin
+          Driver.crash d p;
+          applied := a :: !applied
+        end
+      end)
+    enc;
+  let fuel = ref completion_fuel in
+  for p = 0 to procs - 1 do
+    while Driver.runnable d p do
+      if !fuel = 0 then
+        failwith
+          "Explore.replay_encoded: completion fuel exhausted (program not \
+           wait-free?)";
+      decr fuel;
+      Driver.step d p;
+      applied := p :: !applied
+    done
+  done;
+  (d, List.rev !applied)
+
+(* --- naive exhaustive DFS ------------------------------------------------- *)
+
+let naive ~max_schedules ~max_crashes ~procs setup check =
+  let explored = ref 0 in
+  let pending = ref 0 in
+  let failures = ref [] in
+  let replay actions_rev =
+    let d = Driver.create ~procs setup in
+    List.iter (fun a -> apply_action d a) (List.rev actions_rev);
+    d
+  in
+  let rec dfs actions_rev d crashes_used =
+    if !explored >= max_schedules then incr pending
+    else
+      match Driver.runnable_list d with
+      | [] ->
+          incr explored;
+          let sched = List.rev actions_rev in
+          if not (check d sched) then failures := sched :: !failures
+      | first :: rest ->
+          (* The first child consumes [d] and is explored FIRST: along
+             the reused chain no new [setup] runs (see the leaf-instance
+             invariant in the header comment). *)
+          Driver.step d first;
+          dfs (first :: actions_rev) d crashes_used;
+          List.iter
+            (fun p ->
+              if !explored >= max_schedules then incr pending
+              else begin
+                let d' = replay actions_rev in
+                Driver.step d' p;
+                dfs (p :: actions_rev) d' crashes_used
+              end)
+            rest;
+          if crashes_used < max_crashes then
+            List.iter
+              (fun p ->
+                if !explored >= max_schedules then incr pending
+                else begin
+                  let d' = replay actions_rev in
+                  Driver.crash d' p;
+                  dfs ((-1 - p) :: actions_rev) d' (crashes_used + 1)
+                end)
+              (first :: rest)
+  in
+  dfs [] (Driver.create ~procs setup) 0;
+  {
+    explored = !explored;
+    failures = List.rev !failures;
+    truncated = !pending > 0;
+    pending = !pending;
+    mode = Naive;
+  }
+
+(* --- DPOR with sleep sets --------------------------------------------------
+
+   The classic recursion of Flanagan-Godefroid, adapted to replay-based
+   state reconstruction:
+
+   - Every executed access gets a FRAME carrying its vector clock (the
+     happens-before closure of program order plus dependent-access
+     order).  A write to a register dominates every earlier access to
+     it, so per-register clock bookkeeping reduces to "join the last
+     write, plus the reads since it when writing".
+
+   - At each node, for every enabled process p whose next access is
+     known, find the most recent prefix event e that is dependent with
+     it and NOT happens-before p's next access: the two are a race, so
+     the state before e must also try p ([backtrack] sets, keyed by
+     depth, mutated by descendants).
+
+   - Sleep sets: a process whose next transition was already explored
+     from an ancestor stays asleep (its schedules are redundant) until a
+     dependent access wakes it.  A node all of whose enabled transitions
+     sleep is pruned without counting.
+
+   Lookahead never forces an unstarted process (that would run its
+   prologue earlier than the naive explorer does, perturbing recorded
+   histories): an unstarted process's next access is Unknown and treated
+   as dependent with everything — conservative, which is always sound
+   for DPOR. *)
+
+type pend =
+  | P_unknown  (* process not started: next access unknown *)
+  | P_done  (* process will complete without another access *)
+  | P_acc of Trace.kind * int
+
+let dpor ~max_schedules ~procs setup check =
+  if procs >= Sys.int_size - 1 then
+    invalid_arg "Explore: too many processes for DPOR bitmask";
+  let explored = ref 0 in
+  let pending_ctr = ref 0 in
+  let failures = ref [] in
+  (* backtrack set (bitmask of pids) of the node at each depth of the
+     current DFS path *)
+  let bt : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let module F = struct
+    type frame = {
+      f_pid : int;
+      f_kind : Trace.kind option;  (* None: free completion step *)
+      f_reg : int;
+      f_clock : int array;
+      f_pidx : int;  (* 1-based index among f_pid's accesses *)
+    }
+  end in
+  let open F in
+  let lookahead_pend d p =
+    match Driver.lookahead d p with
+    | Driver.Lk_unknown -> P_unknown
+    | Driver.Lk_done -> P_done
+    | Driver.Lk_access pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
+  in
+  (* Forces the process to start if needed; only used on the process
+     about to be stepped, so prologues still run at step time. *)
+  let pend_exact d p =
+    match Driver.pending d p with
+    | Some pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
+    | None -> P_done
+  in
+  let dependent_fp f pe =
+    match (f.f_kind, pe) with
+    | None, _ -> false
+    | Some _, P_unknown -> true
+    | Some _, P_done -> false
+    | Some fk, P_acc (pk, preg) ->
+        f.f_reg = preg && (fk = Trace.Write || pk = Trace.Write)
+  in
+  let dependent_pp a b =
+    match (a, b) with
+    | P_unknown, _ | _, P_unknown -> true
+    | P_done, _ | _, P_done -> false
+    | P_acc (ka, ra), P_acc (kb, rb) ->
+        ra = rb && (ka = Trace.Write || kb = Trace.Write)
+  in
+  let zero = Array.make procs 0 in
+  let clock_of_proc frames_rev p =
+    match List.find_opt (fun f -> f.f_pid = p) frames_rev with
+    | Some f -> f.f_clock
+    | None -> zero
+  in
+  let count_proc frames_rev p =
+    List.fold_left (fun n f -> if f.f_pid = p then n + 1 else n) 0 frames_rev
+  in
+  let join_into c other =
+    for i = 0 to procs - 1 do
+      if other.(i) > c.(i) then c.(i) <- other.(i)
+    done
+  in
+  (* vector clock of the access (p, pe) about to execute after frames_rev *)
+  let event_clock frames_rev p pe =
+    let c = Array.copy (clock_of_proc frames_rev p) in
+    (match pe with
+    | P_unknown | P_done -> ()
+    | P_acc (k, reg) ->
+        let rec scan = function
+          | [] -> ()
+          | f :: rest -> (
+              if f.f_reg <> reg then scan rest
+              else
+                match f.f_kind with
+                | Some Trace.Write ->
+                    (* dominates every earlier access to this register *)
+                    join_into c f.f_clock
+                | Some Trace.Read ->
+                    if k = Trace.Write then join_into c f.f_clock;
+                    scan rest
+                | None -> scan rest)
+        in
+        scan frames_rev);
+    c.(p) <- count_proc frames_rev p + 1;
+    c
+  in
+  (* Race detection: for each enabled p, the most recent prefix event
+     that is dependent with p's next access, by a different process, and
+     not ordered before it by happens-before, marks a backtrack point at
+     its pre-state. *)
+  let add_backtracks frames_rev pendings =
+    List.iter
+      (fun (p, pe) ->
+        match pe with
+        | P_done -> ()
+        | P_unknown | P_acc _ ->
+            let cp = clock_of_proc frames_rev p in
+            let rec scan i = function
+              | [] -> ()
+              | f :: rest ->
+                  if
+                    f.f_pid <> p && dependent_fp f pe
+                    && cp.(f.f_pid) < f.f_pidx
+                  then (
+                    match Hashtbl.find_opt bt i with
+                    | Some r -> r := !r lor (1 lsl p)
+                    | None -> assert false)
+                  else scan (i - 1) rest
+            in
+            scan (List.length frames_rev - 1) frames_rev)
+      pendings
+  in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  let lowest_bit m =
+    let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+    go 0
+  in
+  (* sleep: assoc list (pid, its sleeping transition); pends of sleeping
+     processes cannot change while they sleep (they never step). *)
+  let rec explore depth frames_rev d sleep =
+    if !explored >= max_schedules then incr pending_ctr
+    else
+      match Driver.runnable_list d with
+      | [] ->
+          incr explored;
+          let sched = List.rev_map (fun f -> f.f_pid) frames_rev in
+          if not (check d sched) then failures := sched :: !failures
+      | runnable ->
+          let pendings =
+            List.map
+              (fun p ->
+                match List.assoc_opt p sleep with
+                | Some pe -> (p, pe)
+                | None -> (p, lookahead_pend d p))
+              runnable
+          in
+          add_backtracks frames_rev pendings;
+          let enabled_mask =
+            List.fold_left (fun m p -> m lor (1 lsl p)) 0 runnable
+          in
+          let sleep_mask =
+            List.fold_left (fun m (q, _) -> m lor (1 lsl q)) 0 sleep
+          in
+          if enabled_mask land lnot sleep_mask = 0 then
+            (* sleep-blocked: every continuation reorders independent
+               accesses of an execution already explored — prune *)
+            ()
+          else begin
+            let my_bt = ref 0 in
+            Hashtbl.replace bt depth my_bt;
+            let p0 =
+              List.find (fun p -> sleep_mask land (1 lsl p) = 0) runnable
+            in
+            my_bt := 1 lsl p0;
+            let slept = ref sleep in
+            let slept_mask = ref sleep_mask in
+            let consumed = ref false in
+            let rec loop () =
+              let avail = !my_bt land lnot !slept_mask land enabled_mask in
+              if avail <> 0 then
+                if !explored >= max_schedules then
+                  pending_ctr := !pending_ctr + popcount avail
+                else begin
+                  let p = lowest_bit avail in
+                  let d' =
+                    if not !consumed then begin
+                      consumed := true;
+                      d
+                    end
+                    else begin
+                      let d' = Driver.create ~procs setup in
+                      List.iter
+                        (fun f -> Driver.step d' f.f_pid)
+                        (List.rev frames_rev);
+                      d'
+                    end
+                  in
+                  (* exact lookahead for the chosen process only: if it
+                     was unstarted this runs its prologue, immediately
+                     before its first step fires — the same instant the
+                     naive explorer would *)
+                  let pe = pend_exact d' p in
+                  let child_sleep =
+                    List.filter
+                      (fun (_, pq) -> not (dependent_pp pq pe))
+                      !slept
+                  in
+                  let frame =
+                    {
+                      f_pid = p;
+                      f_kind =
+                        (match pe with
+                        | P_acc (k, _) -> Some k
+                        | P_unknown | P_done -> None);
+                      f_reg =
+                        (match pe with
+                        | P_acc (_, r) -> r
+                        | P_unknown | P_done -> -1);
+                      f_clock = event_clock frames_rev p pe;
+                      f_pidx = count_proc frames_rev p + 1;
+                    }
+                  in
+                  Driver.step d' p;
+                  explore (depth + 1) (frame :: frames_rev) d' child_sleep;
+                  slept := (p, pe) :: !slept;
+                  slept_mask := !slept_mask lor (1 lsl p);
+                  loop ()
+                end
+            in
+            loop ();
+            Hashtbl.remove bt depth
+          end
+  in
+  explore 0 [] (Driver.create ~procs setup) [];
+  {
+    explored = !explored;
+    failures = List.rev !failures;
+    truncated = !pending_ctr > 0;
+    pending = !pending_ctr;
+    mode = Dpor;
+  }
+
+(* --- unified front door ---------------------------------------------------- *)
+
+let exhaustive ?(mode = Naive) ?(max_schedules = 1_000_000) ?(max_crashes = 0)
+    ~procs setup check =
+  match mode with
+  | Naive -> naive ~max_schedules ~max_crashes ~procs setup check
+  | Dpor ->
+      if max_crashes > 0 then
+        invalid_arg
+          "Explore.exhaustive: DPOR does not support crash injection; use \
+           ~mode:Naive for crash exploration";
+      dpor ~max_schedules ~procs setup check
+
 (* Count the executions without checking anything — useful to size a
-   configuration before committing to it in a test. *)
-let count ?(max_schedules = 1_000_000) ~procs setup =
-  (exhaustive ~max_schedules ~procs setup (fun _ _ -> true)).explored
+   configuration before committing to it in a test, and to measure the
+   DPOR reduction factor. *)
+let count ?mode ?(max_schedules = 1_000_000) ~procs setup =
+  (exhaustive ?mode ~max_schedules ~procs setup (fun _ _ -> true)).explored
+
+(* --- counterexample shrinking ----------------------------------------------
+
+   Delta-debugging over encoded schedules: repeatedly delete chunks
+   (halving sizes down to single actions), renormalize to a maximal
+   schedule via [replay_encoded], and keep any candidate that still
+   fails the check with a strictly smaller (length, context switches,
+   lexicographic) measure — the strict decrease guarantees termination
+   at a deletion-local minimum. *)
+
+let context_switches enc =
+  let rec go prev acc = function
+    | [] -> acc
+    | a :: rest ->
+        let p = if a >= 0 then a else -1 - a in
+        go p (if p <> prev && prev >= 0 then acc + 1 else acc) rest
+  in
+  go (-1) 0 enc
+
+let shrink ?(max_rounds = 10_000) ~procs setup check enc0 =
+  let fails enc =
+    let d, norm = replay_encoded ~procs setup enc in
+    if check d norm then None else Some norm
+  in
+  let measure enc = (List.length enc, context_switches enc, enc) in
+  match fails enc0 with
+  | None -> enc0 (* not a failing schedule: nothing to shrink *)
+  | Some start ->
+      let cur = ref start in
+      let rounds = ref 0 in
+      let improved = ref true in
+      while !improved && !rounds < max_rounds do
+        incr rounds;
+        improved := false;
+        let arr = Array.of_list !cur in
+        let n = Array.length arr in
+        let best = measure !cur in
+        (* candidate: delete arr[off .. off+size-1] *)
+        let try_delete off size =
+          let cand =
+            List.filteri (fun i _ -> i < off || i >= off + size) !cur
+          in
+          match fails cand with
+          | Some norm when compare (measure norm) best < 0 ->
+              cur := norm;
+              improved := true;
+              true
+          | _ -> false
+        in
+        let rec sizes size =
+          if size >= 1 && not !improved then begin
+            let rec offsets off =
+              if off < n && not !improved then
+                if try_delete off size then () else offsets (off + size)
+            in
+            offsets 0;
+            sizes (size / 2)
+          end
+        in
+        if n > 0 then sizes (max 1 (n / 2))
+      done;
+      !cur
+
+(* --- linearizability checking front end ------------------------------------ *)
+
+type counterexample = {
+  cex_schedule : int list;  (** the first failing schedule found *)
+  cex_shrunk : int list;  (** its deletion-minimal shrink (still failing) *)
+  cex_message : string;  (** rendered schedule + failing history *)
+}
+
+type report = {
+  r_outcome : outcome;
+  r_counterexample : counterexample option;
+}
+
+let report_ok r = ok r.r_outcome && r.r_counterexample = None
+
+let shrink_fn = shrink
+
+let check_linearizable ?(mode = Naive) ?(shrink = true) ?max_schedules
+    ?(max_crashes = 0) ?pp_history ~procs setup ~linearizable () =
+  let check _d _sched = linearizable () in
+  let outcome =
+    exhaustive ~mode ?max_schedules ~max_crashes ~procs setup check
+  in
+  match outcome.failures with
+  | [] -> { r_outcome = outcome; r_counterexample = None }
+  | first :: _ ->
+      let shrunk =
+        if shrink then shrink_fn ~procs setup check first else first
+      in
+      (* replay so the caller's history (recorder captured by reference)
+         is the one produced by the shrunk schedule *)
+      let _d, norm = replay_encoded ~procs setup shrunk in
+      let still_fails = not (linearizable ()) in
+      let message =
+        Format.asprintf "@[<v>%s execution, %d action(s) (shrunk from %d):@,\
+                         schedule: @[<hov>%a@]%a%s@]"
+          (if still_fails then "non-linearizable" else "UNSTABLE counterexample")
+          (List.length norm) (List.length first) Trace.pp_encoded_schedule norm
+          (fun ppf () ->
+            match pp_history with
+            | None -> ()
+            | Some pp ->
+                Format.fprintf ppf "@,history:@,  @[<v>%a@]" pp ())
+          ()
+          (if still_fails then ""
+           else "\n(replaying the shrunk schedule no longer fails — \
+                 non-deterministic check?)")
+      in
+      {
+        r_outcome = outcome;
+        r_counterexample =
+          Some { cex_schedule = first; cex_shrunk = shrunk; cex_message = message };
+      }
+
+let pp_report ppf r =
+  let mode_name = match r.r_outcome.mode with Naive -> "naive" | Dpor -> "dpor" in
+  Format.fprintf ppf "@[<v>%d schedule(s) explored (%s)%s%s@]" r.r_outcome.explored
+    mode_name
+    (if r.r_outcome.truncated then
+       Printf.sprintf ", TRUNCATED with >=%d branch(es) pending"
+         r.r_outcome.pending
+     else "")
+    (match r.r_counterexample with
+    | None -> ", no violation"
+    | Some c -> ":\n" ^ c.cex_message)

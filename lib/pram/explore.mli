@@ -1,10 +1,21 @@
-(** Exhaustive schedule exploration (bounded model checking).
+(** Schedule exploration (bounded model checking), naive and DPOR-pruned.
 
     Executions are deterministic functions of their schedules, so all
     behaviours of a small program can be enumerated by DFS over maximal
     schedules.  The test suite uses this to check linearizability of the
     paper's algorithms over {e every} interleaving of small
-    configurations — a much stronger guarantee than random scheduling. *)
+    configurations — a much stronger guarantee than random scheduling.
+
+    {!Dpor} mode applies dynamic partial-order reduction with sleep sets
+    (Flanagan-Godefroid 2005): two accesses are dependent iff they touch
+    the same register and at least one is a write, and only schedules
+    that flip a dependent pair are revisited.  It explores at least one
+    representative of every Mazurkiewicz trace, typically orders of
+    magnitude fewer schedules than {!Naive}. *)
+
+type mode =
+  | Naive  (** enumerate every maximal schedule *)
+  | Dpor  (** dynamic partial-order reduction with sleep sets *)
 
 type outcome = {
   explored : int;  (** completed executions visited *)
@@ -12,14 +23,22 @@ type outcome = {
       (** schedules of executions that failed the check; crash actions
           are encoded as [-1 - pid] *)
   truncated : bool;  (** [max_schedules] stopped the search early *)
+  pending : int;
+      (** branch points abandoned because of [max_schedules]; a lower
+          bound on the number of unexplored schedules (0 iff the search
+          ran to completion) *)
+  mode : mode;  (** the mode that produced this outcome *)
 }
 
 (** [exhaustive ~procs setup check] runs [check driver schedule] on every
-    completed execution of the program.  With [max_crashes > 0], also
-    branches on crashing each runnable process at every prefix, up to
-    that many crashes per execution.  The program must be finite (every
-    schedule terminates). *)
+    completed execution of the program ({!Dpor}: on one representative
+    per equivalence class).  With [max_crashes > 0], also branches on
+    crashing each runnable process at every prefix, up to that many
+    crashes per execution (Naive mode only).  The program must be finite
+    (every schedule terminates).
+    @raise Invalid_argument for [Dpor] with [max_crashes > 0]. *)
 val exhaustive :
+  ?mode:mode ->
   ?max_schedules:int ->
   ?max_crashes:int ->
   procs:int ->
@@ -30,5 +49,92 @@ val exhaustive :
 (** No failures and the search was not truncated. *)
 val ok : outcome -> bool
 
-(** Number of maximal schedules of the program (no checking). *)
-val count : ?max_schedules:int -> procs:int -> (unit -> int -> 'r) -> int
+(** Number of maximal schedules of the program (no checking); under
+    [~mode:Dpor], the number of representatives DPOR explores. *)
+val count :
+  ?mode:mode -> ?max_schedules:int -> procs:int -> (unit -> int -> 'r) -> int
+
+(** [replay_encoded ~procs setup enc] replays an encoded schedule
+    ([p >= 0] steps process [p], [-1 - p] crashes it) tolerantly —
+    actions targeting non-runnable processes are dropped — then runs
+    every surviving process to completion in pid order.  Returns the
+    driver and the normalized maximal schedule actually applied.
+    @raise Failure if completion exceeds [completion_fuel] steps. *)
+val replay_encoded :
+  ?record_trace:bool ->
+  ?completion_fuel:int ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  int list ->
+  'r Driver.t * int list
+
+(** [shrink ~procs setup check failing] delta-debugs a failing schedule
+    to a locally minimal one: repeatedly deletes action chunks,
+    renormalizes with {!replay_encoded}, and keeps candidates that still
+    fail [check] with a strictly smaller (length, context switches)
+    measure.  The result is never longer than the input and still fails
+    on replay; a non-failing input is returned unchanged. *)
+val shrink :
+  ?max_rounds:int ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  ('r Driver.t -> int list -> bool) ->
+  int list ->
+  int list
+
+(** Number of adjacent action pairs taken by different processes — the
+    secondary minimization objective of {!shrink} (schedule length cannot
+    shrink in crash-free runs, where renormalization re-completes every
+    process). *)
+val context_switches : int list -> int
+
+type counterexample = {
+  cex_schedule : int list;  (** the first failing schedule found *)
+  cex_shrunk : int list;  (** its deletion-minimal shrink (still failing) *)
+  cex_message : string;  (** rendered schedule + failing history *)
+}
+
+type report = {
+  r_outcome : outcome;
+  r_counterexample : counterexample option;
+}
+
+(** [check_linearizable ~procs setup ~linearizable ()] explores every
+    schedule and calls [linearizable ()] at each completed execution —
+    the callback should consult the history of the {e most recently
+    created} program instance, e.g. a {!Spec.History.Recorder} captured
+    by reference and re-created by [setup].  On failure the first
+    failing schedule is shrunk (unless [shrink:false]) and replayed, so
+    [pp_history] renders the minimal failing history into the
+    counterexample message.
+
+    The default mode is {!Naive} — the sound ground truth.  Opting into
+    [~mode:Dpor] accelerates the search by orders of magnitude and finds
+    every state-dependent violation, but can miss violations that live
+    {e purely} in the real-time order of operations whose accesses are
+    independent (e.g. a reader missing a completed write it never reads
+    the registers of): commuting independent accesses preserves states,
+    not event order, so such a class's representative may linearize even
+    though another member does not.  Use DPOR for configurations the
+    naive search cannot finish, and keep a naive run (possibly truncated)
+    alongside it.
+
+    [Lincheck.Make] provides a convenience wrapper that fills in
+    [linearizable] and [pp_history] from a recorder and an object
+    specification. *)
+val check_linearizable :
+  ?mode:mode ->
+  ?shrink:bool ->
+  ?max_schedules:int ->
+  ?max_crashes:int ->
+  ?pp_history:(Format.formatter -> unit -> unit) ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  linearizable:(unit -> bool) ->
+  unit ->
+  report
+
+(** Search complete, no violation. *)
+val report_ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit

@@ -15,8 +15,15 @@ type 'a t = {
 }
 
 (* Allocation order is deterministic for a deterministic setup function,
-   so ids are stable across replays of the same program. *)
+   so ids are stable across replays of the same program.  The counter is
+   reset by [Driver.create] (via [reset_ids]) so that ids are also stable
+   across program INSTANCES: replay-based explorers ([Pram.Explore])
+   compare register ids recorded from one instance against ids observed
+   in a fresh instance replaying the same schedule prefix, which is only
+   sound when allocation depends solely on the applied step sequence. *)
 let next_id = ref 0
+
+let reset_ids () = next_id := 0
 
 let make ?name init =
   incr next_id;

@@ -21,5 +21,14 @@ val get : 'a t -> 'a
 val set : 'a t -> 'a -> unit
 
 val id : 'a t -> int
+
+(** Reset the global id counter.  Called by {!Pram.Driver.create} so that
+    register ids depend only on the step sequence applied to a driver
+    instance, making ids comparable across instances that replay the same
+    schedule prefix (required by {!Pram.Explore}'s dependence analysis).
+    Caveat: if two driver instances are stepped in an interleaved fashion
+    while both still allocate registers, ids are only unique within each
+    instance, not globally. *)
+val reset_ids : unit -> unit
 val name : 'a t -> string
 val pp : Format.formatter -> 'a t -> unit

@@ -74,6 +74,23 @@ let random ?(crash_prob = 0.0) ?(min_alive = 1) ~seed () =
         then Crash (pick runnable)
         else Step (pick runnable)
 
+(* Replays an encoded action list as produced by [Explore] (crashes as
+   [-1 - p]), tolerantly skipping steps of no-longer-runnable processes;
+   used to re-drive shrunk counterexample schedules. *)
+let of_encoded sched_list =
+  let remaining = ref sched_list in
+  fun driver ->
+    let rec next () =
+      match !remaining with
+      | [] -> Stop
+      | a :: rest ->
+          remaining := rest;
+          if a >= 0 then
+            if Driver.runnable driver a then Step a else next ()
+          else Crash (-1 - a)
+    in
+    next ()
+
 (* Replays an explicit pid list, then stops. *)
 let of_list sched_list =
   let remaining = ref sched_list in

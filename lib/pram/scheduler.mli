@@ -30,6 +30,11 @@ val random : ?crash_prob:float -> ?min_alive:int -> seed:int -> unit -> 'r t
     non-runnable pid. *)
 val of_list : int list -> 'r t
 
+(** Replay an encoded action sequence as recorded by {!Explore}
+    (crashes encoded as [-1 - p]), skipping steps of processes that are
+    no longer runnable; used to re-drive counterexample schedules. *)
+val of_encoded : int list -> 'r t
+
 (** Run process 0 to completion, then process 1, and so on. *)
 val sequential : unit -> 'r t
 

@@ -14,6 +14,14 @@ type access = {
   kind : kind;
 }
 
+(* The dependency relation used by partial-order reduction (Explore's
+   DPOR mode): two accesses conflict iff they are by different processes,
+   touch the same register, and at least one writes it.  Everything else
+   commutes — swapping adjacent independent accesses in a schedule yields
+   the same execution state. *)
+let dependent a b =
+  a.pid <> b.pid && a.reg_id = b.reg_id && (a.kind = Write || b.kind = Write)
+
 let pp_kind ppf = function
   | Read -> Format.pp_print_string ppf "R"
   | Write -> Format.pp_print_string ppf "W"
@@ -24,3 +32,13 @@ let pp_access ppf a =
 
 let pp ppf accesses =
   Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_access ppf accesses
+
+(* Encoded schedules (see Explore): action [p >= 0] steps process p,
+   [-1 - p] crashes it (printed [!pN]). *)
+let pp_encoded_action ppf a =
+  if a >= 0 then Format.fprintf ppf "p%d" a
+  else Format.fprintf ppf "!p%d" (-1 - a)
+
+let pp_encoded_schedule ppf sched =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_encoded_action ppf
+    sched

@@ -15,6 +15,18 @@ type access = {
   kind : kind;
 }
 
+(** [dependent a b]: the conflict relation of partial-order reduction —
+    different processes, same register, at least one write.  Swapping
+    adjacent independent accesses in a schedule leaves the execution
+    state unchanged. *)
+val dependent : access -> access -> bool
+
 val pp_kind : Format.formatter -> kind -> unit
 val pp_access : Format.formatter -> access -> unit
 val pp : Format.formatter -> access list -> unit
+
+(** Printers for encoded schedules (see {!Explore}): action [p >= 0]
+    steps process [p]; [-1 - p] crashes it (printed [!pN]). *)
+val pp_encoded_action : Format.formatter -> int -> unit
+
+val pp_encoded_schedule : Format.formatter -> int list -> unit

@@ -62,7 +62,37 @@ let test_truncation () =
   let outcome =
     Pram.Explore.exhaustive ~max_schedules:10 ~procs:2 program (fun _ _ -> true)
   in
-  check_bool "truncated" true outcome.Pram.Explore.truncated
+  check_bool "truncated" true outcome.Pram.Explore.truncated;
+  check_bool "pending branches reported" true (outcome.Pram.Explore.pending > 0);
+  check_bool "truncated outcome is not ok" false (Pram.Explore.ok outcome)
+
+let test_truncation_exact_count () =
+  (* Regression: a state space of exactly [max_schedules] executions is
+     fully explored, so the outcome must NOT be flagged truncated (the
+     old implementation conflated "hit the count" with "abandoned
+     work"). *)
+  let program () =
+    let regs = Array.init 2 (fun _ -> Pram.Memory.Sim.create 0) in
+    fun pid ->
+      for i = 1 to 3 do
+        Pram.Memory.Sim.write regs.(pid) i
+      done
+  in
+  (* C(6,3) = 20 maximal schedules *)
+  let exact =
+    Pram.Explore.exhaustive ~max_schedules:20 ~procs:2 program (fun _ _ -> true)
+  in
+  check_int "explored all 20" 20 exact.Pram.Explore.explored;
+  check_bool "exact count is not truncated" false exact.Pram.Explore.truncated;
+  check_int "no pending branches" 0 exact.Pram.Explore.pending;
+  check_bool "exact count is ok" true (Pram.Explore.ok exact);
+  let short =
+    Pram.Explore.exhaustive ~max_schedules:19 ~procs:2 program (fun _ _ -> true)
+  in
+  check_int "stopped at 19" 19 short.Pram.Explore.explored;
+  check_bool "one short is truncated" true short.Pram.Explore.truncated;
+  check_bool "one short reports pending" true (short.Pram.Explore.pending > 0);
+  check_bool "one short is not ok" false (Pram.Explore.ok short)
 
 (* --- exhaustive linearizability of the Section 6 scan -------------------- *)
 
@@ -93,13 +123,11 @@ let test_scan_exhaustive () =
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
                `Join (Scan.read_max t ~pid)))
   in
-  let outcome =
-    Pram.Explore.exhaustive ~procs:2 program (fun _d _sched ->
-        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
-  in
+  let report = Scan_check.explore_check ~procs:2 ~recorder program in
   check_bool "no interleaving violates linearizability" true
-    (Pram.Explore.ok outcome);
-  check_bool "meaningful state space" true (outcome.Pram.Explore.explored > 5_000)
+    (Pram.Explore.report_ok report);
+  check_bool "meaningful state space" true
+    (report.Pram.Explore.r_outcome.Pram.Explore.explored > 5_000)
 
 (* Same workload, plus one crash anywhere: pending operations must still
    linearize (or be droppable). *)
@@ -116,10 +144,20 @@ let test_scan_exhaustive_with_crash () =
              `Unit))
   in
   let outcome =
-    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun _d _sched ->
-        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
+    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun d sched ->
+        (* wait-freedom: every process the adversary did not crash runs to
+           completion regardless of where the crash landed *)
+        let crashed = List.filter_map (fun a ->
+            if a < 0 then Some (-1 - a) else None) sched
+        in
+        List.for_all
+          (fun p ->
+            List.mem p crashed || Pram.Driver.result d p <> None)
+          [ 0; 1 ]
+        && Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
   in
-  check_bool "no interleaving+crash violates linearizability" true
+  check_bool "no interleaving+crash violates wait-freedom or linearizability"
+    true
     (Pram.Explore.ok outcome)
 
 (* --- exhaustive linearizability of the direct counter -------------------- *)
@@ -145,10 +183,17 @@ let test_direct_counter_exhaustive () =
              (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
   in
   let outcome =
-    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun _d _sched ->
-        Check_counter.is_linearizable (Spec.History.Recorder.events !recorder))
+    Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun d sched ->
+        let crashed = List.filter_map (fun a ->
+            if a < 0 then Some (-1 - a) else None) sched
+        in
+        List.for_all
+          (fun p ->
+            List.mem p crashed || Pram.Driver.result d p <> None)
+          [ 0; 1 ]
+        && Check_counter.is_linearizable (Spec.History.Recorder.events !recorder))
   in
-  check_bool "direct counter exhaustively linearizable" true
+  check_bool "direct counter exhaustively wait-free and linearizable" true
     (Pram.Explore.ok outcome)
 
 (* --- the naive collect's violations, counted exhaustively ----------------- *)
@@ -229,13 +274,11 @@ let test_atomic_snapshot_no_violations () =
           (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
                `View (Arr.snapshot t ~pid)))
   in
-  let outcome =
-    Pram.Explore.exhaustive ~procs:2 program (fun _d _sched ->
-        Arr_check2.is_linearizable (Spec.History.Recorder.events !recorder))
-  in
+  let report = Arr_check2.explore_check ~procs:2 ~recorder program in
   check_bool "atomic snapshot: zero violating schedules" true
-    (Pram.Explore.ok outcome);
-  check_int "C(12,6) executions" 924 outcome.Pram.Explore.explored
+    (Pram.Explore.report_ok report);
+  check_int "C(12,6) executions" 924
+    report.Pram.Explore.r_outcome.Pram.Explore.explored
 
 (* --- exhaustive linearizability of the BOUNDED Afek et al. snapshot ------- *)
 
@@ -335,6 +378,362 @@ let test_agreement_exhaustive () =
   check_bool "meaningful state space" true
     (outcome.Pram.Explore.explored > 10_000)
 
+(* --- DPOR vs naive: same verdicts, strictly fewer schedules --------------- *)
+
+(* The tentpole property of the DPOR explorer: on each seed program it
+   reaches the same verdict as the naive enumeration while exploring
+   strictly fewer schedules (one representative per Mazurkiewicz
+   trace). *)
+
+let test_dpor_vs_naive_lost_update () =
+  (* a program WITH a bug: both modes must report the violation *)
+  let program () =
+    let r = Pram.Memory.Sim.create 0 in
+    fun _pid ->
+      let v = Pram.Memory.Sim.read r in
+      Pram.Memory.Sim.write r (v + 1);
+      Pram.Register.get r
+  in
+  let check d _sched =
+    match (Pram.Driver.result d 0, Pram.Driver.result d 1) with
+    | Some a, Some b -> max a b = 2
+    | _ -> true
+  in
+  let naive = Pram.Explore.exhaustive ~mode:Pram.Explore.Naive ~procs:2 program check in
+  let dpor = Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:2 program check in
+  check_bool "naive finds the violation" true (naive.Pram.Explore.failures <> []);
+  check_bool "dpor finds the violation" true (dpor.Pram.Explore.failures <> []);
+  check_int "naive explores C(4,2)" 6 naive.Pram.Explore.explored;
+  check_bool "dpor explores strictly fewer" true
+    (dpor.Pram.Explore.explored < naive.Pram.Explore.explored)
+
+let test_dpor_vs_naive_scan () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Scan.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then begin
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Write_l 1) (fun () ->
+               Scan.write_l t ~pid 1;
+               `Unit));
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+      end
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+  in
+  let check _d _sched =
+    Scan_check.is_linearizable (Spec.History.Recorder.events !recorder)
+  in
+  let naive = Pram.Explore.exhaustive ~mode:Pram.Explore.Naive ~procs:2 program check in
+  let dpor = Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:2 program check in
+  check_bool "naive verdict ok" true (Pram.Explore.ok naive);
+  check_bool "dpor verdict ok" true (Pram.Explore.ok dpor);
+  check_int "naive explores C(18,6)" 18564 naive.Pram.Explore.explored;
+  check_bool "dpor explores strictly fewer" true
+    (dpor.Pram.Explore.explored < naive.Pram.Explore.explored);
+  check_bool "dpor reduction is substantial (>10x)" true
+    (dpor.Pram.Explore.explored * 10 < naive.Pram.Explore.explored)
+
+let test_dpor_vs_naive_counter () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = DC.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
+             (fun () ->
+               DC.inc t ~pid 1;
+               Spec.Counter_spec.Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
+             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+  in
+  let check _d _sched =
+    Check_counter.is_linearizable (Spec.History.Recorder.events !recorder)
+  in
+  let naive = Pram.Explore.exhaustive ~mode:Pram.Explore.Naive ~procs:2 program check in
+  let dpor = Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:2 program check in
+  check_bool "naive verdict ok" true (Pram.Explore.ok naive);
+  check_bool "dpor verdict ok" true (Pram.Explore.ok dpor);
+  check_int "naive explores C(12,6)" 924 naive.Pram.Explore.explored;
+  check_bool "dpor explores strictly fewer" true
+    (dpor.Pram.Explore.explored < naive.Pram.Explore.explored)
+
+let test_dpor_vs_naive_agreement_3procs () =
+  (* At 3 processes the approximate-agreement state space exceeds 10^9
+     maximal schedules, so the naive search can only be run truncated;
+     DPOR completes it outright.  Both agree that no explored schedule
+     violates validity or epsilon-agreement, and DPOR's complete search
+     visits strictly fewer schedules than the naive search's truncated
+     prefix — the reduction is what makes 3-process configurations
+     checkable at all. *)
+  let epsilon = 8.0 in
+  let inputs = [| 0.0; 1.0; 2.0 |] in
+  let program () =
+    let t = AA.create ~procs:3 ~epsilon in
+    fun pid ->
+      AA.input t ~pid inputs.(pid);
+      AA.output t ~pid
+  in
+  let check d _sched =
+    let results = List.init 3 (fun p -> Pram.Driver.result d p) in
+    List.for_all
+      (function
+        | None -> false
+        | Some v -> v >= 0.0 && v <= 2.0)
+      results
+    &&
+    match List.filter_map Fun.id results with
+    | [] -> false
+    | x :: rest ->
+        List.for_all (fun y -> Float.abs (x -. y) < epsilon) rest
+  in
+  let naive =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Naive ~max_schedules:20_000
+      ~procs:3 program check
+  in
+  let dpor = Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:3 program check in
+  check_bool "naive cannot finish (truncated)" true naive.Pram.Explore.truncated;
+  check_bool "naive finds no violation in its prefix" true
+    (naive.Pram.Explore.failures = []);
+  check_bool "dpor completes the search" true (Pram.Explore.ok dpor);
+  check_bool "dpor explores strictly fewer schedules" true
+    (dpor.Pram.Explore.explored < naive.Pram.Explore.explored)
+
+(* --- growing to 3 processes under DPOR ------------------------------------ *)
+
+let test_scan_3procs_dpor () =
+  (* two writers and a reader: far beyond naive reach (~10^12 maximal
+     schedules), ~10^5 DPOR representatives *)
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Scan.create ~procs:3 in
+    fun pid ->
+      if pid < 2 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Write_l (pid + 1))
+             (fun () ->
+               Scan.write_l t ~pid (pid + 1);
+               `Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~max_schedules:2_000_000
+      ~procs:3 program (fun _d _sched ->
+        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "3-process scan linearizable on all representatives" true
+    (Pram.Explore.ok outcome);
+  check_bool "meaningful state space" true
+    (outcome.Pram.Explore.explored > 50_000)
+
+let test_counter_3procs_dpor () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = DC.create ~procs:3 in
+    fun pid ->
+      if pid < 2 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
+             (fun () ->
+               DC.inc t ~pid 1;
+               Spec.Counter_spec.Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
+             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~max_schedules:2_000_000
+      ~procs:3 program (fun _d _sched ->
+        Check_counter.is_linearizable (Spec.History.Recorder.events !recorder))
+  in
+  check_bool "3-process counter linearizable on all representatives" true
+    (Pram.Explore.ok outcome);
+  check_bool "meaningful state space" true
+    (outcome.Pram.Explore.explored > 50_000)
+
+let test_agreement_3procs_dpor () =
+  let epsilon = 8.0 in
+  let inputs = [| 0.0; 1.0; 2.0 |] in
+  let program () =
+    let t = AA.create ~procs:3 ~epsilon in
+    fun pid ->
+      AA.input t ~pid inputs.(pid);
+      AA.output t ~pid
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:3 program
+      (fun d _sched ->
+        match List.init 3 (fun p -> Pram.Driver.result d p) with
+        | [ Some a; Some b; Some c ] ->
+            let lo = Float.min a (Float.min b c)
+            and hi = Float.max a (Float.max b c) in
+            hi -. lo < epsilon && lo >= 0.0 && hi <= 2.0
+        | _ -> false)
+  in
+  check_bool "3-process agreement holds on all representatives" true
+    (Pram.Explore.ok outcome)
+
+(* --- counterexample shrinking on an injected bug -------------------------- *)
+
+(* The Section 6 scan with one collect removed: each pass reads its peers'
+   columns EXCEPT the last process's, so the last writer's values never
+   propagate to other processes.  A reader can then miss a write that
+   completed strictly before its scan began — a real-time linearizability
+   violation the explorer must find, and the shrinker must minimize.
+
+   Naive mode is required here, and deliberately so: the bug removes the
+   very accesses that made reader and writer dependent, so entire
+   interleavings of the two operations collapse into one Mazurkiewicz
+   trace whose representative happens to linearize.  This is the
+   documented POR caveat (violations living purely in the real-time order
+   of independent accesses); the fixture doubles as a regression test for
+   that documentation. *)
+module Buggy_scan = struct
+  module M = Pram.Memory.Sim
+
+  type t = {
+    procs : int;
+    grid : L.t M.reg array array;
+    mirror : L.t array array;
+  }
+
+  let create ~procs =
+    {
+      procs;
+      grid =
+        Array.init procs (fun p ->
+            Array.init (procs + 2) (fun i ->
+                M.create ~name:(Printf.sprintf "scan[%d][%d]" p i) L.bottom));
+      mirror = Array.init procs (fun _ -> Array.make (procs + 2) L.bottom);
+    }
+
+  let scan t ~pid v =
+    let n = t.procs in
+    let row = t.grid.(pid) in
+    let mir = t.mirror.(pid) in
+    let v0 = L.join v (M.read row.(0)) in
+    M.write row.(0) v0;
+    mir.(0) <- v0;
+    for i = 1 to n + 1 do
+      let acc = ref mir.(i) in
+      (* BUG: [to n - 2] drops the collect of the last process's column *)
+      for q = 0 to n - 2 do
+        acc := L.join !acc (M.read t.grid.(q).(i - 1))
+      done;
+      M.write row.(i) !acc;
+      mir.(i) <- !acc
+    done;
+    mir.(n + 1)
+
+  let write_l t ~pid v = ignore (scan t ~pid v)
+  let read_max t ~pid = scan t ~pid L.bottom
+end
+
+let buggy_scan_program recorder () =
+  recorder := Spec.History.Recorder.create ();
+  let t = Buggy_scan.create ~procs:2 in
+  fun pid ->
+    if pid = 0 then
+      ignore
+        (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+             `Join (Buggy_scan.read_max t ~pid)))
+    else
+      ignore
+        (Spec.History.Recorder.record !recorder ~pid (`Write_l 2) (fun () ->
+             Buggy_scan.write_l t ~pid 2;
+             `Unit))
+
+let test_injected_bug_shrinks () =
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program = buggy_scan_program recorder in
+  let report =
+    Pram.Explore.check_linearizable ~mode:Pram.Explore.Naive ~procs:2 program
+      ~linearizable:(fun () ->
+        Scan_check.is_linearizable (Spec.History.Recorder.events !recorder))
+      ()
+  in
+  check_bool "violation found" false (Pram.Explore.report_ok report);
+  match report.Pram.Explore.r_counterexample with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some cex ->
+      let orig = cex.Pram.Explore.cex_schedule in
+      let shrunk = cex.Pram.Explore.cex_shrunk in
+      check_bool "shrunk is no longer than the original" true
+        (List.length shrunk <= List.length orig);
+      check_bool "shrunk has no more context switches" true
+        (Pram.Explore.context_switches shrunk
+        <= Pram.Explore.context_switches orig);
+      (* the shrunk schedule must still fail when replayed from scratch *)
+      let d, _ = Pram.Explore.replay_encoded ~procs:2 program shrunk in
+      ignore d;
+      check_bool "shrunk schedule still fails on replay" false
+        (Scan_check.is_linearizable (Spec.History.Recorder.events !recorder));
+      check_bool "message renders the schedule" true
+        (String.length cex.Pram.Explore.cex_message > 0);
+      let contains_substring hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          if i + nn > nh then false
+          else String.sub hay i nn = needle || go (i + 1)
+        in
+        go 0
+      in
+      check_bool "counterexample is stable" false
+        (contains_substring cex.Pram.Explore.cex_message "UNSTABLE")
+
+let test_explore_check_wrapper () =
+  (* the Lincheck-side convenience wrapper: failing fixture yields a
+     counterexample with a rendered history; correct object passes *)
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let report =
+    Scan_check.explore_check ~mode:Pram.Explore.Naive ~procs:2 ~recorder
+      (buggy_scan_program recorder)
+  in
+  check_bool "wrapper finds the violation" false (Pram.Explore.report_ok report);
+  (match report.Pram.Explore.r_counterexample with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some cex ->
+      check_bool "message includes the failing history" true
+        (String.length cex.Pram.Explore.cex_message > 40));
+  (* and the real scan on the same workload is clean under the wrapper *)
+  let recorder2 = ref (Spec.History.Recorder.create ()) in
+  let good_program () =
+    recorder2 := Spec.History.Recorder.create ();
+    let t = Scan.create ~procs:2 in
+    fun pid ->
+      if pid = 0 then
+        ignore
+          (Spec.History.Recorder.record !recorder2 ~pid `Read_max (fun () ->
+               `Join (Scan.read_max t ~pid)))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder2 ~pid (`Write_l 2)
+             (fun () ->
+               Scan.write_l t ~pid 2;
+               `Unit))
+  in
+  let report2 =
+    Scan_check.explore_check ~procs:2 ~recorder:recorder2 good_program
+  in
+  check_bool "correct scan passes under the wrapper" true
+    (Pram.Explore.report_ok report2)
+
 let () =
   Alcotest.run "explore"
     [
@@ -344,6 +743,34 @@ let () =
           Alcotest.test_case "count binomial" `Quick test_count_binomial;
           Alcotest.test_case "finds lost updates" `Quick test_explorer_finds_bugs;
           Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "truncation at exact count" `Quick
+            test_truncation_exact_count;
+        ] );
+      ( "dpor vs naive",
+        [
+          Alcotest.test_case "lost update: same verdict, fewer schedules"
+            `Quick test_dpor_vs_naive_lost_update;
+          Alcotest.test_case "scan: same verdict, fewer schedules" `Slow
+            test_dpor_vs_naive_scan;
+          Alcotest.test_case "counter: same verdict, fewer schedules" `Quick
+            test_dpor_vs_naive_counter;
+          Alcotest.test_case "3-proc agreement: dpor completes, naive cannot"
+            `Slow test_dpor_vs_naive_agreement_3procs;
+        ] );
+      ( "3 processes under dpor",
+        [
+          Alcotest.test_case "scan at 3 procs" `Slow test_scan_3procs_dpor;
+          Alcotest.test_case "counter at 3 procs" `Slow
+            test_counter_3procs_dpor;
+          Alcotest.test_case "agreement at 3 procs" `Quick
+            test_agreement_3procs_dpor;
+        ] );
+      ( "counterexample shrinking",
+        [
+          Alcotest.test_case "injected bug shrinks and replays" `Quick
+            test_injected_bug_shrinks;
+          Alcotest.test_case "explore_check wrapper" `Quick
+            test_explore_check_wrapper;
         ] );
       ( "exhaustive verification",
         [
