@@ -16,7 +16,11 @@
    Run everything:     dune exec bench/main.exe
    Tables only:        dune exec bench/main.exe -- --tables
    Timing only:        dune exec bench/main.exe -- --timing
-   Quick versions:     dune exec bench/main.exe -- --quick *)
+   Quick versions:     dune exec bench/main.exe -- --quick
+   JSON pipeline:      dune exec bench/main.exe -- --json [--quick]
+                       (writes BENCH_PR2.json; see Experiments.Bench_json
+                       for the row schema and EXPERIMENTS.md for the
+                       recorded results) *)
 
 open Bechamel
 
@@ -30,17 +34,22 @@ module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direc
 module AA_d = Agreement.Approx_agreement.Make (Pram.Memory.Direct)
 module Counter_native = Universal.Direct.Counter (Pram.Native.Mem)
 
+(* B1/B2 run pid 0 with no concurrent writers: that is the UNCONTENDED
+   path, and the row names say so.  The contended counterparts — the same
+   operations with [procs] real domains hammering the same grid — are
+   measured by [run_contended_timing] below via [Native.run_parallel]. *)
 let bench_scan ~procs =
   let t = Scan_d.create ~procs in
   Test.make
-    ~name:(Printf.sprintf "B1 scan op (n=%d)" procs)
+    ~name:(Printf.sprintf "B1 scan op uncontended (n=%d)" procs)
     (Staged.stage (fun () -> ignore (Scan_d.scan t ~pid:0 1)))
 
 let bench_snapshot_array ~procs =
   let t = Arr_d.create ~procs in
   let i = ref 0 in
   Test.make
-    ~name:(Printf.sprintf "B2 snapshot-array update+snap (n=%d)" procs)
+    ~name:
+      (Printf.sprintf "B2 snapshot-array update+snap uncontended (n=%d)" procs)
     (Staged.stage (fun () ->
          incr i;
          Arr_d.update t ~pid:0 !i;
@@ -123,6 +132,23 @@ let run_timing ~quick =
           | Some _ | None -> Printf.printf "%-48s %16s\n" name "n/a")
         results)
     tests
+
+(* B1/B2 contended counterparts: the same scan / snapshot-array ops with
+   [procs] domains running concurrently on the shared grid (Bechamel
+   stages single-threaded closures, so these are measured with the manual
+   multi-domain harness shared with the JSON pipeline). *)
+let run_contended_timing ~quick =
+  print_endline
+    "\n### B1/B2 contended counterparts (native domains, manual timing)";
+  let rows =
+    List.filter
+      (fun r ->
+        r.Experiments.Bench_json.metric = "ns_per_op"
+        && (r.Experiments.Bench_json.procs = 4
+           || r.Experiments.Bench_json.procs = 8))
+      (Experiments.Bench_json.native_scan_rows ~quick)
+  in
+  Format.printf "%a" Experiments.Bench_json.pp_rows rows
 
 (* --- E12: DPOR vs naive schedule counts ----------------------------------
 
@@ -270,20 +296,37 @@ let run_native_throughput () =
     (Counter_native.read counter ~pid:0)
     total_ops
 
+(* --- the JSON pipeline ------------------------------------------------------ *)
+
+let run_json ~quick =
+  let path = Experiments.Bench_json.default_path in
+  let rows = Experiments.Bench_json.run ~path ~quick () in
+  Printf.printf "wrote %d rows to %s\n" (List.length rows) path;
+  match Experiments.Bench_json.validate_file ~path with
+  | Ok n -> Printf.printf "schema check: ok (%d rows)\n" n
+  | Error errs ->
+      List.iter (Printf.eprintf "schema check FAILED: %s\n") errs;
+      exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let tables_only = List.mem "--tables" args in
   let timing_only = List.mem "--timing" args in
-  if not timing_only then begin
-    print_endline
-      "=== Experiment tables (paper claims vs measurements; see \
-       EXPERIMENTS.md) ===";
-    Experiments.run_all ~quick ();
-    run_explore_table ~quick ()
-  end;
-  if not tables_only then begin
-    run_timing ~quick;
-    run_native_throughput ()
+  let json = List.mem "--json" args in
+  if json then run_json ~quick
+  else begin
+    if not timing_only then begin
+      print_endline
+        "=== Experiment tables (paper claims vs measurements; see \
+         EXPERIMENTS.md) ===";
+      Experiments.run_all ~quick ();
+      run_explore_table ~quick ()
+    end;
+    if not tables_only then begin
+      run_timing ~quick;
+      run_contended_timing ~quick;
+      run_native_throughput ()
+    end
   end;
   print_endline "\nbench: done"

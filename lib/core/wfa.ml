@@ -14,7 +14,9 @@
    - {!Agreement}: Figure 2 approximate agreement, the Lemma 6 adversary,
      and the Theorem 7/8 hierarchy experiments;
    - {!Universal}: the Figure 4 universal construction, its graph
-     machinery, the direct (type-optimized) objects and pseudo-RMW. *)
+     machinery, the direct (type-optimized) objects and pseudo-RMW;
+   - {!Metrics}: the observability layer — per-process/per-register
+     access counters, span histograms, one schema over both backends. *)
 
 module Pram = Pram
 module Semilattice = Semilattice
@@ -25,6 +27,7 @@ module Agreement = Agreement
 module Universal = Universal
 module Workload = Workload
 module Consensus = Consensus
+module Metrics = Metrics
 
 (* Convenience aliases for the most common instantiations: simulator and
    native variants of the flagship objects. *)

@@ -5,8 +5,10 @@
    results. *)
 
 (* Re-export the table type so external callers (bench, CLI) can render
-   experiment output themselves. *)
+   experiment output themselves, and the JSON bench pipeline so they can
+   run/validate it. *)
 module Table = Table
+module Bench_json = Bench_json
 
 type experiment = {
   id : string;

@@ -49,6 +49,9 @@ type 'r t = {
   mutable schedule_rev : int list;
   mutable trace_rev : Trace.access list;
   record_trace : bool;
+  observer : (Trace.access -> unit) option;
+      (* called once per fired access, in firing order; the metrics layer
+         plugs in here without the driver depending on it *)
 }
 
 exception Process_not_runnable of int
@@ -97,7 +100,7 @@ let start_process (type r) (t : r t) p =
           | _ -> None);
     }
 
-let create ?(record_trace = false) ~procs setup =
+let create ?(record_trace = false) ?observer ~procs setup =
   if procs <= 0 then invalid_arg "Driver.create: procs must be positive";
   (* Make register ids a function of the step sequence alone, so that
      explorers can compare ids across instances replaying the same
@@ -113,6 +116,7 @@ let create ?(record_trace = false) ~procs setup =
     schedule_rev = [];
     trace_rev = [];
     record_trace;
+    observer;
   }
 
 (* Processes start lazily: the prologue (local code before the first
@@ -180,8 +184,8 @@ let step t p =
          treat the step as the (free) completion of the process *)
       ()
   | Suspended pd ->
-      if t.record_trace then
-        t.trace_rev <-
+      if t.record_trace || Option.is_some t.observer then begin
+        let access =
           {
             Trace.step = t.total_steps;
             pid = p;
@@ -189,7 +193,10 @@ let step t p =
             reg_name = pd.reg_name;
             kind = pd.kind;
           }
-          :: t.trace_rev;
+        in
+        if t.record_trace then t.trace_rev <- access :: t.trace_rev;
+        match t.observer with Some f -> f access | None -> ()
+      end;
       t.steps.(p) <- t.steps.(p) + 1;
       t.total_steps <- t.total_steps + 1;
       t.schedule_rev <- p :: t.schedule_rev;
@@ -219,7 +226,7 @@ let run_solo ?(max_steps = max_int) t p =
   in
   loop max_steps
 
-let replay ?record_trace ~procs setup sched =
-  let t = create ?record_trace ~procs setup in
+let replay ?record_trace ?observer ~procs setup sched =
+  let t = create ?record_trace ?observer ~procs setup in
   List.iter (fun p -> step t p) sched;
   t

@@ -40,8 +40,18 @@ exception Process_not_runnable of int
     process's first shared access runs (for free) at its first {!step} or
     when {!pending} first inspects it — so invocation events recorded by a
     process are stamped when the scheduler first gives it control, keeping
-    real-time precedence between operations faithful. *)
-val create : ?record_trace:bool -> procs:int -> (unit -> int -> 'r) -> 'r t
+    real-time precedence between operations faithful.
+
+    [observer] is called once per fired access, in firing order, with the
+    same record a trace would hold — the streaming hook the metrics layer
+    attaches to without the cost of retaining a trace.  It must not
+    perform shared-memory accesses of the simulated program. *)
+val create :
+  ?record_trace:bool ->
+  ?observer:(Trace.access -> unit) ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  'r t
 
 val procs : 'r t -> int
 val status : 'r t -> int -> status
@@ -92,4 +102,9 @@ val run_solo : ?max_steps:int -> 'r t -> int -> bool
 (** [replay ~procs setup sched] creates a fresh execution and fires
     [sched] in order. *)
 val replay :
-  ?record_trace:bool -> procs:int -> (unit -> int -> 'r) -> int list -> 'r t
+  ?record_trace:bool ->
+  ?observer:(Trace.access -> unit) ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  int list ->
+  'r t

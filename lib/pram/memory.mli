@@ -32,3 +32,20 @@ module Sim : S with type 'a reg = 'a Register.t
 
 (** Immediate backend: no scheduling, no suspension. *)
 module Direct : S with type 'a reg = 'a Register.t
+
+(** Access hooks for instrumentation wrappers.  The identity passed to a
+    hook is assigned by the wrapper (atomically, so it is safe over the
+    native backend), not by the wrapped backend. *)
+module type Hooks = sig
+  val on_create : reg_id:int -> reg_name:string -> unit
+  val on_read : reg_id:int -> reg_name:string -> unit
+  val on_write : reg_id:int -> reg_name:string -> unit
+end
+
+(** [Hooked (M) (H)] is [M] with [H]'s hooks fired on every completed
+    access — the generic opt-in counter wrapper behind [Metrics].  The
+    unwrapped backends are untouched, so timing runs pay nothing unless
+    they instantiate this functor.  Under {!Sim} the hooks fire at
+    invocation (suspension) time rather than at scheduler firing time;
+    scheduled executions should use {!Driver}'s [observer] instead. *)
+module Hooked (M : S) (H : Hooks) : S

@@ -14,7 +14,8 @@ type action =
 
 type 'r t = 'r Driver.t -> action
 
-let run ?(max_steps = 1_000_000) sched driver =
+let run ?(max_steps = 1_000_000) ?on_action sched driver =
+  let notify a = match on_action with Some f -> f a | None -> () in
   let rec loop fuel =
     if fuel = 0 then
       failwith "Scheduler.run: step budget exhausted (livelock or unfair \
@@ -22,11 +23,13 @@ let run ?(max_steps = 1_000_000) sched driver =
     else if Driver.all_quiescent driver then ()
     else
       match sched driver with
-      | Stop -> ()
+      | Stop -> notify Stop
       | Crash p ->
+          notify (Crash p);
           Driver.crash driver p;
           loop fuel
       | Step p ->
+          notify (Step p);
           Driver.step driver p;
           loop (fuel - 1)
   in

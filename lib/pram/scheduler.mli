@@ -15,8 +15,12 @@ type 'r t = 'r Driver.t -> action
 
 (** Drive [driver] with [sched] until quiescence, [Stop], or [max_steps]
     fired accesses (a watchdog against non-wait-free implementations).
+    [on_action] observes each decision just before it is applied (the
+    metrics layer uses it to attribute scheduler decisions, e.g. crash
+    counts, without wrapping the policy).
     @raise Failure if the budget is exhausted. *)
-val run : ?max_steps:int -> 'r t -> 'r Driver.t -> unit
+val run :
+  ?max_steps:int -> ?on_action:(action -> unit) -> 'r t -> 'r Driver.t -> unit
 
 (** Fair round-robin over runnable processes. *)
 val round_robin : unit -> 'r t

@@ -6,45 +6,48 @@
 
 let rng seed = Random.State.make [| seed; 0x5eed |]
 
+(* Scripts draw from a per-(seed, pid) state rather than one shared
+   state: a shared state made each pid's operations depend on the order
+   in which pids first requested their script, so two harnesses walking
+   pids in different orders silently ran different workloads under "the
+   same seed".  With the pid folded into the state, scripts are a pure
+   function of (seed, pid). *)
+let rng_for ~seed ~pid = Random.State.make [| seed; pid; 0x5eed |]
+
 (* --- operation scripts ---------------------------------------------------- *)
 
 (* A script assigns each process a list of operations. *)
 type 'op script = int -> 'op list
 
-let counter_script ~seed ~ops_per_proc : Spec.Counter_spec.operation script =
-  let st = rng seed in
+(* Memoized per pid so repeated lookups are physically equal (harnesses
+   rely on cheap re-reads), while the generated list itself depends only
+   on (seed, pid). *)
+let memoized_script ~seed gen : _ script =
   let scripts = Hashtbl.create 8 in
   fun pid ->
     match Hashtbl.find_opt scripts pid with
     | Some s -> s
     | None ->
-        let s =
-          List.init ops_per_proc (fun _ ->
-              match Random.State.int st 10 with
-              | 0 | 1 | 2 | 3 -> Spec.Counter_spec.Inc (1 + Random.State.int st 5)
-              | 4 | 5 | 6 -> Spec.Counter_spec.Dec (1 + Random.State.int st 5)
-              | 7 | 8 -> Spec.Counter_spec.Read
-              | _ -> Spec.Counter_spec.Reset (Random.State.int st 100))
-        in
+        let s = gen (rng_for ~seed ~pid) in
         Hashtbl.add scripts pid s;
         s
 
+let counter_script ~seed ~ops_per_proc : Spec.Counter_spec.operation script =
+  memoized_script ~seed (fun st ->
+      List.init ops_per_proc (fun _ ->
+          match Random.State.int st 10 with
+          | 0 | 1 | 2 | 3 -> Spec.Counter_spec.Inc (1 + Random.State.int st 5)
+          | 4 | 5 | 6 -> Spec.Counter_spec.Dec (1 + Random.State.int st 5)
+          | 7 | 8 -> Spec.Counter_spec.Read
+          | _ -> Spec.Counter_spec.Reset (Random.State.int st 100)))
+
 let gset_script ~seed ~ops_per_proc : Spec.Gset_spec.operation script =
-  let st = rng seed in
-  let scripts = Hashtbl.create 8 in
-  fun pid ->
-    match Hashtbl.find_opt scripts pid with
-    | Some s -> s
-    | None ->
-        let s =
-          List.init ops_per_proc (fun _ ->
-              match Random.State.int st 10 with
-              | 0 | 1 | 2 | 3 | 4 | 5 -> Spec.Gset_spec.Add (Random.State.int st 20)
-              | 6 | 7 | 8 -> Spec.Gset_spec.Members
-              | _ -> Spec.Gset_spec.Clear)
-        in
-        Hashtbl.add scripts pid s;
-        s
+  memoized_script ~seed (fun st ->
+      List.init ops_per_proc (fun _ ->
+          match Random.State.int st 10 with
+          | 0 | 1 | 2 | 3 | 4 | 5 -> Spec.Gset_spec.Add (Random.State.int st 20)
+          | 6 | 7 | 8 -> Spec.Gset_spec.Members
+          | _ -> Spec.Gset_spec.Clear))
 
 (* Inputs for approximate agreement: [procs] values spread over
    [0, delta]. *)

@@ -3,7 +3,10 @@
     are reproducible end to end. *)
 
 type 'op script = int -> 'op list
-(** A script assigns each process its operation list. *)
+(** A script assigns each process its operation list.  Each pid's list is
+    a pure function of [(seed, pid)] — in particular it does not depend
+    on the order in which pids are first queried — and is memoized, so
+    repeated queries return the same (physically equal) list. *)
 
 val counter_script :
   seed:int -> ops_per_proc:int -> Spec.Counter_spec.operation script

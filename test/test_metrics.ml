@@ -1,0 +1,299 @@
+(* Tests for the Metrics observability layer: the recorder, both feed
+   paths (driver observer for the simulator, Instrument wrapper for
+   direct/native code), span histograms, and the Section 6.2 guard —
+   Scan.cost_formula must equal counts observed through a counting
+   memory backend for both variants at procs = 1..8. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- histogram statistics -------------------------------------------------- *)
+
+let test_histogram_stats () =
+  let h = Metrics.Histogram.create () in
+  check_bool "empty has no stats" true (Metrics.Histogram.stats h = None);
+  (* 1..100 in scrambled order: exact quantiles are order-independent *)
+  List.iter
+    (fun v -> Metrics.Histogram.add h v)
+    (List.init 100 (fun i -> ((i * 37) mod 100) + 1));
+  match Metrics.Histogram.stats h with
+  | None -> Alcotest.fail "stats expected"
+  | Some s ->
+      check_int "count" 100 s.Metrics.Stats.count;
+      check_int "min" 1 s.Metrics.Stats.min;
+      check_int "max" 100 s.Metrics.Stats.max;
+      check_bool "mean" true (Float.abs (s.Metrics.Stats.mean -. 50.5) < 1e-9);
+      check_int "p99 nearest-rank" 99 s.Metrics.Stats.p99
+
+let test_histogram_single () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 7;
+  match Metrics.Histogram.stats h with
+  | None -> Alcotest.fail "stats expected"
+  | Some s ->
+      check_int "min=max=p99" 7 s.Metrics.Stats.min;
+      check_int "p99 of singleton" 7 s.Metrics.Stats.p99
+
+(* --- recorder via the Instrument wrapper ----------------------------------- *)
+
+let test_instrument_direct () =
+  let recorder = Metrics.Recorder.create ~procs:2 in
+  let module M =
+    Metrics.Instrument
+      (Pram.Memory.Direct)
+      (struct
+        let recorder = recorder
+      end)
+  in
+  let a = M.create ~name:"a" 0 in
+  let b = M.create ~name:"b" 0 in
+  Metrics.set_pid 0;
+  M.write a 1;
+  ignore (M.read a);
+  ignore (M.read b);
+  Metrics.set_pid 1;
+  M.write b 2;
+  M.write b 3;
+  Metrics.set_pid 0;
+  check_int "pid0 reads" 2 (Metrics.Recorder.reads recorder ~pid:0);
+  check_int "pid0 writes" 1 (Metrics.Recorder.writes recorder ~pid:0);
+  check_int "pid1 reads" 0 (Metrics.Recorder.reads recorder ~pid:1);
+  check_int "pid1 writes" 2 (Metrics.Recorder.writes recorder ~pid:1);
+  check_int "registers created" 2 (Metrics.Recorder.registers_created recorder);
+  let snap = Metrics.Recorder.snapshot recorder in
+  check_int "per-register entries" 2
+    (List.length snap.Metrics.Snapshot.per_register);
+  let by_name n =
+    List.find
+      (fun r -> r.Metrics.rs_name = n)
+      snap.Metrics.Snapshot.per_register
+  in
+  check_int "a reads" 1 (by_name "a").Metrics.rs_reads;
+  check_int "a writes" 1 (by_name "a").Metrics.rs_writes;
+  check_int "b reads" 1 (by_name "b").Metrics.rs_reads;
+  check_int "b writes" 2 (by_name "b").Metrics.rs_writes;
+  Metrics.Recorder.reset recorder;
+  check_int "reset clears totals" 0 (Metrics.Recorder.total_reads recorder);
+  check_int "reset clears registers" 0
+    (Metrics.Recorder.registers_created recorder)
+
+let test_instrument_native_domains () =
+  (* Each domain sets its pid once; per-pid counts stay exact under real
+     parallelism because each pid only bumps its own counter. *)
+  let procs = 4 in
+  let reads_per_pid = 500 in
+  let recorder = Metrics.Recorder.create ~procs in
+  let module M =
+    Metrics.Instrument
+      (Pram.Native.Mem)
+      (struct
+        let recorder = recorder
+      end)
+  in
+  let r = M.create 0 in
+  let _ =
+    Pram.Native.run_parallel ~procs (fun pid ->
+        Metrics.set_pid pid;
+        for _ = 1 to reads_per_pid do
+          ignore (M.read r)
+        done;
+        M.write r pid)
+  in
+  for pid = 0 to procs - 1 do
+    check_int
+      (Printf.sprintf "pid %d reads" pid)
+      reads_per_pid
+      (Metrics.Recorder.reads recorder ~pid);
+    check_int (Printf.sprintf "pid %d writes" pid) 1
+      (Metrics.Recorder.writes recorder ~pid)
+  done;
+  check_int "total reads" (procs * reads_per_pid)
+    (Metrics.Recorder.total_reads recorder)
+
+(* --- recorder via the driver observer -------------------------------------- *)
+
+let test_observer_matches_driver_steps () =
+  let procs = 3 in
+  let recorder = Metrics.Recorder.create ~procs in
+  let program () =
+    let regs = Array.init procs (fun _ -> Pram.Memory.Sim.create 0) in
+    fun pid ->
+      for i = 1 to 5 do
+        Pram.Memory.Sim.write regs.(pid) i;
+        ignore (Pram.Memory.Sim.read regs.((pid + 1) mod procs))
+      done
+  in
+  let d =
+    Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
+      program
+  in
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  for pid = 0 to procs - 1 do
+    check_int
+      (Printf.sprintf "pid %d accesses = driver steps" pid)
+      (Pram.Driver.steps d pid)
+      (Metrics.Recorder.reads recorder ~pid
+      + Metrics.Recorder.writes recorder ~pid);
+    check_int (Printf.sprintf "pid %d reads" pid) 5
+      (Metrics.Recorder.reads recorder ~pid);
+    check_int (Printf.sprintf "pid %d writes" pid) 5
+      (Metrics.Recorder.writes recorder ~pid)
+  done
+
+let test_spans_under_interleaving () =
+  (* Spans wrap operations inside the process body; per-pid attribution
+     keeps them exact even though the scheduler interleaves everything. *)
+  let procs = 3 in
+  let ops = 4 in
+  let recorder = Metrics.Recorder.create ~procs in
+  let program () =
+    let regs = Array.init procs (fun _ -> Pram.Memory.Sim.create 0) in
+    fun pid ->
+      for _ = 1 to ops do
+        Metrics.Recorder.with_span recorder ~pid ~op:"rmw" (fun () ->
+            let v = Pram.Memory.Sim.read regs.(pid) in
+            Pram.Memory.Sim.write regs.(pid) (v + 1))
+      done
+  in
+  let d =
+    Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
+      program
+  in
+  Pram.Scheduler.run (Pram.Scheduler.random ~seed:3 ()) d;
+  match Metrics.Recorder.span_stats recorder ~op:"rmw" with
+  | None -> Alcotest.fail "span stats expected"
+  | Some s ->
+      check_int "span count" (procs * ops) s.Metrics.Stats.count;
+      check_int "every op is read+write" 2 s.Metrics.Stats.min;
+      check_int "every op is read+write (max)" 2 s.Metrics.Stats.max
+
+(* --- the Section 6.2 guard ------------------------------------------------- *)
+
+(* cost_formula vs counts observed through a counting backend, both
+   variants, procs = 1..8.  Two independent counting paths must agree
+   with the formula: the Instrument wrapper over Direct, and the driver
+   observer under Sim. *)
+let scan_cost_via_instrument ~procs ~variant =
+  let recorder = Metrics.Recorder.create ~procs in
+  let module M =
+    Metrics.Instrument
+      (Pram.Memory.Direct)
+      (struct
+        let recorder = recorder
+      end)
+  in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let t = Scan.create ~procs in
+  Metrics.set_pid 0;
+  ignore (Scan.scan ~variant t ~pid:0 1);
+  ( Metrics.Recorder.reads recorder ~pid:0,
+    Metrics.Recorder.writes recorder ~pid:0,
+    Metrics.Recorder.registers_created recorder )
+
+let scan_cost_via_observer ~procs ~variant =
+  let recorder = Metrics.Recorder.create ~procs in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim) in
+  let program () =
+    let t = Scan.create ~procs in
+    fun pid -> ignore (Scan.scan ~variant t ~pid (pid + 1))
+  in
+  let d =
+    Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
+      program
+  in
+  (* all processes run (contention): per-pid counts must be oblivious *)
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  ( Metrics.Recorder.reads recorder ~pid:0,
+    Metrics.Recorder.writes recorder ~pid:0 )
+
+let test_cost_formula_matches_counting_backend () =
+  List.iter
+    (fun variant ->
+      for procs = 1 to 8 do
+        let fr, fw = Snapshot.Scan.cost_formula ~procs variant in
+        let ir, iw, regs = scan_cost_via_instrument ~procs ~variant in
+        let label what =
+          Printf.sprintf "%s procs=%d %s"
+            (match variant with
+            | Snapshot.Scan.Plain -> "plain"
+            | Snapshot.Scan.Optimized -> "optimized")
+            procs what
+        in
+        check_int (label "reads (instrument)") fr ir;
+        check_int (label "writes (instrument)") fw iw;
+        check_int (label "grid registers") (procs * (procs + 2)) regs;
+        let or_, ow = scan_cost_via_observer ~procs ~variant in
+        check_int (label "reads (observer, contended)") fr or_;
+        check_int (label "writes (observer, contended)") fw ow
+      done)
+    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
+
+(* --- bench JSON round-trip -------------------------------------------------- *)
+
+let test_bench_json_roundtrip () =
+  let rows =
+    [
+      Experiments.Bench_json.row ~bench:"scan_plain_uncontended" ~procs:2
+        ~backend:"sim" ~metric:"reads" ~value:7.0 ~unit_:"accesses";
+      Experiments.Bench_json.row ~bench:"counter_inc" ~procs:1
+        ~backend:"native" ~metric:"ops_per_sec" ~value:1.5e6 ~unit_:"ops/s";
+      Experiments.Bench_json.row ~bench:"counter_inc" ~procs:2
+        ~backend:"native" ~metric:"ops_per_sec" ~value:2.5e6 ~unit_:"ops/s";
+      Experiments.Bench_json.row ~bench:"counter_inc" ~procs:4
+        ~backend:"native" ~metric:"ops_per_sec" ~value:3e6 ~unit_:"ops/s";
+      Experiments.Bench_json.row ~bench:"counter_inc" ~procs:8
+        ~backend:"native" ~metric:"ops_per_sec" ~value:4e6 ~unit_:"ops/s";
+    ]
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json rows)
+   with
+  | Ok n -> check_int "row count survives round-trip" 5 n
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  (* a sim scan row contradicting the formula must be rejected *)
+  let bad =
+    Experiments.Bench_json.row ~bench:"scan_plain_uncontended" ~procs:2
+      ~backend:"sim" ~metric:"reads" ~value:6.0 ~unit_:"accesses"
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json (bad :: List.tl rows))
+   with
+  | Ok _ -> Alcotest.fail "formula violation must be rejected"
+  | Error _ -> ());
+  (* and broken syntax is a parse error, not a crash *)
+  match Experiments.Bench_json.validate_string "[{\"bench\": }]" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "stats over 1..100" `Quick test_histogram_stats;
+          Alcotest.test_case "singleton" `Quick test_histogram_single;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "instrument over Direct" `Quick
+            test_instrument_direct;
+          Alcotest.test_case "instrument over native domains" `Quick
+            test_instrument_native_domains;
+          Alcotest.test_case "observer matches driver steps" `Quick
+            test_observer_matches_driver_steps;
+          Alcotest.test_case "spans exact under interleaving" `Quick
+            test_spans_under_interleaving;
+        ] );
+      ( "cost-formula",
+        [
+          Alcotest.test_case "Section 6.2 formulas, procs 1..8" `Quick
+            test_cost_formula_matches_counting_backend;
+        ] );
+      ( "bench-json",
+        [
+          Alcotest.test_case "round-trip + schema gates" `Quick
+            test_bench_json_roundtrip;
+        ] );
+    ]

@@ -15,6 +15,39 @@ let test_gset_script_varies_with_seed () =
   let b = Workload.gset_script ~seed:2 ~ops_per_proc:10 in
   check_bool "different seeds differ" true (a 0 <> b 0)
 
+(* Regression: scripts used to be drawn lazily from one shared
+   Random.State, so the ops a pid received depended on which pids had
+   been queried before it.  They must be a pure function of (seed, pid):
+   querying pids in two different orders yields identical scripts. *)
+let test_scripts_independent_of_query_order () =
+  let pids = [ 0; 1; 2; 3 ] in
+  let query order script = List.map (fun p -> (p, script p)) order in
+  let forward = query pids (Workload.counter_script ~seed:7 ~ops_per_proc:9)
+  and backward =
+    query (List.rev pids) (Workload.counter_script ~seed:7 ~ops_per_proc:9)
+  in
+  List.iter
+    (fun (p, ops) ->
+      check_bool
+        (Printf.sprintf "counter pid %d same ops either order" p)
+        true
+        (ops = List.assoc p backward))
+    forward;
+  let gf = query pids (Workload.gset_script ~seed:7 ~ops_per_proc:9)
+  and gb =
+    query [ 2; 0; 3; 1 ] (Workload.gset_script ~seed:7 ~ops_per_proc:9)
+  in
+  List.iter
+    (fun (p, ops) ->
+      check_bool
+        (Printf.sprintf "gset pid %d same ops either order" p)
+        true
+        (ops = List.assoc p gb))
+    gf;
+  (* and distinct pids still get distinct streams *)
+  let s = Workload.counter_script ~seed:7 ~ops_per_proc:9 in
+  check_bool "pids differ" true (s 0 <> s 1)
+
 let test_agreement_inputs_span_delta () =
   let inputs = Workload.agreement_inputs ~seed:9 ~procs:5 ~delta:100.0 in
   let lo = Array.fold_left Float.min infinity inputs in
@@ -131,6 +164,8 @@ let () =
             test_counter_script_deterministic;
           Alcotest.test_case "gset script varies" `Quick
             test_gset_script_varies_with_seed;
+          Alcotest.test_case "scripts independent of query order" `Quick
+            test_scripts_independent_of_query_order;
           Alcotest.test_case "agreement inputs span" `Quick
             test_agreement_inputs_span_delta;
         ] );
