@@ -8,6 +8,7 @@
      adversary -k K             attack the Figure 2 algorithm (Lemma 6)
      counter --procs N --ops M   torture a wait-free counter on domains
      explore                     model-check snapshot implementations
+     trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
      bench --json [--quick]      run the JSON bench pipeline (BENCH_PR2.json)
      bench-validate FILE         schema-check a bench JSON file
@@ -199,7 +200,8 @@ let explore_cmd =
   in
   let shrink_flag =
     Arg.(
-      value & opt bool true
+      value
+      & opt ~vopt:true bool true
       & info [ "shrink" ] ~docv:"BOOL"
           ~doc:
             "Delta-debug a failing schedule to a locally minimal \
@@ -211,7 +213,29 @@ let explore_cmd =
       & info [ "max-schedules" ] ~docv:"N"
           ~doc:"Stop the search after exploring N schedules.")
   in
-  let run naive dpor shrink max_schedules =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Replay the collect counterexample (shrunk if shrinking is \
+             on) with a tracing journal attached, print its annotated \
+             timeline, and write the Chrome trace-event JSON to FILE \
+             (open in Perfetto or chrome://tracing).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Skip the search: replay an encoded schedule (the printed \
+             counterexample syntax, e.g. 'p2 p0 p1 !p2' where !pN \
+             crashes N) on the 3-process naive collect, print its \
+             timeline and linearizability verdict.")
+  in
+  let run naive dpor shrink max_schedules trace_out replay =
     if naive && dpor then `Error (false, "--naive and --dpor are exclusive")
     else begin
       let mode =
@@ -254,13 +278,6 @@ let explore_cmd =
               (Spec.History.Recorder.record !recorder2 ~pid `Snapshot
                  (fun () -> `View (Arr.snapshot t ~pid)))
       in
-      print_endline
-        "atomic scan, updater vs snapshotter (2 processes, correct):";
-      let atomic_report =
-        Check2.explore_check ~mode ~shrink ~max_schedules ~procs:2
-          ~recorder:recorder2 atomic_program
-      in
-      Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report atomic_report;
       (* the naive collect: two updaters vs a snapshotter is NOT
          linearizable; the explorer finds, shrinks and prints a
          counterexample schedule with its history *)
@@ -280,36 +297,84 @@ let explore_cmd =
               (Spec.History.Recorder.record !recorder3 ~pid `Snapshot
                  (fun () -> `View (Naive_c.snapshot t ~pid)))
       in
-      print_endline "naive collect, 2 updaters vs snapshotter (3 processes, buggy):";
-      let collect_report =
-        Check3.explore_check ~mode ~shrink ~max_schedules ~procs:3
-          ~recorder:recorder3 collect_program
-      in
-      Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report collect_report;
-      (* exit non-zero on any unexpected verdict: the correct object must
-         pass its search, and the search must catch the known-broken
-         collect — either failure means a real bug, in the algorithm or
-         in the explorer.  Exception: the collect's violation lives
-         purely in the real-time order of independent accesses, which
-         DPOR is documented to miss (see --dpor's help), so a clean DPOR
-         collect report is a warning, not a failure. *)
-      if not (Pram.Explore.report_ok atomic_report) then
-        `Error
-          ( false,
-            "linearizability violation (or truncated search) on the atomic \
-             snapshot" )
-      else if Pram.Explore.report_ok collect_report then
-        if mode = Pram.Explore.Dpor then begin
+      match replay with
+      | Some sched -> (
+          (* no search: replay one encoded schedule on the collect with a
+             tracing journal attached and report what happened *)
+          match Pram.Trace.parse_encoded_schedule sched with
+          | Error msg -> `Error (false, "--replay: " ^ msg)
+          | Ok enc ->
+              let a =
+                Check3.trace_counterexample ~procs:3 ~recorder:recorder3
+                  collect_program enc
+              in
+              print_endline
+                "replay on the naive collect (2 updaters vs snapshotter):";
+              print_endline (Tracing.timeline a);
+              let linearizable =
+                Check3.is_linearizable
+                  (Spec.History.Recorder.events !recorder3)
+              in
+              Printf.printf "history linearizable: %b\n" linearizable;
+              (match trace_out with
+              | None -> ()
+              | Some path ->
+                  Tracing.write_chrome_file ~path a;
+                  Printf.printf "wrote Chrome trace to %s\n" path);
+              `Ok ())
+      | None ->
           print_endline
-            "note: DPOR missed the collect's real-time-order violation (a \
-             documented limitation); rerun with --naive for the ground \
-             truth";
-          `Ok ()
-        end
-        else
-          `Error
-            (false, "the explorer missed the naive collect's known violation")
-      else `Ok ()
+            "atomic scan, updater vs snapshotter (2 processes, correct):";
+          let atomic_report =
+            Check2.explore_check ~mode ~shrink ~max_schedules ~procs:2
+              ~recorder:recorder2 atomic_program
+          in
+          Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report atomic_report;
+          print_endline
+            "naive collect, 2 updaters vs snapshotter (3 processes, buggy):";
+          let collect_report =
+            Check3.explore_check ~mode ~shrink ~max_schedules ~procs:3
+              ~recorder:recorder3 collect_program
+          in
+          Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report collect_report;
+          (match (trace_out, collect_report.Pram.Explore.r_counterexample) with
+          | None, _ -> ()
+          | Some _, None ->
+              print_endline "no counterexample to trace (search was clean)"
+          | Some path, Some cex ->
+              let a =
+                Check3.trace_counterexample ~procs:3 ~recorder:recorder3
+                  collect_program cex.Pram.Explore.cex_shrunk
+              in
+              print_endline "counterexample timeline:";
+              print_endline (Tracing.timeline a);
+              Tracing.write_chrome_file ~path a;
+              Printf.printf "wrote counterexample Chrome trace to %s\n" path);
+          (* exit non-zero on any unexpected verdict: the correct object must
+             pass its search, and the search must catch the known-broken
+             collect — either failure means a real bug, in the algorithm or
+             in the explorer.  Exception: the collect's violation lives
+             purely in the real-time order of independent accesses, which
+             DPOR is documented to miss (see --dpor's help), so a clean DPOR
+             collect report is a warning, not a failure. *)
+          if not (Pram.Explore.report_ok atomic_report) then
+            `Error
+              ( false,
+                "linearizability violation (or truncated search) on the \
+                 atomic snapshot" )
+          else if Pram.Explore.report_ok collect_report then
+            if mode = Pram.Explore.Dpor then begin
+              print_endline
+                "note: DPOR missed the collect's real-time-order violation \
+                 (a documented limitation); rerun with --naive for the \
+                 ground truth";
+              `Ok ()
+            end
+            else
+              `Error
+                ( false,
+                  "the explorer missed the naive collect's known violation" )
+          else `Ok ()
     end
   in
   Cmd.v
@@ -318,8 +383,242 @@ let explore_cmd =
          "Model-check the atomic snapshot (clean) and the naive collect \
           (broken) over every schedule; failing schedules are shrunk to \
           minimal counterexamples.  $(b,--dpor) prunes the search to one \
-          representative per Mazurkiewicz trace.")
-    Term.(ret (const run $ naive_flag $ dpor_flag $ shrink_flag $ max_schedules))
+          representative per Mazurkiewicz trace.  $(b,--trace-out) exports \
+          the counterexample as a Chrome trace; $(b,--replay) re-executes \
+          a pasted schedule under the tracer.")
+    Term.(
+      ret
+        (const run $ naive_flag $ dpor_flag $ shrink_flag $ max_schedules
+       $ trace_out $ replay))
+
+(* --- trace -------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("scan", `Scan); ("agreement", `Agreement); ("counter", `Counter) ])
+          `Scan
+      & info [ "workload" ] ~docv:"W"
+          ~doc:
+            "What to trace: the Section 6 atomic $(b,scan), Figure 2 \
+             approximate $(b,agreement), or the universal-construction \
+             $(b,counter).")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "$(b,sim): the deterministic simulator (accesses via the driver \
+             observer, logical clock, schedule recorded for replay).  \
+             $(b,native): real domains (accesses via the Instrument memory \
+             wrapper, monotonic clock).")
+  in
+  let procs =
+    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("timeline", `Timeline); ("chrome", `Chrome); ("text", `Text) ])
+          `Timeline
+      & info [ "format" ] ~docv:"F"
+          ~doc:
+            "Rendering: per-process ASCII $(b,timeline); $(b,chrome) \
+             trace-event JSON (open in Perfetto / chrome://tracing); or the \
+             round-trippable $(b,text) format (reloadable with \
+             Tracing.load_file).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Simulator only: drive with a seeded random scheduler instead \
+             of round-robin.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-validate the trace and exit non-zero on failure: the \
+             Chrome rendering must parse with the in-repo JSON parser, and \
+             the text rendering must survive save -> parse unchanged; on \
+             the simulator additionally parse -> replay the recorded \
+             schedule -> re-export and require byte-identical output.")
+  in
+  let run workload backend procs fmt out seed check =
+    if procs <= 0 then `Error (false, "procs must be positive")
+    else begin
+      (* Each workload, as a program over a memory backend [M], with the
+         journal threaded into the span-annotated entry points. *)
+      let sim_program j () =
+        match workload with
+        | `Scan ->
+            let module S =
+              Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim)
+            in
+            let t = S.create ~procs in
+            fun pid ->
+              S.write_l ~journal:j t ~pid (pid + 1);
+              ignore (S.read_max ~journal:j t ~pid)
+        | `Agreement ->
+            let module AA = Agreement.Approx_agreement.Make (Pram.Memory.Sim) in
+            let t = AA.create ~procs ~epsilon:0.05 in
+            fun pid ->
+              AA.input t ~pid (float_of_int pid);
+              ignore (AA.output ~journal:j t ~pid)
+        | `Counter ->
+            let module UC =
+              Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+            in
+            let t = UC.create ~procs in
+            fun pid ->
+              ignore (UC.execute ~journal:j t ~pid (Spec.Counter_spec.Inc 1));
+              ignore (UC.execute ~journal:j t ~pid Spec.Counter_spec.Read)
+      in
+      let run_sim () =
+        let j = Tracing.Journal.create ~procs () in
+        let d =
+          Pram.Driver.create
+            ~observer:(Tracing.Journal.observer j)
+            ~procs (sim_program j)
+        in
+        (match seed with
+        | None ->
+            Pram.Scheduler.run ~max_steps:10_000_000
+              (Pram.Scheduler.round_robin ())
+              d
+        | Some seed ->
+            Pram.Scheduler.run ~max_steps:10_000_000
+              (Pram.Scheduler.random ~seed ())
+              d);
+        for p = 0 to procs - 1 do
+          if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+        done;
+        Tracing.archive ~schedule:(Pram.Driver.schedule d) j
+      in
+      (* replay a saved simulator schedule with a fresh journal: the basis
+         of the --check byte-identity guarantee *)
+      let replay_sim sched =
+        let j = Tracing.Journal.create ~procs () in
+        let d =
+          Pram.Driver.create
+            ~observer:(Tracing.Journal.observer j)
+            ~procs (sim_program j)
+        in
+        ignore (Pram.Explore.apply_encoded d sched);
+        Tracing.archive ~schedule:sched j
+      in
+      let run_native () =
+        let j = Tracing.Journal.create ~clock:`Monotonic ~procs () in
+        let module M =
+          Tracing.Instrument
+            (Pram.Native.Mem)
+            (struct
+              let journal = j
+            end)
+        in
+        let body =
+          match workload with
+          | `Scan ->
+              let module S = Snapshot.Scan.Make (Semilattice.Int_max) (M) in
+              let t = S.create ~procs in
+              fun pid ->
+                S.write_l ~journal:j t ~pid (pid + 1);
+                ignore (S.read_max ~journal:j t ~pid)
+          | `Agreement ->
+              let module AA = Agreement.Approx_agreement.Make (M) in
+              let t = AA.create ~procs ~epsilon:0.05 in
+              fun pid ->
+                AA.input t ~pid (float_of_int pid);
+                ignore (AA.output ~journal:j t ~pid)
+          | `Counter ->
+              let module UC =
+                Universal.Construction.Make (Spec.Counter_spec) (M)
+              in
+              let t = UC.create ~procs in
+              fun pid ->
+                ignore (UC.execute ~journal:j t ~pid (Spec.Counter_spec.Inc 1));
+                ignore (UC.execute ~journal:j t ~pid Spec.Counter_spec.Read)
+        in
+        let _ =
+          Pram.Native.run_parallel ~procs (fun pid ->
+              Tracing.set_pid pid;
+              body pid)
+        in
+        Tracing.archive j
+      in
+      let a = match backend with `Sim -> run_sim () | `Native -> run_native () in
+      let rendered =
+        match fmt with
+        | `Timeline -> Tracing.timeline a ^ "\n"
+        | `Chrome -> Tracing.chrome_json a
+        | `Text -> Tracing.save a
+      in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+          let oc = open_out path in
+          output_string oc rendered;
+          close_out oc;
+          Printf.printf "wrote %d events to %s\n"
+            (List.length a.Tracing.a_events)
+            path);
+      if not check then `Ok ()
+      else begin
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+        (match Experiments.Bench_json.Json.parse (Tracing.chrome_json a) with
+        | Ok _ -> ()
+        | Error e -> err "chrome JSON does not parse: %s" e);
+        (match Tracing.parse (Tracing.save a) with
+        | Error e -> err "text format does not parse back: %s" e
+        | Ok a' ->
+            if Tracing.save a' <> Tracing.save a then
+              err "text save -> parse -> save is not byte-identical";
+            if backend = `Sim then begin
+              (* the full acceptance loop: save -> load -> replay the
+                 schedule -> re-export, byte-for-byte *)
+              let a'' = replay_sim a'.Tracing.a_schedule in
+              if Tracing.save a'' <> Tracing.save a then
+                err "replayed schedule does not re-export byte-identically";
+              if Tracing.chrome_json a'' <> Tracing.chrome_json a then
+                err "replayed schedule changes the Chrome export"
+            end);
+        match !errors with
+        | [] ->
+            Printf.printf "check: ok (%d events)\n"
+              (List.length a.Tracing.a_events);
+            `Ok ()
+        | errs -> `Error (false, String.concat "; " (List.rev errs))
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with the structured tracer attached and render \
+          the event journal as a timeline, a Chrome trace, or the \
+          round-trippable text format.")
+    Term.(
+      ret
+        (const run $ workload $ backend $ procs $ format_arg $ out $ seed
+       $ check))
 
 (* --- lincheck-demo ----------------------------------------------------------- *)
 
@@ -457,6 +756,7 @@ let () =
             adversary_cmd;
             counter_cmd;
             explore_cmd;
+            trace_cmd;
             lincheck_demo_cmd;
             bench_cmd;
             bench_validate_cmd;

@@ -65,7 +65,8 @@ module Make (M : Pram.Memory.S) = struct
         (lo +. hi) /. 2.0
 
   (* Figure 2, lines 7-22. *)
-  let output t ~pid =
+  let output ?journal t ~pid =
+    Tracing.span_opt journal ~pid ~op:"aa.output" @@ fun () ->
     let rec loop advance =
       (* line 10: scan r (n reads, fixed order — the paper allows any) *)
       let entries = Array.map M.read t.entries in
@@ -104,15 +105,23 @@ module Make (M : Pram.Memory.S) = struct
           (fun e -> if e.round = max_round then Some e.prefer else None)
           known
       in
-      if (not e_contains_bottom) && range_size e_set < t.epsilon /. 2.0 then
+      if (not e_contains_bottom) && range_size e_set < t.epsilon /. 2.0 then begin
+        Tracing.annotatef_opt journal ~pid "decide %g at round %d" mine.prefer
+          mine.round;
         mine.prefer (* lines 13-14 *)
+      end
       else if range_size l_set < t.epsilon /. 2.0 || advance then begin
         (* lines 15-17: advance to the leaders' midpoint *)
-        M.write t.entries.(pid)
-          (Some { prefer = midpoint l_set; round = mine.round + 1 });
+        let mid = midpoint l_set in
+        Tracing.annotatef_opt journal ~pid "advance -> round %d (midpoint %g)"
+          (mine.round + 1) mid;
+        M.write t.entries.(pid) (Some { prefer = mid; round = mine.round + 1 });
         loop false
       end
-      else loop true (* lines 18-19: rescan once before advancing *)
+      else begin
+        Tracing.annotatef_opt journal ~pid "rescan at round %d" mine.round;
+        loop true (* lines 18-19: rescan once before advancing *)
+      end
     in
     loop false
 

@@ -28,9 +28,11 @@ module Make (M : Pram.Memory.S) : sig
   val input : t -> pid:int -> float -> unit
 
   (** Run the agreement loop to a decision (Figure 2, lines 7-22).
-      Requires a prior [input] by this process.
+      Requires a prior [input] by this process.  When [journal] is given
+      the call is bracketed as an ["aa.output"] span with one annotation
+      per advance / rescan / decide; [None] (the default) costs nothing.
       @raise Invalid_argument otherwise. *)
-  val output : t -> pid:int -> float
+  val output : ?journal:Tracing.Journal.t -> t -> pid:int -> float
 
   (** Current round of a process's entry (0 before its input) — test and
       bench introspection, not part of the object's interface. *)

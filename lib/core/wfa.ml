@@ -16,7 +16,10 @@
    - {!Universal}: the Figure 4 universal construction, its graph
      machinery, the direct (type-optimized) objects and pseudo-RMW;
    - {!Metrics}: the observability layer — per-process/per-register
-     access counters, span histograms, one schema over both backends. *)
+     access counters, span histograms, one schema over both backends;
+   - {!Tracing}: the structured event journal — per-execution causal
+     traces with timeline, Chrome-trace and round-trippable text
+     renderers. *)
 
 module Pram = Pram
 module Semilattice = Semilattice
@@ -28,6 +31,7 @@ module Universal = Universal
 module Workload = Workload
 module Consensus = Consensus
 module Metrics = Metrics
+module Tracing = Tracing
 
 (* Convenience aliases for the most common instantiations: simulator and
    native variants of the flagship objects. *)

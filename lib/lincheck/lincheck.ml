@@ -132,4 +132,38 @@ module Make (O : Spec.Object_spec.S) = struct
         Spec.History.pp O.pp_operation O.pp_response ppf
           (Spec.History.Recorder.events !recorder))
       ()
+
+  (* Replay an encoded (counterexample) schedule with a tracing journal
+     attached: the driver observer streams accesses, a recorder sink
+     streams invoke/response events, and crashes are marked from the
+     schedule — all into one journal, so the timeline and Chrome
+     renderings show the operations AND the accesses they fired, in the
+     exact interleaved order.
+
+     Ordering note: [Driver.create] runs [program ()] eagerly (which
+     re-creates [!recorder]), but processes start lazily, so installing
+     the sink between creation and the first step loses no events. *)
+  let trace_counterexample ?completion_fuel ~procs ~recorder program enc =
+    let j = Tracing.Journal.create ~procs () in
+    let d =
+      Pram.Driver.create ~observer:(Tracing.Journal.observer j) ~procs program
+    in
+    Spec.History.Recorder.set_sink !recorder
+      (Some
+         (fun ev ->
+           match ev with
+           | Spec.History.Invoke { pid; op } ->
+               Tracing.Journal.invoke j ~pid
+                 (Format.asprintf "%a" O.pp_operation op)
+           | Spec.History.Return { pid; resp } ->
+               Tracing.Journal.response j ~pid
+                 (Format.asprintf "%a" O.pp_response resp)));
+    let applied =
+      Pram.Explore.apply_encoded
+        ~on_crash:(fun p -> Tracing.Journal.crash j ~pid:p)
+        d enc
+    in
+    let tail = Pram.Explore.complete ?completion_fuel d in
+    Spec.History.Recorder.set_sink !recorder None;
+    Tracing.archive ~schedule:(applied @ tail) j
 end

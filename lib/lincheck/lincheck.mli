@@ -49,4 +49,20 @@ module Make (O : Spec.Object_spec.S) : sig
     recorder:(O.operation, O.response) Spec.History.Recorder.t ref ->
     (unit -> int -> 'x) ->
     Pram.Explore.report
+
+  (** [trace_counterexample ~procs ~recorder program enc] replays the
+      encoded schedule [enc] (e.g. a report's [cex_shrunk]) with a
+      {!Tracing.Journal} attached: accesses stream in via the driver
+      observer, operation invoke/response events via a recorder sink,
+      and crash actions are marked — one causally ordered journal.  The
+      returned archive (with the normalized schedule) renders via
+      {!Tracing.pp_timeline} / {!Tracing.chrome_json}.  [program] and
+      [recorder] must be the pair given to {!explore_check}. *)
+  val trace_counterexample :
+    ?completion_fuel:int ->
+    procs:int ->
+    recorder:(O.operation, O.response) Spec.History.Recorder.t ref ->
+    (unit -> int -> 'x) ->
+    int list ->
+    Tracing.archive
 end

@@ -25,14 +25,23 @@
     Both feeds populate the same {!Recorder.t} and render to the same
     {!Snapshot.t}. *)
 
-(** Summary statistics of an integer sample. *)
+(** Summary statistics of an integer sample.
+
+    Percentile convention: {b nearest-rank}.  For a sample of [count]
+    observations sorted ascending, the p99 is the value at 1-based rank
+    [max 1 (ceil (0.99 * count))] — no interpolation.  Consequences
+    worth knowing when reading reports: stats are only defined on
+    non-empty samples ({!Histogram.stats} returns [None] when empty); on
+    a singleton the p99, min, max and mean all equal the one
+    observation; and for any [count < 100] the rank rounds up to
+    [count], so the p99 equals the max. *)
 module Stats : sig
   type t = {
     count : int;
     min : int;
     max : int;
     mean : float;
-    p99 : int;  (** value at rank [ceil 0.99*count] (nearest-rank) *)
+    p99 : int;  (** value at rank [max 1 (ceil 0.99*count)] (nearest-rank) *)
   }
 
   val pp : Format.formatter -> t -> unit

@@ -74,14 +74,12 @@ let ok outcome = outcome.failures = [] && not outcome.truncated
 let apply_action d a =
   if a >= 0 then Driver.step d a else Driver.crash d (-1 - a)
 
-(* Replay an encoded schedule tolerantly — actions targeting processes
-   that are no longer runnable are dropped — then run every surviving
-   process to completion in pid order, so the result is a maximal
-   execution comparable to the explorer's leaves.  Returns the driver
-   and the normalized maximal schedule actually applied. *)
-let replay_encoded ?record_trace ?(completion_fuel = 1_000_000) ~procs setup
-    enc =
-  let d = Driver.create ?record_trace ~procs setup in
+(* Apply an encoded schedule tolerantly to an existing driver — actions
+   targeting processes that are no longer runnable are dropped.
+   [on_crash] observes each applied crash (the tracing layer records
+   crash events through it; the driver observer only sees accesses).
+   Returns the applied prefix. *)
+let apply_encoded ?(on_crash = fun _ -> ()) d enc =
   let applied = ref [] in
   List.iter
     (fun a ->
@@ -95,23 +93,40 @@ let replay_encoded ?record_trace ?(completion_fuel = 1_000_000) ~procs setup
         let p = -1 - a in
         if Driver.runnable d p then begin
           Driver.crash d p;
+          on_crash p;
           applied := a :: !applied
         end
       end)
     enc;
+  List.rev !applied
+
+(* Run every surviving process to completion in pid order, so the
+   execution becomes maximal (comparable to the explorer's leaves).
+   Returns the steps taken. *)
+let complete ?(completion_fuel = 1_000_000) d =
+  let applied = ref [] in
   let fuel = ref completion_fuel in
-  for p = 0 to procs - 1 do
+  for p = 0 to Driver.procs d - 1 do
     while Driver.runnable d p do
       if !fuel = 0 then
         failwith
-          "Explore.replay_encoded: completion fuel exhausted (program not \
+          "Explore.complete: completion fuel exhausted (program not \
            wait-free?)";
       decr fuel;
       Driver.step d p;
       applied := p :: !applied
     done
   done;
-  (d, List.rev !applied)
+  List.rev !applied
+
+(* Fresh driver + apply_encoded + complete: the normalized replay used
+   by shrinking and counterexample rendering. *)
+let replay_encoded ?record_trace ?observer ?on_crash ?completion_fuel ~procs
+    setup enc =
+  let d = Driver.create ?record_trace ?observer ~procs setup in
+  let applied = apply_encoded ?on_crash d enc in
+  let tail = complete ?completion_fuel d in
+  (d, applied @ tail)
 
 (* --- naive exhaustive DFS ------------------------------------------------- *)
 

@@ -54,14 +54,29 @@ val ok : outcome -> bool
 val count :
   ?mode:mode -> ?max_schedules:int -> procs:int -> (unit -> int -> 'r) -> int
 
-(** [replay_encoded ~procs setup enc] replays an encoded schedule
-    ([p >= 0] steps process [p], [-1 - p] crashes it) tolerantly —
-    actions targeting non-runnable processes are dropped — then runs
-    every surviving process to completion in pid order.  Returns the
-    driver and the normalized maximal schedule actually applied.
+(** [apply_encoded d enc] applies an encoded schedule ([p >= 0] steps
+    process [p], [-1 - p] crashes it) tolerantly to an existing driver —
+    actions targeting non-runnable processes are dropped.  [on_crash]
+    observes each applied crash, pid-decoded (the driver's [observer]
+    only sees accesses; the tracing layer records crash events here).
+    Returns the applied prefix. *)
+val apply_encoded : ?on_crash:(int -> unit) -> 'r Driver.t -> int list -> int list
+
+(** [complete d] runs every surviving process to completion in pid
+    order, making the execution maximal; returns the steps taken.
+    @raise Failure if completion exceeds [completion_fuel] steps. *)
+val complete : ?completion_fuel:int -> 'r Driver.t -> int list
+
+(** [replay_encoded ~procs setup enc] is a fresh driver plus
+    {!apply_encoded} plus {!complete}: the normalized maximal replay
+    used by shrinking and counterexample rendering.  Returns the driver
+    and the schedule actually applied.  [observer] and [on_crash] feed
+    streaming consumers (e.g. a tracing journal) during the replay.
     @raise Failure if completion exceeds [completion_fuel] steps. *)
 val replay_encoded :
   ?record_trace:bool ->
+  ?observer:(Trace.access -> unit) ->
+  ?on_crash:(int -> unit) ->
   ?completion_fuel:int ->
   procs:int ->
   (unit -> int -> 'r) ->

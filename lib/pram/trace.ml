@@ -42,3 +42,40 @@ let pp_encoded_action ppf a =
 let pp_encoded_schedule ppf sched =
   Format.pp_print_list ~pp_sep:Format.pp_print_space pp_encoded_action ppf
     sched
+
+(* Inverse of the printers above: whitespace-separated pN / !pN tokens.
+   Counterexamples are printed in this syntax, so users can paste one
+   straight back into a --replay flag. *)
+let parse_encoded_action tok =
+  let pid_of s =
+    if String.length s >= 2 && s.[0] = 'p' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some p when p >= 0 -> Some p
+      | _ -> None
+    else None
+  in
+  if String.length tok >= 1 && tok.[0] = '!' then
+    match pid_of (String.sub tok 1 (String.length tok - 1)) with
+    | Some p -> Ok (-1 - p)
+    | None -> Error (Printf.sprintf "bad crash action %S (expected !pN)" tok)
+  else
+    match pid_of tok with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "bad action %S (expected pN or !pN)" tok)
+
+let parse_encoded_schedule s =
+  let tokens =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.concat_map (String.split_on_char '\r')
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match parse_encoded_action tok with
+        | Ok a -> go (a :: acc) rest
+        | Error msg -> Error msg)
+  in
+  go [] tokens

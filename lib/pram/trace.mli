@@ -30,3 +30,9 @@ val pp : Format.formatter -> access list -> unit
 val pp_encoded_action : Format.formatter -> int -> unit
 
 val pp_encoded_schedule : Format.formatter -> int list -> unit
+
+(** The inverse of {!pp_encoded_schedule}: parse whitespace-separated
+    [pN] / [!pN] tokens back into encoded actions, so a printed
+    counterexample can be pasted into [wfa_cli explore --replay].
+    [Error] names the first offending token. *)
+val parse_encoded_schedule : string -> (int list, string) result

@@ -55,7 +55,7 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
       mirror = Array.init procs (fun _ -> Array.make (procs + 2) L.bottom);
     }
 
-  let scan_plain t ~pid v =
+  let scan_plain ?journal t ~pid v =
     let n = t.procs in
     let row = t.grid.(pid) in
     let mir = t.mirror.(pid) in
@@ -65,6 +65,14 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     mir.(0) <- v0;
     (* n+1 passes of n reads + 1 write each *)
     for i = 1 to n + 1 do
+      (* inline guard, not annotatef_opt: this is the per-pass hot loop,
+         and the match keeps the untraced path at literally zero extra
+         allocation (ikfprintf builds small per-argument closures) *)
+      (match journal with
+      | None -> ()
+      | Some j ->
+          Tracing.Journal.annotate j ~pid
+            (Printf.sprintf "scan pass %d/%d" i (n + 1)));
       let acc = ref mir.(i) in
       for q = 0 to n - 1 do
         acc := L.join !acc (M.read t.grid.(q).(i - 1))
@@ -74,7 +82,7 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
-  let scan_optimized t ~pid v =
+  let scan_optimized ?journal t ~pid v =
     let n = t.procs in
     let row = t.grid.(pid) in
     let mir = t.mirror.(pid) in
@@ -82,6 +90,14 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     M.write row.(0) v0;
     mir.(0) <- v0;
     for i = 1 to n + 1 do
+      (* inline guard, not annotatef_opt: this is the per-pass hot loop,
+         and the match keeps the untraced path at literally zero extra
+         allocation (ikfprintf builds small per-argument closures) *)
+      (match journal with
+      | None -> ()
+      | Some j ->
+          Tracing.Journal.annotate j ~pid
+            (Printf.sprintf "scan pass %d/%d" i (n + 1)));
       (* own column contributes via the mirror; peers via shared reads *)
       let acc = ref (L.join mir.(i) mir.(i - 1)) in
       for q = 0 to n - 1 do
@@ -95,15 +111,18 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
-  let scan ?(variant = Optimized) t ~pid v =
-    match variant with
-    | Plain -> scan_plain t ~pid v
-    | Optimized -> scan_optimized t ~pid v
+  let scan ?(variant = Optimized) ?journal t ~pid v =
+    Tracing.span_opt journal ~pid ~op:"scan" (fun () ->
+        match variant with
+        | Plain -> scan_plain ?journal t ~pid v
+        | Optimized -> scan_optimized ?journal t ~pid v)
 
   (* The two operations of the atomic scan object (Section 6): Write_L
      discards the scan's return value; ReadMax contributes bottom. *)
-  let write_l ?variant t ~pid v = ignore (scan ?variant t ~pid v)
-  let read_max ?variant t ~pid = scan ?variant t ~pid L.bottom
+  let write_l ?variant ?journal t ~pid v =
+    ignore (scan ?variant ?journal t ~pid v)
+
+  let read_max ?variant ?journal t ~pid = scan ?variant ?journal t ~pid L.bottom
 end
 
 (* Exact per-Scan access counts (Section 6.2), used by experiment E5:

@@ -29,15 +29,21 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) : sig
 
   (** The raw Scan(P, v) primitive of Figure 5: fold [v] into P's row and
       return the accumulated join.  Building block for [write_l] and
-      [read_max]; not itself atomic (see above). *)
-  val scan : ?variant:variant -> t -> pid:int -> L.t -> L.t
+      [read_max]; not itself atomic (see above).  When [journal] is given
+      the call is bracketed as a ["scan"] span with one annotation per
+      pass; [None] (the default) costs nothing. *)
+  val scan :
+    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t -> L.t
 
   (** Contribute a value to the join (the object's write operation). *)
-  val write_l : ?variant:variant -> t -> pid:int -> L.t -> unit
+  val write_l :
+    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t ->
+    unit
 
   (** Return the join of all earlier contributions (the object's read
       operation). *)
-  val read_max : ?variant:variant -> t -> pid:int -> L.t
+  val read_max :
+    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t
 end
 
 (** Exact per-Scan access counts of Section 6.2: [(reads, writes)] for

@@ -65,11 +65,23 @@ let precedes a b = match a.c_ret with Some r -> r < b.c_inv | None -> false
 (* A recorder usable from simulator fibers (single-threaded: plain list)
    or from domains (callers should use [Concurrent_recorder] instead). *)
 module Recorder = struct
-  type ('op, 'resp) t = { mutable rev_events : ('op, 'resp) event list }
+  type ('op, 'resp) t = {
+    mutable rev_events : ('op, 'resp) event list;
+    mutable sink : (('op, 'resp) event -> unit) option;
+        (* streaming tap, fired after each append; the tracing layer
+           uses it to interleave invoke/response events with the access
+           stream of a replayed counterexample *)
+  }
 
-  let create () = { rev_events = [] }
-  let invoke t ~pid op = t.rev_events <- Invoke { pid; op } :: t.rev_events
-  let return t ~pid resp = t.rev_events <- Return { pid; resp } :: t.rev_events
+  let create () = { rev_events = []; sink = None }
+  let set_sink t sink = t.sink <- sink
+
+  let push t ev =
+    t.rev_events <- ev :: t.rev_events;
+    match t.sink with None -> () | Some f -> f ev
+
+  let invoke t ~pid op = push t (Invoke { pid; op })
+  let return t ~pid resp = push t (Return { pid; resp })
   let events t = List.rev t.rev_events
 
   (* Wrap an operation execution so invocation and response events bracket

@@ -46,6 +46,13 @@ module Recorder : sig
   val record : ('op, 'resp) t -> pid:int -> 'op -> (unit -> 'resp) -> 'resp
 
   val events : ('op, 'resp) t -> ('op, 'resp) event list
+
+  (** Install (or remove, with [None]) a streaming tap fired after each
+      recorded event.  Used by the tracing layer to interleave
+      invoke/response events with the access stream when replaying a
+      counterexample; events are still recorded normally. *)
+  val set_sink :
+    ('op, 'resp) t -> (('op, 'resp) event -> unit) option -> unit
 end
 
 (** Domain-safe recorder: events are ordered by an atomic

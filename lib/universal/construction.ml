@@ -144,11 +144,15 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
     List.fold_left (fun s e -> fst (O.apply s e.e_op)) O.initial lin
 
   (* Figure 4: execute an invocation. *)
-  let execute t ~pid op =
+  let execute ?journal t ~pid op =
+    Tracing.span_opt journal ~pid ~op:"uc.execute" @@ fun () ->
     (* Step 1: atomic snapshot of the anchor, linearize, compute the
        response. *)
+    Tracing.annotate_opt journal ~pid "snapshot";
     let view = Anchor.snapshot t.anchor ~pid in
     let lin = linearization_of_view view in
+    Tracing.annotatef_opt journal ~pid "linearize %d entries"
+      (List.length lin);
     let state = state_of_linearization lin in
     let _, resp = O.apply state op in
     t.seq.(pid) <- t.seq.(pid) + 1;
@@ -162,6 +166,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       }
     in
     (* Step 2: write out the entry. *)
+    Tracing.annotate_opt journal ~pid "publish";
     Anchor.update t.anchor ~pid (Some e);
     resp
 

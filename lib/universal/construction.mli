@@ -28,8 +28,12 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** Figure 4's [execute]: snapshot, linearize, respond, publish. *)
-  val execute : t -> pid:int -> O.operation -> O.response
+  (** Figure 4's [execute]: snapshot, linearize, respond, publish.  When
+      [journal] is given the call is bracketed as a ["uc.execute"] span
+      with snapshot / linearize / publish annotations; [None] (the
+      default) costs nothing. *)
+  val execute :
+    ?journal:Tracing.Journal.t -> t -> pid:int -> O.operation -> O.response
 
   (** Compute the response [op] would get from the current state without
       publishing an entry — valid only for state-preserving operations

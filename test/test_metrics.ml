@@ -34,6 +34,39 @@ let test_histogram_single () =
       check_int "min=max=p99" 7 s.Metrics.Stats.min;
       check_int "p99 of singleton" 7 s.Metrics.Stats.p99
 
+(* Pin down the documented nearest-rank convention on the degenerate
+   sample sizes (metrics.mli): no stats on empty, singleton stats all
+   equal the one value, and for count < 100 the p99 rank rounds up to
+   count, i.e. p99 = max. *)
+let test_stats_edge_cases () =
+  let h = Metrics.Histogram.create () in
+  check_bool "empty: no stats" true (Metrics.Histogram.stats h = None);
+  check_int "empty: count 0" 0 (Metrics.Histogram.count h);
+  Metrics.Histogram.add h 42;
+  (match Metrics.Histogram.stats h with
+  | None -> Alcotest.fail "singleton stats expected"
+  | Some s ->
+      check_int "singleton count" 1 s.Metrics.Stats.count;
+      check_int "singleton min" 42 s.Metrics.Stats.min;
+      check_int "singleton max" 42 s.Metrics.Stats.max;
+      check_int "singleton p99 (rank max 1 (ceil 0.99))" 42
+        s.Metrics.Stats.p99;
+      check_bool "singleton mean exact" true (s.Metrics.Stats.mean = 42.0));
+  Metrics.Histogram.add h 0;
+  (match Metrics.Histogram.stats h with
+  | None -> Alcotest.fail "pair stats expected"
+  | Some s ->
+      check_int "n=2 p99 = max (ceil 1.98 = 2)" 42 s.Metrics.Stats.p99;
+      check_bool "n=2 mean" true (s.Metrics.Stats.mean = 21.0));
+  (* any count < 100: rank rounds up to count, so p99 = max *)
+  let h99 = Metrics.Histogram.create () in
+  for v = 1 to 99 do
+    Metrics.Histogram.add h99 v
+  done;
+  match Metrics.Histogram.stats h99 with
+  | None -> Alcotest.fail "stats expected"
+  | Some s -> check_int "n=99 p99 = max" 99 s.Metrics.Stats.p99
+
 (* --- recorder via the Instrument wrapper ----------------------------------- *)
 
 let test_instrument_direct () =
@@ -274,6 +307,8 @@ let () =
         [
           Alcotest.test_case "stats over 1..100" `Quick test_histogram_stats;
           Alcotest.test_case "singleton" `Quick test_histogram_single;
+          Alcotest.test_case "empty/singleton/pair edge cases" `Quick
+            test_stats_edge_cases;
         ] );
       ( "recorder",
         [

@@ -172,6 +172,111 @@ let test_native_counting () =
   check_int "reads counted" 2 (C.reads ());
   check_int "writes counted" 1 (C.writes ())
 
+(* --- encoded-schedule parsing ------------------------------------------------ *)
+
+let qcheck_encoded_schedule_roundtrip =
+  (* parse_encoded_schedule is the inverse of pp_encoded_schedule on
+     every encoded action list (steps p >= 0, crashes -1 - p). *)
+  QCheck.Test.make ~name:"parse_encoded_schedule inverts pp" ~count:200
+    QCheck.(list (int_range (-4) 3))
+    (fun sched ->
+      let printed =
+        Format.asprintf "%a" Pram.Trace.pp_encoded_schedule sched
+      in
+      Pram.Trace.parse_encoded_schedule printed = Ok sched)
+
+let test_parse_encoded_schedule_cases () =
+  check_bool "empty is ok" true (Pram.Trace.parse_encoded_schedule "" = Ok []);
+  check_bool "whitespace only" true
+    (Pram.Trace.parse_encoded_schedule " \n\t " = Ok []);
+  check_bool "steps and crashes" true
+    (Pram.Trace.parse_encoded_schedule "p2 p0 !p1 p2" = Ok [ 2; 0; -2; 2 ]);
+  check_bool "newlines as separators" true
+    (Pram.Trace.parse_encoded_schedule "p0\np1" = Ok [ 0; 1 ]);
+  (match Pram.Trace.parse_encoded_schedule "p0 bogus p1" with
+  | Ok _ -> Alcotest.fail "bad token accepted"
+  | Error msg ->
+      check_bool "error names the token" true
+        (let needle = "bogus" in
+         let n = String.length needle and m = String.length msg in
+         let rec find i =
+           i + n <= m && (String.sub msg i n = needle || find (i + 1))
+         in
+         find 0));
+  match Pram.Trace.parse_encoded_schedule "p" with
+  | Ok _ -> Alcotest.fail "bare p accepted"
+  | Error _ -> ()
+
+(* --- the conflict relation --------------------------------------------------- *)
+
+let access_gen =
+  QCheck.Gen.(
+    map
+      (fun (pid, reg_id, kind) ->
+        {
+          Pram.Trace.step = 0;
+          pid;
+          reg_id;
+          reg_name = Printf.sprintf "r%d" reg_id;
+          kind = (if kind then Pram.Trace.Read else Pram.Trace.Write);
+        })
+      (triple (int_bound 3) (int_bound 3) bool))
+
+let qcheck_dependent_symmetric =
+  QCheck.Test.make ~name:"Trace.dependent is symmetric" ~count:500
+    (QCheck.make QCheck.Gen.(pair access_gen access_gen))
+    (fun (a, b) -> Pram.Trace.dependent a b = Pram.Trace.dependent b a)
+
+let test_swap_independent_accesses_preserves_results () =
+  (* The semantic content of the conflict relation (the DPOR soundness
+     argument): swapping two ADJACENT INDEPENDENT accesses in a recorded
+     schedule is unobservable — every process's final result is
+     unchanged under replay.  Exercised at procs = 2..4 over several
+     seeds, swapping at every independent adjacent pair. *)
+  for procs = 2 to 4 do
+    List.iter
+      (fun seed ->
+        (* own-slot writes and neighbour reads (mostly independent) plus
+           a contended read-inc of a shared counter (dependent), so both
+           sides of the conflict relation appear in every trace *)
+        let program () =
+          let slots =
+            Array.init procs (fun i ->
+                Pram.Memory.Sim.create ~name:(Printf.sprintf "s%d" i) 0)
+          in
+          let shared = Pram.Memory.Sim.create ~name:"shared" 0 in
+          fun pid ->
+            Pram.Memory.Sim.write slots.(pid) (pid + 1);
+            let v = Pram.Memory.Sim.read shared in
+            Pram.Memory.Sim.write shared (v + 1);
+            Pram.Memory.Sim.read slots.((pid + 1) mod procs)
+            + Pram.Memory.Sim.read slots.(pid)
+        in
+        let d = Pram.Driver.create ~record_trace:true ~procs program in
+        Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+        let sched = Array.of_list (Pram.Driver.schedule d) in
+        let trace = Array.of_list (Pram.Driver.trace d) in
+        let results d = List.init procs (fun p -> Pram.Driver.result d p) in
+        let baseline = results d in
+        for i = 0 to Array.length trace - 2 do
+          if not (Pram.Trace.dependent trace.(i) trace.(i + 1)) then begin
+            let swapped = Array.copy sched in
+            let tmp = swapped.(i) in
+            swapped.(i) <- swapped.(i + 1);
+            swapped.(i + 1) <- tmp;
+            let d' =
+              Pram.Driver.replay ~procs program (Array.to_list swapped)
+            in
+            check_bool
+              (Printf.sprintf "procs=%d seed=%d swap@%d preserves results"
+                 procs seed i)
+              true
+              (results d' = baseline)
+          end
+        done)
+      [ 1; 2; 3 ]
+  done
+
 let qcheck_replay_determinism =
   (* Property: for random programs (random interleaving seeds), replaying
      the recorded schedule reproduces results and step counts. *)
@@ -223,6 +328,12 @@ let suite =
     Alcotest.test_case "prefer_register fallback" `Quick test_prefer_register_scheduler;
     Alcotest.test_case "native parallel counter" `Quick test_native_parallel_counter;
     Alcotest.test_case "native counting wrapper" `Quick test_native_counting;
+    Alcotest.test_case "parse_encoded_schedule cases" `Quick
+      test_parse_encoded_schedule_cases;
+    Alcotest.test_case "swapping independent accesses is unobservable" `Quick
+      test_swap_independent_accesses_preserves_results;
+    QCheck_alcotest.to_alcotest qcheck_encoded_schedule_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_dependent_symmetric;
     QCheck_alcotest.to_alcotest qcheck_replay_determinism;
     QCheck_alcotest.to_alcotest qcheck_crashes_never_block_others;
   ]

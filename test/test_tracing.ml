@@ -1,0 +1,457 @@
+(* Tests for the structured tracing layer: the journal and both feeds
+   (driver observer on the simulator, the Instrument wrapper on native
+   domains), the three renderers, the save/parse round trip (including
+   the byte-identity guarantee under schedule replay on the simulator),
+   counterexample tracing through Lincheck, and the zero-overhead-off
+   guarantees. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- journal basics ---------------------------------------------------------- *)
+
+let test_journal_basics () =
+  Alcotest.check_raises "procs 0 rejected"
+    (Invalid_argument "Tracing.Journal.create: procs <= 0") (fun () ->
+      ignore (Tracing.Journal.create ~procs:0 ()));
+  let j = Tracing.Journal.create ~procs:2 () in
+  check_int "empty" 0 (Tracing.Journal.length j);
+  check_bool "default clock is logical" true
+    (Tracing.Journal.clock j = `Logical);
+  Tracing.Journal.invoke j ~pid:0 "op";
+  Tracing.Journal.annotate j ~pid:1 "note";
+  Tracing.Journal.response j ~pid:0 "op";
+  Tracing.Journal.crash j ~pid:1;
+  check_int "four events" 4 (Tracing.Journal.length j);
+  let evs = Tracing.Journal.events j in
+  check_bool "seq is journal order" true
+    (List.mapi (fun i _ -> i) evs
+    = List.map (fun e -> e.Tracing.seq) evs);
+  check_bool "logical time = seq" true
+    (List.for_all (fun e -> e.Tracing.time = e.Tracing.seq) evs);
+  (try
+     Tracing.Journal.annotate j ~pid:2 "out of range";
+     Alcotest.fail "pid out of range accepted"
+   with Invalid_argument _ -> ());
+  Tracing.Journal.clear j;
+  check_int "clear drops everything" 0 (Tracing.Journal.length j)
+
+let test_with_span_on_exception () =
+  let j = Tracing.Journal.create ~procs:1 () in
+  (try
+     Tracing.Journal.with_span j ~pid:0 ~op:"boom" (fun () ->
+         failwith "inner")
+   with Failure _ -> ());
+  match Tracing.Journal.events j with
+  | [ { Tracing.ev = Tracing.Invoke "boom"; _ };
+      { Tracing.ev = Tracing.Response "boom"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "span must close even when the body raises"
+
+(* --- text format round trip -------------------------------------------------- *)
+
+let weird_archive =
+  let j = Tracing.Journal.create ~procs:3 () in
+  Tracing.Journal.invoke j ~pid:0 "a\"b\\c\nd\te";
+  Tracing.Journal.access j ~pid:1 ~kind:Pram.Trace.Read ~reg_id:7
+    ~reg_name:"r[1] \"quoted\"";
+  Tracing.Journal.annotate j ~pid:2 "";
+  Tracing.Journal.crash j ~pid:1;
+  Tracing.Journal.access j ~pid:0 ~kind:Pram.Trace.Write ~reg_id:0
+    ~reg_name:"\x01control";
+  Tracing.Journal.response j ~pid:0 "a\"b\\c\nd\te";
+  Tracing.archive ~schedule:[ 0; 1; -2; 0 ] j
+
+let test_text_roundtrip_structural () =
+  let a = weird_archive in
+  (match Tracing.parse (Tracing.save a) with
+  | Error e -> Alcotest.fail ("parse of save failed: " ^ e)
+  | Ok a' ->
+      check_bool "parse (save a) = a" true (a' = a);
+      check_string "save is stable" (Tracing.save a) (Tracing.save a'));
+  (* empty journal, empty schedule *)
+  let empty =
+    Tracing.archive (Tracing.Journal.create ~procs:1 ())
+  in
+  match Tracing.parse (Tracing.save empty) with
+  | Ok e -> check_bool "empty round-trips" true (e = empty)
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  let expect_error label s =
+    match Tracing.parse s with
+    | Ok _ -> Alcotest.fail (label ^ ": accepted")
+    | Error _ -> ()
+  in
+  expect_error "garbage" "hello";
+  expect_error "bad header" "wfa-trace 2\nprocs 1\nclock logical\nschedule\nevents 0\n";
+  expect_error "bad procs" "wfa-trace 1\nprocs x\nclock logical\nschedule\nevents 0\n";
+  expect_error "bad clock" "wfa-trace 1\nprocs 1\nclock lunar\nschedule\nevents 0\n";
+  expect_error "bad schedule token"
+    "wfa-trace 1\nprocs 1\nclock logical\nschedule p0 zap\nevents 0\n";
+  expect_error "count mismatch"
+    "wfa-trace 1\nprocs 1\nclock logical\nschedule\nevents 2\n0 0 0 crash\n";
+  expect_error "bad seq"
+    "wfa-trace 1\nprocs 1\nclock logical\nschedule\nevents 1\n5 0 0 crash\n";
+  expect_error "pid out of range"
+    "wfa-trace 1\nprocs 1\nclock logical\nschedule\nevents 1\n0 3 0 crash\n";
+  expect_error "unterminated label"
+    "wfa-trace 1\nprocs 1\nclock logical\nschedule\nevents 1\n0 0 0 inv \"x\n"
+
+(* --- simulator: observer feed, save -> load -> replay byte identity ---------- *)
+
+(* The scan workload with span annotations, parameterized by the journal
+   so a replay can attach a fresh one. *)
+let scan_program ~procs j () =
+  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
+  let t = S.create ~procs in
+  fun pid ->
+    S.write_l ~journal:j t ~pid (pid + 1);
+    ignore (S.read_max ~journal:j t ~pid)
+
+let traced_scan_run ~procs ~seed =
+  let j = Tracing.Journal.create ~procs () in
+  let d =
+    Pram.Driver.create
+      ~observer:(Tracing.Journal.observer j)
+      ~procs (scan_program ~procs j)
+  in
+  Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+  for p = 0 to procs - 1 do
+    if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+  done;
+  Tracing.archive ~schedule:(Pram.Driver.schedule d) j
+
+let replay_scan ~procs sched =
+  let j = Tracing.Journal.create ~procs () in
+  let d =
+    Pram.Driver.create
+      ~observer:(Tracing.Journal.observer j)
+      ~procs (scan_program ~procs j)
+  in
+  ignore (Pram.Explore.apply_encoded d sched);
+  Tracing.archive ~schedule:sched j
+
+let test_sim_replay_byte_identical () =
+  List.iter
+    (fun seed ->
+      let a = traced_scan_run ~procs:2 ~seed in
+      check_bool "events recorded" true (List.length a.Tracing.a_events > 0);
+      (* the acceptance loop: save -> load -> replay -> re-export *)
+      let saved = Tracing.save a in
+      match Tracing.parse saved with
+      | Error e -> Alcotest.fail ("reload failed: " ^ e)
+      | Ok loaded ->
+          let replayed = replay_scan ~procs:2 loaded.Tracing.a_schedule in
+          check_string
+            (Printf.sprintf "seed %d: re-export byte-identical" seed)
+            saved (Tracing.save replayed);
+          check_string
+            (Printf.sprintf "seed %d: chrome export identical" seed)
+            (Tracing.chrome_json a)
+            (Tracing.chrome_json replayed);
+          check_string
+            (Printf.sprintf "seed %d: timeline identical" seed)
+            (Tracing.timeline a)
+            (Tracing.timeline replayed))
+    [ 1; 7; 42 ]
+
+let test_observer_interleaves_with_spans () =
+  (* Accesses (observer feed) and spans/annotations (direct feed) land in
+     one totally ordered journal: each scan span must contain that scan's
+     accesses between its Invoke and Response. *)
+  let a = traced_scan_run ~procs:2 ~seed:5 in
+  let depth = Array.make 2 0 in
+  List.iter
+    (fun e ->
+      match e.Tracing.ev with
+      | Tracing.Invoke _ -> depth.(e.Tracing.pid) <- depth.(e.Tracing.pid) + 1
+      | Tracing.Response _ ->
+          check_bool "response closes an open span" true
+            (depth.(e.Tracing.pid) > 0);
+          depth.(e.Tracing.pid) <- depth.(e.Tracing.pid) - 1
+      | Tracing.Access _ | Tracing.Annotate _ ->
+          check_bool "access/annotation inside a span" true
+            (depth.(e.Tracing.pid) > 0)
+      | Tracing.Crash -> ())
+    a.Tracing.a_events;
+  check_bool "all spans closed" true (depth = [| 0; 0 |])
+
+(* --- chrome export ----------------------------------------------------------- *)
+
+let test_chrome_json_validates () =
+  let a = traced_scan_run ~procs:3 ~seed:11 in
+  (match Experiments.Bench_json.Json.parse (Tracing.chrome_json a) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome JSON rejected by Json.parse: " ^ e));
+  (* labels with quotes/newlines must stay valid JSON *)
+  match Experiments.Bench_json.Json.parse (Tracing.chrome_json weird_archive) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("escaped chrome JSON rejected: " ^ e)
+
+(* --- counterexample tracing through Lincheck --------------------------------- *)
+
+module V = Snapshot.Slot_value.Int
+module Naive_c = Snapshot.Collect.Make (V) (Pram.Memory.Sim)
+
+module Spec3 =
+  Snapshot.Array_spec.Make
+    (V)
+    (struct
+      let procs = 3
+    end)
+
+module Check3 = Lincheck.Make (Spec3)
+
+let collect_recorder = ref (Spec.History.Recorder.create ())
+
+let collect_program () =
+  collect_recorder := Spec.History.Recorder.create ();
+  let t = Naive_c.create ~procs:3 in
+  fun pid ->
+    if pid < 2 then
+      ignore
+        (Spec.History.Recorder.record !collect_recorder ~pid
+           (`Update (pid, pid + 10)) (fun () ->
+             Naive_c.update t ~pid (pid + 10);
+             `Unit))
+    else
+      ignore
+        (Spec.History.Recorder.record !collect_recorder ~pid `Snapshot
+           (fun () -> `View (Naive_c.snapshot t ~pid)))
+
+let test_counterexample_trace () =
+  (* the injected bug: the naive collect is not linearizable; the
+     explorer finds and shrinks a counterexample, and the trace of that
+     schedule carries both operation spans and raw accesses *)
+  let report =
+    Check3.explore_check ~mode:Pram.Explore.Naive ~procs:3
+      ~recorder:collect_recorder collect_program
+  in
+  match report.Pram.Explore.r_counterexample with
+  | None -> Alcotest.fail "explorer must find the collect violation"
+  | Some cex ->
+      let a =
+        Check3.trace_counterexample ~procs:3 ~recorder:collect_recorder
+          collect_program cex.Pram.Explore.cex_shrunk
+      in
+      let has p = List.exists p a.Tracing.a_events in
+      check_bool "has invokes" true
+        (has (fun e ->
+             match e.Tracing.ev with Tracing.Invoke _ -> true | _ -> false));
+      check_bool "has responses" true
+        (has (fun e ->
+             match e.Tracing.ev with Tracing.Response _ -> true | _ -> false));
+      check_bool "has accesses" true
+        (has (fun e ->
+             match e.Tracing.ev with Tracing.Access _ -> true | _ -> false));
+      (* the replayed history is the failing one *)
+      check_bool "replayed history is non-linearizable" false
+        (Check3.is_linearizable
+           (Spec.History.Recorder.events !collect_recorder));
+      (* and the trace survives every renderer *)
+      (match Experiments.Bench_json.Json.parse (Tracing.chrome_json a) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("cex chrome JSON invalid: " ^ e));
+      (match Tracing.parse (Tracing.save a) with
+      | Ok a' -> check_bool "cex text round-trips" true (a' = a)
+      | Error e -> Alcotest.fail ("cex text format invalid: " ^ e));
+      check_bool "timeline renders" true
+        (String.length (Tracing.timeline a) > 0)
+
+let test_crash_schedule_traced () =
+  let a =
+    Check3.trace_counterexample ~procs:3 ~recorder:collect_recorder
+      collect_program [ 2; -1; 1; 1; 2; 2 ]
+  in
+  check_bool "crash event recorded for p0" true
+    (List.exists
+       (fun e -> e.Tracing.ev = Tracing.Crash && e.Tracing.pid = 0)
+       a.Tracing.a_events);
+  (* the normalized schedule in the archive still contains the crash *)
+  check_bool "schedule keeps the crash action" true
+    (List.mem (-1) a.Tracing.a_schedule)
+
+(* --- native domains: Instrument feed ----------------------------------------- *)
+
+let test_instrument_native_domains () =
+  let procs = 4 in
+  let j = Tracing.Journal.create ~clock:`Monotonic ~procs () in
+  let module M =
+    Tracing.Instrument
+      (Pram.Native.Mem)
+      (struct
+        let journal = j
+      end)
+  in
+  let regs = Array.init procs (fun _ -> M.create 0) in
+  let _ =
+    Pram.Native.run_parallel ~procs (fun pid ->
+        Tracing.set_pid pid;
+        Tracing.Journal.with_span j ~pid ~op:"work" (fun () ->
+            for i = 1 to 25 do
+              M.write regs.(pid) i;
+              ignore (M.read regs.(pid))
+            done))
+  in
+  let evs = (Tracing.archive j).Tracing.a_events in
+  (* every pid contributed its spans and accesses, correctly attributed *)
+  for pid = 0 to procs - 1 do
+    let mine = List.filter (fun e -> e.Tracing.pid = pid) evs in
+    let count p = List.length (List.filter p mine) in
+    check_int
+      (Printf.sprintf "pid %d accesses" pid)
+      50
+      (count (fun e ->
+           match e.Tracing.ev with Tracing.Access _ -> true | _ -> false));
+    check_int
+      (Printf.sprintf "pid %d spans" pid)
+      1
+      (count (fun e ->
+           match e.Tracing.ev with Tracing.Invoke _ -> true | _ -> false))
+  done;
+  (* monotonic timestamps never decrease in journal order *)
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) ->
+        a.Tracing.time <= b.Tracing.time && non_decreasing rest
+    | _ -> true
+  in
+  check_bool "monotonic clock non-decreasing" true (non_decreasing evs);
+  (* a monotonic archive still round-trips through the text format *)
+  match Tracing.parse (Tracing.save (Tracing.archive j)) with
+  | Ok a' -> check_bool "native trace round-trips" true (a' = Tracing.archive j)
+  | Error e -> Alcotest.fail e
+
+(* --- zero overhead when disabled --------------------------------------------- *)
+
+let scan_access_counts ~journal ~procs =
+  (* metrics-vs-metrics: count every fired access with the Metrics
+     observer, with and without a tracing journal attached. *)
+  let recorder = Metrics.Recorder.create ~procs in
+  let j =
+    match journal with
+    | false -> None
+    | true -> Some (Tracing.Journal.create ~procs ())
+  in
+  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
+  let program () =
+    let t = S.create ~procs in
+    fun pid ->
+      S.write_l ?journal:j t ~pid (pid + 1);
+      ignore (S.read_max ?journal:j t ~pid)
+  in
+  let observer =
+    match j with
+    | None -> Metrics.Recorder.observer recorder
+    | Some jn ->
+        fun a ->
+          Metrics.Recorder.observer recorder a;
+          Tracing.Journal.observer jn a
+  in
+  let d = Pram.Driver.create ~observer ~procs program in
+  Pram.Scheduler.run (Pram.Scheduler.round_robin ()) d;
+  ( List.init procs (fun pid ->
+        ( Metrics.Recorder.reads recorder ~pid,
+          Metrics.Recorder.writes recorder ~pid )),
+    j )
+
+let test_tracing_adds_zero_accesses () =
+  let procs = 3 in
+  let off, _ = scan_access_counts ~journal:false ~procs in
+  let on_, j = scan_access_counts ~journal:true ~procs in
+  check_bool "identical access counts with tracing on and off" true
+    (off = on_);
+  (* the journal-on run really did trace *)
+  (match j with
+  | Some j -> check_bool "journal populated" true (Tracing.Journal.length j > 0)
+  | None -> Alcotest.fail "journal expected");
+  (* and the untraced counts are exactly the Section 6.2 formula: the
+     annotation sites fire no accesses *)
+  let fr, fw =
+    Snapshot.Scan.cost_formula ~procs Snapshot.Scan.Optimized
+  in
+  List.iter
+    (fun (r, w) ->
+      (* write_l + read_max = two scans *)
+      check_int "reads = 2 scans" (2 * fr) r;
+      check_int "writes = 2 scans" (2 * fw) w)
+    off
+
+let test_disabled_helpers_allocate_nothing () =
+  (* annotate_opt/span_opt on None, and the guarded-match idiom the scan
+     hot loop uses, must not allocate at all. *)
+  let f = ref (fun () -> 0) in
+  (f := fun () -> 1);
+  let measure g =
+    let b0 = Gc.allocated_bytes () in
+    g ();
+    let b1 = Gc.allocated_bytes () in
+    b1 -. b0
+  in
+  (* both measurements carry the same fixed cost (the boxed floats
+     Gc.allocated_bytes returns), so equality means the helpers added
+     zero bytes *)
+  let journal = None in
+  let empty = measure (fun () -> for _ = 0 to 9_999 do () done) in
+  let helpers =
+    measure (fun () ->
+        for i = 0 to 9_999 do
+          Tracing.annotate_opt journal ~pid:0 "static label";
+          (match journal with
+          | None -> ()
+          | Some j ->
+              Tracing.Journal.annotate j ~pid:0 (Printf.sprintf "pass %d" i));
+          ignore (Tracing.span_opt journal ~pid:0 ~op:"op" !f)
+        done)
+  in
+  check_bool
+    (Printf.sprintf
+       "no allocation on the disabled path (empty loop %.0f, helpers %.0f)"
+       empty helpers)
+    true (helpers = empty)
+
+let () =
+  Alcotest.run "tracing"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "basics" `Quick test_journal_basics;
+          Alcotest.test_case "span closes on exception" `Quick
+            test_with_span_on_exception;
+        ] );
+      ( "text-format",
+        [
+          Alcotest.test_case "structural round trip" `Quick
+            test_text_roundtrip_structural;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "save -> load -> replay is byte-identical"
+            `Quick test_sim_replay_byte_identical;
+          Alcotest.test_case "observer and spans interleave correctly" `Quick
+            test_observer_interleaves_with_spans;
+          Alcotest.test_case "chrome JSON parses" `Quick
+            test_chrome_json_validates;
+        ] );
+      ( "counterexample",
+        [
+          Alcotest.test_case "naive collect cex traces fully" `Quick
+            test_counterexample_trace;
+          Alcotest.test_case "crash schedules traced" `Quick
+            test_crash_schedule_traced;
+        ] );
+      ( "native",
+        [
+          Alcotest.test_case "instrument over domains" `Quick
+            test_instrument_native_domains;
+        ] );
+      ( "zero-overhead",
+        [
+          Alcotest.test_case "tracing off adds zero accesses" `Quick
+            test_tracing_adds_zero_accesses;
+          Alcotest.test_case "disabled helpers allocate nothing" `Quick
+            test_disabled_helpers_allocate_nothing;
+        ] );
+    ]

@@ -183,7 +183,9 @@ module Runner
       type t
 
       val create : procs:int -> t
-      val execute : t -> pid:int -> O.operation -> O.response
+
+      val execute :
+        ?journal:Tracing.Journal.t -> t -> pid:int -> O.operation -> O.response
     end) =
 struct
   let run ~procs ~seed ~crash_prob (script : int -> O.operation list) =
