@@ -38,37 +38,39 @@ module Counter_native = Universal.Direct.Counter (Pram.Native.Mem)
    path, and the row names say so.  The contended counterparts — the same
    operations with [procs] real domains hammering the same grid — are
    measured by [run_contended_timing] below via [Native.run_parallel]. *)
+let ctx0 ~procs = Wfa.Ctx.make ~procs ~pid:0 ()
+
 let bench_scan ~procs =
-  let t = Scan_d.create ~procs in
+  let h = Scan_d.attach (Scan_d.create ~procs) (ctx0 ~procs) in
   Test.make
     ~name:(Printf.sprintf "B1 scan op uncontended (n=%d)" procs)
-    (Staged.stage (fun () -> ignore (Scan_d.scan t ~pid:0 1)))
+    (Staged.stage (fun () -> ignore (Scan_d.scan h 1)))
 
 let bench_snapshot_array ~procs =
-  let t = Arr_d.create ~procs in
+  let h = Arr_d.attach (Arr_d.create ~procs) (ctx0 ~procs) in
   let i = ref 0 in
   Test.make
     ~name:
       (Printf.sprintf "B2 snapshot-array update+snap uncontended (n=%d)" procs)
     (Staged.stage (fun () ->
          incr i;
-         Arr_d.update t ~pid:0 !i;
-         ignore (Arr_d.snapshot t ~pid:0)))
+         Arr_d.update h !i;
+         ignore (Arr_d.snapshot h)))
 
 let bench_direct_counter ~procs =
-  let t = DC_d.create ~procs in
+  let h = DC_d.attach (DC_d.create ~procs) (ctx0 ~procs) in
   Test.make
     ~name:(Printf.sprintf "B3 direct counter inc+read (n=%d)" procs)
     (Staged.stage (fun () ->
-         DC_d.inc t ~pid:0 1;
-         ignore (DC_d.read t ~pid:0)))
+         DC_d.inc h 1;
+         ignore (DC_d.read h)))
 
 (* The generic universal counter: history kept small by re-creating the
    object every [window] operations, so this measures the per-op cost at
    a bounded history size (the unbounded-growth behaviour is E9's
    story). *)
 let bench_universal_counter ~procs ~window =
-  let t = ref (UC_d.create ~procs) in
+  let t = ref (UC_d.attach (UC_d.create ~procs) (ctx0 ~procs)) in
   let k = ref 0 in
   Test.make
     ~name:
@@ -76,16 +78,17 @@ let bench_universal_counter ~procs ~window =
          window)
     (Staged.stage (fun () ->
          incr k;
-         if !k mod window = 0 then t := UC_d.create ~procs;
-         ignore (UC_d.execute !t ~pid:0 (Spec.Counter_spec.Inc 1))))
+         if !k mod window = 0 then
+           t := UC_d.attach (UC_d.create ~procs) (ctx0 ~procs);
+         ignore (UC_d.execute !t (Spec.Counter_spec.Inc 1))))
 
 let bench_agreement ~procs =
   Test.make
     ~name:(Printf.sprintf "B5 approximate agreement solo run (n=%d)" procs)
     (Staged.stage (fun () ->
-         let t = AA_d.create ~procs ~epsilon:0.01 in
-         AA_d.input t ~pid:0 0.5;
-         ignore (AA_d.output t ~pid:0)))
+         let h = AA_d.attach (AA_d.create ~procs ~epsilon:0.01) (ctx0 ~procs) in
+         AA_d.input h 0.5;
+         ignore (AA_d.output h)))
 
 let bench_lingraph ~nodes =
   (* a chain precedence graph with alternating dominance, rebuilt from
@@ -211,20 +214,21 @@ let run_explore_table ~quick () =
     scan_recorder := Spec.History.Recorder.create ();
     let t = Scan_sim.create ~procs:2 in
     fun pid ->
+      let h = Scan_sim.attach t (Wfa.Ctx.make ~procs:2 ~pid ()) in
       if pid = 0 then begin
         ignore
           (Spec.History.Recorder.record !scan_recorder ~pid (`Write_l 1)
              (fun () ->
-               Scan_sim.write_l t ~pid 1;
+               Scan_sim.write_l h 1;
                `Unit));
         ignore
           (Spec.History.Recorder.record !scan_recorder ~pid `Read_max
-             (fun () -> `Join (Scan_sim.read_max t ~pid)))
+             (fun () -> `Join (Scan_sim.read_max h)))
       end
       else
         ignore
           (Spec.History.Recorder.record !scan_recorder ~pid `Read_max
-             (fun () -> `Join (Scan_sim.read_max t ~pid)))
+             (fun () -> `Join (Scan_sim.read_max h)))
   in
   explore_row "snapshot scan" ~procs:2 scan_program (fun _ _ ->
       Scan_check_sim.is_linearizable
@@ -235,17 +239,18 @@ let run_explore_table ~quick () =
     ctr_recorder := Spec.History.Recorder.create ();
     let t = DC_sim.create ~procs:2 in
     fun pid ->
+      let h = DC_sim.attach t (Wfa.Ctx.make ~procs:2 ~pid ()) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !ctr_recorder ~pid
              (Spec.Counter_spec.Inc 1) (fun () ->
-               DC_sim.inc t ~pid 1;
+               DC_sim.inc h 1;
                Spec.Counter_spec.Unit))
       else
         ignore
           (Spec.History.Recorder.record !ctr_recorder ~pid
              Spec.Counter_spec.Read (fun () ->
-               Spec.Counter_spec.Value (DC_sim.read t ~pid)))
+               Spec.Counter_spec.Value (DC_sim.read h)))
   in
   explore_row "universal counter" ~procs:2 ctr_program (fun _ _ ->
       Counter_check_sim.is_linearizable
@@ -255,9 +260,10 @@ let run_explore_table ~quick () =
     let aa_program () =
       let t = AA_sim.create ~procs:3 ~epsilon:8.0 in
       fun pid ->
+        let h = AA_sim.attach t (Wfa.Ctx.make ~procs:3 ~pid ()) in
         let inputs = [| 0.0; 1.0; 2.0 |] in
-        AA_sim.input t ~pid inputs.(pid);
-        AA_sim.output t ~pid
+        AA_sim.input h inputs.(pid);
+        AA_sim.output h
     in
     explore_row "approx agreement" ~procs:3 ~max_schedules:20_000_000
       aa_program (fun d _ ->
@@ -281,8 +287,11 @@ let run_native_throughput () =
   let t0 = Monotonic_clock.now () in
   let _ =
     Wfa.Pram.Native.run_parallel ~procs (fun pid ->
+        let h =
+          Counter_native.attach counter (Wfa.Ctx.make ~procs ~pid ())
+        in
         for _ = 1 to ops_per_proc do
-          Counter_native.inc counter ~pid 1
+          Counter_native.inc h 1
         done)
   in
   let t1 = Monotonic_clock.now () in
@@ -293,7 +302,7 @@ let run_native_throughput () =
      (expected %d)\n"
     procs ops_per_proc (elapsed_ns /. 1e6)
     (elapsed_ns /. float_of_int total_ops)
-    (Counter_native.read counter ~pid:0)
+    (Counter_native.read (Counter_native.attach counter (ctx0 ~procs)))
     total_ops
 
 (* --- the JSON pipeline ------------------------------------------------------ *)

@@ -73,8 +73,9 @@ let agree_cmd =
       let program () =
         let t = AA.create ~procs ~epsilon in
         fun pid ->
-          AA.input t ~pid inputs.(pid);
-          AA.output t ~pid
+          let h = AA.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+          AA.input h inputs.(pid);
+          AA.output h
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run ~max_steps:10_000_000
@@ -149,6 +150,9 @@ let adversary_cmd =
 
 (* --- counter ---------------------------------------------------------------- *)
 
+let backend_enum =
+  List.map (fun k -> (Runtime.Backend.name k, k)) Runtime.Backend.all
+
 let counter_cmd =
   let procs =
     Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Domains to spawn.")
@@ -156,17 +160,35 @@ let counter_cmd =
   let ops =
     Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Increments per domain.")
   in
-  let run procs ops =
-    let module C = Universal.Direct.Counter (Pram.Native.Mem) in
-    let counter = C.create ~procs in
-    let _ =
-      Pram.Native.run_parallel ~procs (fun pid ->
-          for _ = 1 to ops do
-            C.inc counter ~pid 1
-          done)
+  let backend =
+    Arg.(
+      value
+      & opt (enum backend_enum) Runtime.Backend.Native
+      & info [ "backend" ] ~docv:"B"
+          ~doc:"Backend: $(b,native) real domains, $(b,sim) deterministic \
+                simulator, $(b,direct) sequential.")
+  in
+  let run procs ops backend =
+    (* The same functorized program runs on whichever backend the
+       registry hands us; only the memory module differs. *)
+    let final_read = ref (fun () -> 0) in
+    let program (module M : Pram.Memory.S) () =
+      let module C = Universal.Direct.Counter (M) in
+      let counter = C.create ~procs in
+      (final_read :=
+         fun () ->
+           C.read (C.attach counter (Runtime.Ctx.make ~procs ~pid:0 ())));
+      fun pid ->
+        let h = C.attach counter (Runtime.Ctx.make ~procs ~pid ()) in
+        for _ = 1 to ops do
+          C.inc h 1
+        done
     in
-    let final = C.read counter ~pid:0 in
-    Printf.printf "%d domains x %d increments -> %d (expected %d): %s\n" procs
+    let _ = Runtime.Backend.run backend ~procs program in
+    let final = !final_read () in
+    Printf.printf "%d processes (%s) x %d increments -> %d (expected %d): %s\n"
+      procs
+      (Runtime.Backend.name backend)
       ops final (procs * ops)
       (if final = procs * ops then "OK" else "LOST UPDATES");
     if final = procs * ops then `Ok () else `Error (false, "counter lost updates")
@@ -174,7 +196,7 @@ let counter_cmd =
   Cmd.v
     (Cmd.info "counter"
        ~doc:"Torture the wait-free counter on real domains.")
-    Term.(ret (const run $ procs $ ops))
+    Term.(ret (const run $ procs $ ops $ backend))
 
 (* --- explore ------------------------------------------------------------------ *)
 
@@ -267,16 +289,17 @@ let explore_cmd =
         recorder2 := Spec.History.Recorder.create ();
         let t = Arr.create ~procs:2 in
         fun pid ->
+          let h = Arr.attach t (Runtime.Ctx.make ~procs:2 ~pid ()) in
           if pid = 0 then
             ignore
               (Spec.History.Recorder.record !recorder2 ~pid (`Update (0, 10))
                  (fun () ->
-                   Arr.update t ~pid 10;
+                   Arr.update h 10;
                    `Unit))
           else
             ignore
               (Spec.History.Recorder.record !recorder2 ~pid `Snapshot
-                 (fun () -> `View (Arr.snapshot t ~pid)))
+                 (fun () -> `View (Arr.snapshot h)))
       in
       (* the naive collect: two updaters vs a snapshotter is NOT
          linearizable; the explorer finds, shrinks and prints a
@@ -286,16 +309,17 @@ let explore_cmd =
         recorder3 := Spec.History.Recorder.create ();
         let t = Naive_c.create ~procs:3 in
         fun pid ->
+          let h = Naive_c.attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
           if pid < 2 then
             ignore
               (Spec.History.Recorder.record !recorder3 ~pid
                  (`Update (pid, pid + 10)) (fun () ->
-                   Naive_c.update t ~pid (pid + 10);
+                   Naive_c.update h (pid + 10);
                    `Unit))
           else
             ignore
               (Spec.History.Recorder.record !recorder3 ~pid `Snapshot
-                 (fun () -> `View (Naive_c.snapshot t ~pid)))
+                 (fun () -> `View (Naive_c.snapshot h)))
       in
       match replay with
       | Some sched -> (
@@ -410,13 +434,14 @@ let trace_cmd =
   let backend =
     Arg.(
       value
-      & opt (enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+      & opt (enum backend_enum) Runtime.Backend.Sim
       & info [ "backend" ] ~docv:"B"
           ~doc:
             "$(b,sim): the deterministic simulator (accesses via the driver \
              observer, logical clock, schedule recorded for replay).  \
-             $(b,native): real domains (accesses via the Instrument memory \
-             wrapper, monotonic clock).")
+             $(b,native): real domains (accesses via the Runtime.Instrument \
+             memory wrapper, monotonic clock).  $(b,direct): sequential, \
+             instrumented like native.")
   in
   let procs =
     Arg.(value & opt int 3 & info [ "procs" ] ~docv:"N" ~doc:"Process count.")
@@ -461,56 +486,65 @@ let trace_cmd =
              the simulator additionally parse -> replay the recorded \
              schedule -> re-export and require byte-identical output.")
   in
-  let run workload backend procs fmt out seed check =
+  let run workload kind procs fmt out seed check =
     if procs <= 0 then `Error (false, "procs must be positive")
     else begin
-      (* Each workload, as a program over a memory backend [M], with the
-         journal threaded into the span-annotated entry points. *)
-      let sim_program j () =
+      (* One workload program over any backend from the registry: the
+         context carries the journal, so the same code paths are traced
+         whichever arm runs it.  Accesses are fed by the driver observer
+         under sim and by the Runtime.Instrument wrapper otherwise; both
+         come out of the same [Runtime.Sink]. *)
+      let make_program j (module M : Pram.Memory.S) () =
+        let sink = Runtime.Sink.make ~journal:j () in
+        let ctx pid = Runtime.Ctx.make ~sink ~procs ~pid () in
         match workload with
         | `Scan ->
-            let module S =
-              Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim)
-            in
+            let module S = Snapshot.Scan.Make (Semilattice.Int_max) (M) in
             let t = S.create ~procs in
             fun pid ->
-              S.write_l ~journal:j t ~pid (pid + 1);
-              ignore (S.read_max ~journal:j t ~pid)
+              let h = S.attach t (ctx pid) in
+              S.write_l h (pid + 1);
+              ignore (S.read_max h)
         | `Agreement ->
-            let module AA = Agreement.Approx_agreement.Make (Pram.Memory.Sim) in
+            let module AA = Agreement.Approx_agreement.Make (M) in
             let t = AA.create ~procs ~epsilon:0.05 in
             fun pid ->
-              AA.input t ~pid (float_of_int pid);
-              ignore (AA.output ~journal:j t ~pid)
+              let h = AA.attach t (ctx pid) in
+              AA.input h (float_of_int pid);
+              ignore (AA.output h)
         | `Counter ->
             let module UC =
-              Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+              Universal.Construction.Make (Spec.Counter_spec) (M)
             in
             let t = UC.create ~procs in
             fun pid ->
-              ignore (UC.execute ~journal:j t ~pid (Spec.Counter_spec.Inc 1));
-              ignore (UC.execute ~journal:j t ~pid Spec.Counter_spec.Read)
+              let h = UC.attach t (ctx pid) in
+              ignore (UC.execute h (Spec.Counter_spec.Inc 1));
+              ignore (UC.execute h Spec.Counter_spec.Read)
       in
-      let run_sim () =
-        let j = Tracing.Journal.create ~procs () in
-        let d =
-          Pram.Driver.create
-            ~observer:(Tracing.Journal.observer j)
-            ~procs (sim_program j)
+      let fresh_journal () =
+        match kind with
+        | Runtime.Backend.Native ->
+            Tracing.Journal.create ~clock:`Monotonic ~procs ()
+        | _ -> Tracing.Journal.create ~procs ()
+      in
+      let run_once () =
+        let j = fresh_journal () in
+        let scheduler =
+          match (kind, seed) with
+          | Runtime.Backend.Sim, Some seed ->
+              Some (Pram.Scheduler.random ~seed ())
+          | _ -> None
         in
-        (match seed with
-        | None ->
-            Pram.Scheduler.run ~max_steps:10_000_000
-              (Pram.Scheduler.round_robin ())
-              d
-        | Some seed ->
-            Pram.Scheduler.run ~max_steps:10_000_000
-              (Pram.Scheduler.random ~seed ())
-              d);
-        for p = 0 to procs - 1 do
-          if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
-        done;
-        Tracing.archive ~schedule:(Pram.Driver.schedule d) j
+        let outcome =
+          Runtime.Backend.run kind
+            ~sink:(Runtime.Sink.make ~journal:j ())
+            ?scheduler ~procs (make_program j)
+        in
+        match kind with
+        | Runtime.Backend.Sim ->
+            Tracing.archive ~schedule:outcome.Runtime.Backend.schedule j
+        | _ -> Tracing.archive j
       in
       (* replay a saved simulator schedule with a fresh journal: the basis
          of the --check byte-identity guarantee *)
@@ -519,51 +553,13 @@ let trace_cmd =
         let d =
           Pram.Driver.create
             ~observer:(Tracing.Journal.observer j)
-            ~procs (sim_program j)
+            ~procs
+            (make_program j (Runtime.Backend.memory Runtime.Backend.Sim))
         in
         ignore (Pram.Explore.apply_encoded d sched);
         Tracing.archive ~schedule:sched j
       in
-      let run_native () =
-        let j = Tracing.Journal.create ~clock:`Monotonic ~procs () in
-        let module M =
-          Tracing.Instrument
-            (Pram.Native.Mem)
-            (struct
-              let journal = j
-            end)
-        in
-        let body =
-          match workload with
-          | `Scan ->
-              let module S = Snapshot.Scan.Make (Semilattice.Int_max) (M) in
-              let t = S.create ~procs in
-              fun pid ->
-                S.write_l ~journal:j t ~pid (pid + 1);
-                ignore (S.read_max ~journal:j t ~pid)
-          | `Agreement ->
-              let module AA = Agreement.Approx_agreement.Make (M) in
-              let t = AA.create ~procs ~epsilon:0.05 in
-              fun pid ->
-                AA.input t ~pid (float_of_int pid);
-                ignore (AA.output ~journal:j t ~pid)
-          | `Counter ->
-              let module UC =
-                Universal.Construction.Make (Spec.Counter_spec) (M)
-              in
-              let t = UC.create ~procs in
-              fun pid ->
-                ignore (UC.execute ~journal:j t ~pid (Spec.Counter_spec.Inc 1));
-                ignore (UC.execute ~journal:j t ~pid Spec.Counter_spec.Read)
-        in
-        let _ =
-          Pram.Native.run_parallel ~procs (fun pid ->
-              Tracing.set_pid pid;
-              body pid)
-        in
-        Tracing.archive j
-      in
-      let a = match backend with `Sim -> run_sim () | `Native -> run_native () in
+      let a = run_once () in
       let rendered =
         match fmt with
         | `Timeline -> Tracing.timeline a ^ "\n"
@@ -591,7 +587,7 @@ let trace_cmd =
         | Ok a' ->
             if Tracing.save a' <> Tracing.save a then
               err "text save -> parse -> save is not byte-identical";
-            if backend = `Sim then begin
+            if kind = Runtime.Backend.Sim then begin
               (* the full acceptance loop: save -> load -> replay the
                  schedule -> re-export, byte-for-byte *)
               let a'' = replay_sim a'.Tracing.a_schedule in
@@ -641,14 +637,15 @@ let lincheck_demo_cmd =
         let program () =
           let t = Naive.create ~procs:3 in
           fun pid ->
+            let h = Naive.attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
             ignore
               (Spec.History.Recorder.record recorder ~pid
                  (`Update (pid, pid + 10)) (fun () ->
-                   Naive.update t ~pid (pid + 10);
+                   Naive.update h (pid + 10);
                    `Unit));
             ignore
               (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-                   `View (Naive.snapshot t ~pid)))
+                   `View (Naive.snapshot h)))
         in
         let d = Pram.Driver.create ~procs:3 program in
         Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;

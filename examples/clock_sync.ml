@@ -22,8 +22,9 @@ let run ~title ~epsilon ~estimates ~crash =
   let program () =
     let obj = AA.create ~procs ~epsilon in
     fun pid ->
-      AA.input obj ~pid estimates.(pid);
-      AA.output obj ~pid
+      let h = AA.attach obj (Wfa.Ctx.make ~procs ~pid ()) in
+      AA.input h estimates.(pid);
+      AA.output h
   in
   let d = Wfa.Pram.Driver.create ~procs program in
   (* adversarial-ish bursty schedule *)

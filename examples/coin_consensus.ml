@@ -29,8 +29,9 @@ let simulator_demo () =
   let program () =
     let t = RC_sim.create ~procs ~max_rounds:64 in
     fun pid ->
-      let rng = Random.State.make [| 2026; pid |] in
-      RC_sim.propose t ~pid ~rng inputs.(pid)
+      (* the context's seed drives the coin: deterministic per (seed, pid) *)
+      let h = RC_sim.attach t (Runtime.Ctx.make ~seed:2026 ~procs ~pid ()) in
+      RC_sim.propose h inputs.(pid)
   in
   let d = Pram.Driver.create ~procs program in
   let sched = Wfa.Workload.scheduler_of (Wfa.Workload.Bursty 11) in
@@ -70,8 +71,8 @@ let native_demo () =
   let t = RC_native.create ~procs ~max_rounds:64 in
   let decisions =
     Pram.Native.run_parallel ~procs (fun pid ->
-        let rng = Random.State.make [| 7; pid |] in
-        RC_native.propose t ~pid ~rng inputs.(pid))
+        let h = RC_native.attach t (Runtime.Ctx.make ~seed:7 ~procs ~pid ()) in
+        RC_native.propose h inputs.(pid))
   in
   List.iteri (fun p v -> Printf.printf "  domain %d decides %b\n" p v) decisions;
   match decisions with

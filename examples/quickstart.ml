@@ -19,15 +19,22 @@ let native_demo () =
   let increments_per_proc = 1000 in
   let results =
     Wfa.Pram.Native.run_parallel ~procs (fun pid ->
+        (* each process mints its session handle from its own context *)
+        let h =
+          Wfa.Native.Counter.attach counter (Wfa.Ctx.make ~procs ~pid ())
+        in
         for _ = 1 to increments_per_proc do
-          Wfa.Native.Counter.inc counter ~pid 1
+          Wfa.Native.Counter.inc h 1
         done;
-        Wfa.Native.Counter.read counter ~pid)
+        Wfa.Native.Counter.read h)
   in
   List.iteri
     (fun pid v -> Printf.printf "  process %d finished; saw counter >= %d\n" pid v)
     results;
-  let final = Wfa.Native.Counter.read counter ~pid:0 in
+  let final =
+    Wfa.Native.Counter.read
+      (Wfa.Native.Counter.attach counter (Wfa.Ctx.make ~procs ~pid:0 ()))
+  in
   Printf.printf "  final value: %d (expected %d)\n" final
     (procs * increments_per_proc);
   assert (final = procs * increments_per_proc)
@@ -38,8 +45,9 @@ let simulator_demo () =
   let program () =
     let counter = Wfa.Sim.Counter.create ~procs in
     fun pid ->
-      Wfa.Sim.Counter.inc counter ~pid (10 * (pid + 1));
-      Wfa.Sim.Counter.read counter ~pid
+      let h = Wfa.Sim.Counter.attach counter (Wfa.Ctx.make ~procs ~pid ()) in
+      Wfa.Sim.Counter.inc h (10 * (pid + 1));
+      Wfa.Sim.Counter.read h
   in
   let d = Wfa.Pram.Driver.create ~procs program in
   (* let everyone get half-way, then crash process 1 forever *)
@@ -74,14 +82,16 @@ let universal_demo () =
       (Wfa.Pram.Memory.Direct)
   in
   let t = U.create ~procs:2 in
+  let h0 = U.attach t (Wfa.Ctx.make ~procs:2 ~pid:0 ()) in
+  let h1 = U.attach t (Wfa.Ctx.make ~procs:2 ~pid:1 ()) in
   let open Wfa.Spec.Counter_spec in
-  ignore (U.execute t ~pid:0 (Inc 5));
-  ignore (U.execute t ~pid:1 (Dec 2));
-  (match U.execute t ~pid:0 Read with
+  ignore (U.execute h0 (Inc 5));
+  ignore (U.execute h1 (Dec 2));
+  (match U.execute h0 Read with
   | Value v -> Printf.printf "  after inc 5, dec 2: %d\n" v
   | Unit -> ());
-  ignore (U.execute t ~pid:1 (Reset 100));
-  (match U.execute t ~pid:0 Read with
+  ignore (U.execute h1 (Reset 100));
+  (match U.execute h0 Read with
   | Value v -> Printf.printf "  after reset 100: %d\n" v
   | Unit -> ())
 

@@ -26,21 +26,24 @@ let run ~use_atomic ~rounds =
     let snap = Snap.create ~procs:3 in
     let naive = Naive.create ~procs:3 in
     fun pid ->
+      let ctx = Wfa.Ctx.make ~procs:3 ~pid () in
+      let sh = Snap.attach snap ctx in
+      let nh = Naive.attach naive ctx in
       match pid with
       | 0 ->
           (* primary: commit entries one at a time *)
           for i = 1 to rounds do
-            Snap.update snap ~pid:0 i;
-            Naive.update naive ~pid:0 i
+            Snap.update sh i;
+            Naive.update nh i
           done;
           { false_alarms = 0; observations = 0 }
       | 1 ->
           (* replica: repeatedly read committed, apply up to it *)
           for _ = 1 to rounds do
-            let view = Snap.snapshot snap ~pid:1 in
-            Snap.update snap ~pid:1 view.(0);
-            let nview = Naive.snapshot naive ~pid:1 in
-            Naive.update naive ~pid:1 nview.(0)
+            let view = Snap.snapshot sh in
+            Snap.update sh view.(0);
+            let nview = Naive.snapshot nh in
+            Naive.update nh nview.(0)
           done;
           { false_alarms = 0; observations = 0 }
       | _ ->
@@ -49,8 +52,7 @@ let run ~use_atomic ~rounds =
           let obs = ref 0 in
           for _ = 1 to rounds do
             let view =
-              if use_atomic then Snap.snapshot snap ~pid:2
-              else Naive.snapshot naive ~pid:2
+              if use_atomic then Snap.snapshot sh else Naive.snapshot nh
             in
             incr obs;
             let committed = view.(0) and applied = view.(1) in

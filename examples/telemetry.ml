@@ -34,6 +34,9 @@ let () =
   let reports = Atomic.make [] in
   let _ =
     Pram.Native.run_parallel ~procs (fun pid ->
+        let ctx = Runtime.Ctx.make ~procs ~pid () in
+        let hh = Histogram.attach hist ctx in
+        let ch = VClock.attach clock ctx in
         if pid < workers then begin
           (* worker: synthetic latency samples, log-normal-ish *)
           let rng = Random.State.make [| 99; pid |] in
@@ -42,17 +45,17 @@ let () =
               int_of_float
                 (100.0 *. Float.exp (Random.State.float rng 5.0))
             in
-            Histogram.observe hist ~pid ~bucket:(bucket_of_us us) 1
+            Histogram.observe hh ~bucket:(bucket_of_us us) 1
           done;
-          ignore (VClock.tick clock ~pid)
+          ignore (VClock.tick ch)
         end
         else begin
           (* reporter: periodic consistent snapshots *)
           let rec report k =
             if k = 0 then ()
             else begin
-              let stamp = VClock.tick clock ~pid in
-              let total = Histogram.total hist ~pid in
+              let stamp = VClock.tick ch in
+              let total = Histogram.total hh in
               Atomic.set reports ((stamp, total) :: Atomic.get reports);
               report (k - 1)
             end
@@ -61,12 +64,15 @@ let () =
         end)
   in
   (* final consistent view *)
-  let final = Histogram.bindings hist ~pid:workers in
+  let reporter_h =
+    Histogram.attach hist (Runtime.Ctx.make ~procs ~pid:workers ())
+  in
+  let final = Histogram.bindings reporter_h in
   print_endline "latency histogram (consistent final view):";
   List.iter
     (fun (b, count) -> Printf.printf "  %-9s %6d\n" (bucket_label b) count)
     final;
-  let total = Histogram.total hist ~pid:workers in
+  let total = Histogram.total reporter_h in
   Printf.printf "total samples: %d (expected %d)\n" total
     (workers * samples_per_worker);
   assert (total = workers * samples_per_worker);

@@ -41,11 +41,23 @@ module Make (M : Pram.Memory.S) = struct
             M.create ~name:(Printf.sprintf "r[%d]" p) None);
     }
 
+  type handle = { obj : t; pid : int; ctx : Runtime.Ctx.t }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Approx_agreement.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid; ctx }
+
   (* Figure 2, lines 1-5: the first input wins; later inputs by the same
      process are ignored. *)
-  let input t ~pid x =
-    match M.read t.entries.(pid) with
-    | None -> M.write t.entries.(pid) (Some { round = 1; prefer = x })
+  let input h x =
+    let t = h.obj in
+    match M.read t.entries.(h.pid) with
+    | None -> M.write t.entries.(h.pid) (Some { round = 1; prefer = x })
     | Some _ -> ()
 
   let range_size prefs =
@@ -65,8 +77,9 @@ module Make (M : Pram.Memory.S) = struct
         (lo +. hi) /. 2.0
 
   (* Figure 2, lines 7-22. *)
-  let output ?journal t ~pid =
-    Tracing.span_opt journal ~pid ~op:"aa.output" @@ fun () ->
+  let output h =
+    let t = h.obj and pid = h.pid in
+    Runtime.Ctx.span h.ctx ~op:"aa.output" @@ fun () ->
     let rec loop advance =
       (* line 10: scan r (n reads, fixed order — the paper allows any) *)
       let entries = Array.map M.read t.entries in
@@ -106,20 +119,20 @@ module Make (M : Pram.Memory.S) = struct
           known
       in
       if (not e_contains_bottom) && range_size e_set < t.epsilon /. 2.0 then begin
-        Tracing.annotatef_opt journal ~pid "decide %g at round %d" mine.prefer
+        Runtime.Ctx.annotatef h.ctx "decide %g at round %d" mine.prefer
           mine.round;
         mine.prefer (* lines 13-14 *)
       end
       else if range_size l_set < t.epsilon /. 2.0 || advance then begin
         (* lines 15-17: advance to the leaders' midpoint *)
         let mid = midpoint l_set in
-        Tracing.annotatef_opt journal ~pid "advance -> round %d (midpoint %g)"
+        Runtime.Ctx.annotatef h.ctx "advance -> round %d (midpoint %g)"
           (mine.round + 1) mid;
         M.write t.entries.(pid) (Some { prefer = mid; round = mine.round + 1 });
         loop false
       end
       else begin
-        Tracing.annotatef_opt journal ~pid "rescan at round %d" mine.round;
+        Runtime.Ctx.annotatef h.ctx "rescan at round %d" mine.round;
         loop true (* lines 18-19: rescan once before advancing *)
       end
     in

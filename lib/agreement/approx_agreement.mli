@@ -23,16 +23,24 @@ module Make (M : Pram.Memory.S) : sig
       @raise Invalid_argument if [procs <= 0] or [epsilon <= 0]. *)
   val create : procs:int -> epsilon:float -> t
 
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].  If
+      the context carries a journal, each [output] is bracketed as an
+      ["aa.output"] span with one annotation per advance / rescan /
+      decide (and filed in the metrics span histogram when a recorder is
+      attached); a sink-less context costs nothing.
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** Contribute an input value; only the process's first [input] has an
       effect (Figure 2, lines 1-5). *)
-  val input : t -> pid:int -> float -> unit
+  val input : handle -> float -> unit
 
   (** Run the agreement loop to a decision (Figure 2, lines 7-22).
-      Requires a prior [input] by this process.  When [journal] is given
-      the call is bracketed as an ["aa.output"] span with one annotation
-      per advance / rescan / decide; [None] (the default) costs nothing.
+      Requires a prior [input] by this process.
       @raise Invalid_argument otherwise. *)
-  val output : ?journal:Tracing.Journal.t -> t -> pid:int -> float
+  val output : handle -> float
 
   (** Current round of a process's entry (0 before its input) — test and
       bench introspection, not part of the object's interface. *)

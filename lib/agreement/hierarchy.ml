@@ -24,8 +24,9 @@ let figure2_protocol ~procs ~epsilon ~inputs =
         let module A = Approx_agreement.Make (Pram.Memory.Sim) in
         let t = A.create ~procs ~epsilon in
         fun pid ->
-          A.input t ~pid inputs.(pid);
-          A.output t ~pid);
+          let h = A.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+          A.input h inputs.(pid);
+          A.output h);
   }
 
 type row = {

@@ -71,24 +71,47 @@ module Make (M : Pram.Memory.S) = struct
             });
     }
 
+  type round_handle = {
+    mark_h : Gset.handle;
+    proposals_h : Gset.handle;
+    coin_h : Coin.handle;
+  }
+
+  type handle = { obj : t; rounds_h : round_handle array }
+
+  let attach obj ctx =
+    {
+      obj;
+      rounds_h =
+        Array.map
+          (fun rd ->
+            {
+              mark_h = Gset.attach rd.mark ctx;
+              proposals_h = Gset.attach rd.proposals ctx;
+              coin_h = Coin.attach rd.coin ctx;
+            })
+          obj.rounds;
+    }
+
   let conflict = 2
 
-  let propose t ~pid ~rng value =
+  let propose h value =
+    let t = h.obj in
     let rec round r v =
       if r >= t.max_rounds then raise (No_decision t.max_rounds);
-      let rd = t.rounds.(r) in
+      let rd = h.rounds_h.(r) in
       (* 1. mark *)
-      Gset.add rd.mark ~pid v;
-      let marks = Gset.members rd.mark ~pid in
+      Gset.add rd.mark_h v;
+      let marks = Gset.members rd.mark_h in
       let proposal = if marks = [ v ] then v else conflict in
       (* 2. propose *)
-      Gset.add rd.proposals ~pid proposal;
-      let props = Gset.members rd.proposals ~pid in
+      Gset.add rd.proposals_h proposal;
+      let props = Gset.members rd.proposals_h in
       let reals = List.filter (fun p -> p <> conflict) props in
       match reals with
       | [ w ] when not (List.mem conflict props) -> w (* decide *)
       | [ w ] -> round (r + 1) w (* adopt the unique real proposal *)
-      | [] -> round (r + 1) (if Coin.flip rd.coin ~pid ~rng then 1 else 0)
+      | [] -> round (r + 1) (if Coin.flip rd.coin_h then 1 else 0)
       | _ :: _ :: _ ->
           (* impossible: two distinct real proposals in one round *)
           assert false

@@ -20,7 +20,15 @@ module Make (M : Pram.Memory.S) : sig
 
   val create : procs:int -> max_rounds:int -> t
 
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session: one handle per
+      round board plus the coin, whose randomness is the context's
+      deterministic per-process RNG ({!Runtime.Ctx.rng}). *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** Propose a value; returns the decided value.  One-shot per process;
-      [rng] drives only the coin flips (safety never depends on it). *)
-  val propose : t -> pid:int -> rng:Random.State.t -> bool -> bool
+      randomness drives only the coin flips (safety never depends on
+      it). *)
+  val propose : handle -> bool -> bool
 end

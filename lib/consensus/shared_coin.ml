@@ -18,17 +18,27 @@ module Make (M : Pram.Memory.S) = struct
   let create ~procs =
     { counter = Counter.create ~procs; threshold = 2 * procs }
 
-  (* Flip the coin: returns true/false.  [rng] is the caller's local
-     randomness; the shared randomness emerges from the interleaving of
-     everyone's pushes. *)
-  let flip t ~pid ~rng =
+  type handle = { obj : t; counter : Counter.handle; rng : Random.State.t }
+
+  let attach obj ctx =
+    {
+      obj;
+      counter = Counter.attach obj.counter ctx;
+      rng = Runtime.Ctx.rng ctx;
+    }
+
+  (* Flip the coin: returns true/false.  The handle's deterministic
+     per-process RNG supplies the local randomness; the shared
+     randomness emerges from the interleaving of everyone's pushes. *)
+  let flip h =
+    let t = h.obj in
     let rec walk () =
-      let v = Counter.read t.counter ~pid in
+      let v = Counter.read h.counter in
       if v >= t.threshold then true
       else if v <= -t.threshold then false
       else begin
-        if Random.State.bool rng then Counter.inc t.counter ~pid 1
-        else Counter.dec t.counter ~pid 1;
+        if Random.State.bool h.rng then Counter.inc h.counter 1
+        else Counter.dec h.counter 1;
         walk ()
       end
     in

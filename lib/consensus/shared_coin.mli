@@ -12,7 +12,14 @@ module Make (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** Terminates with probability 1 (expected O(n^2) pushes); [rng] is
-      the caller's local randomness. *)
-  val flip : t -> pid:int -> rng:Random.State.t -> bool
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with the coin;
+      the local randomness comes from the context's deterministic
+      per-process RNG ({!Runtime.Ctx.rng}), so a given seed replays the
+      same walk. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** Terminates with probability 1 (expected O(n^2) pushes). *)
+  val flip : handle -> bool
 end

@@ -19,7 +19,10 @@
      access counters, span histograms, one schema over both backends;
    - {!Tracing}: the structured event journal — per-execution causal
      traces with timeline, Chrome-trace and round-trippable text
-     renderers. *)
+     renderers;
+   - {!Runtime}: the per-process execution context ({!Ctx}) bundling
+     pid, observer sink, deterministic RNG and backend selection
+     ({!Backend}) — the seam every algorithm's [attach] consumes. *)
 
 module Pram = Pram
 module Semilattice = Semilattice
@@ -32,6 +35,12 @@ module Workload = Workload
 module Consensus = Consensus
 module Metrics = Metrics
 module Tracing = Tracing
+module Runtime = Runtime
+
+(* The context and backend registry, re-exported unprefixed: [Wfa.Ctx]
+   and [Wfa.Backend] are the intended spellings. *)
+module Ctx = Runtime.Ctx
+module Backend = Runtime.Backend
 
 (* Convenience aliases for the most common instantiations: simulator and
    native variants of the flagship objects. *)

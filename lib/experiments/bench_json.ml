@@ -407,7 +407,9 @@ let sim_scan_rows ~variant ~procs ~contended =
   let recorder = Metrics.Recorder.create ~procs in
   let program () =
     let t = Scan_sim.create ~procs in
-    fun pid -> ignore (Scan_sim.scan ~variant t ~pid (pid + 1))
+    fun pid ->
+      let h = Scan_sim.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      ignore (Scan_sim.scan ~variant h (pid + 1))
   in
   let d =
     Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
@@ -445,11 +447,12 @@ let sim_universal_rows ~procs ~ops_per_proc =
   let program () =
     let t = UC_sim.create ~procs in
     fun pid ->
+      let h = UC_sim.attach t (Runtime.Ctx.make ~procs ~pid ()) in
       List.iter
         (fun op ->
           ignore
             (Metrics.Recorder.with_span recorder ~pid ~op:"apply" (fun () ->
-                 UC_sim.execute t ~pid op)))
+                 UC_sim.execute h op)))
         (script pid)
   in
   let d =
@@ -477,8 +480,9 @@ let sim_agreement_rows ~procs =
   let program () =
     let t = AA_sim.create ~procs ~epsilon:0.01 in
     fun pid ->
-      AA_sim.input t ~pid 0.5;
-      ignore (AA_sim.output t ~pid)
+      let h = AA_sim.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      AA_sim.input h 0.5;
+      ignore (AA_sim.output h)
   in
   let d = Pram.Driver.create ~procs program in
   ignore (Pram.Driver.run_solo d 0);
@@ -528,12 +532,16 @@ let native_counter_rows ~quick ~procs =
   let counter = Counter_native.create ~procs in
   let _, elapsed =
     Pram.Native.run_parallel_timed ~procs (fun pid ->
+        let h = Counter_native.attach counter (Runtime.Ctx.make ~procs ~pid ()) in
         for _ = 1 to ops_per_proc do
-          Counter_native.inc counter ~pid 1
+          Counter_native.inc h 1
         done)
   in
   let total_ops = procs * ops_per_proc in
-  let final = Counter_native.read counter ~pid:0 in
+  let final =
+    Counter_native.read
+      (Counter_native.attach counter (Runtime.Ctx.make ~procs ~pid:0 ()))
+  in
   throughput_rows ~bench:"counter_inc" ~procs ~total_ops ~elapsed
     [
       row ~bench:"counter_inc" ~procs ~backend:"native"
@@ -550,8 +558,9 @@ let native_scan_variant_rows ~quick ~variant ~procs ~contended =
   let scans = if quick then 500 else 5_000 in
   let t = Scan_native.create ~procs in
   let body pid () =
+    let h = Scan_native.attach t (Runtime.Ctx.make ~procs ~pid ()) in
     for i = 1 to scans do
-      ignore (Scan_native.scan ~variant t ~pid i)
+      ignore (Scan_native.scan ~variant h i)
     done
   in
   let domains = if contended then procs else 1 in
@@ -564,21 +573,23 @@ let native_scan_variant_rows ~quick ~variant ~procs ~contended =
   in
   throughput_rows ~bench ~procs ~total_ops:(domains * scans) ~elapsed []
 
-(* Register footprint of the scan grid, measured through the Instrument
-   wrapper rather than asserted from the formula. *)
+(* Register footprint of the scan grid, measured through the
+   [Runtime.Instrument] wrapper rather than asserted from the formula. *)
 let native_scan_footprint_rows ~procs =
   let recorder = Metrics.Recorder.create ~procs in
+  let sink = Runtime.Sink.make ~metrics:recorder () in
   let module Inst =
-    Metrics.Instrument
+    Runtime.Instrument
       (Pram.Native.Mem)
       (struct
-        let recorder = recorder
+        let sink = sink
       end)
   in
   let module Scan_inst = Snapshot.Scan.Make (Semilattice.Nat_max) (Inst) in
   let t = Scan_inst.create ~procs in
-  Metrics.set_pid 0;
-  ignore (Scan_inst.scan t ~pid:0 1);
+  Runtime.set_pid 0;
+  let h = Scan_inst.attach t (Runtime.Ctx.make ~procs ~pid:0 ()) in
+  ignore (Scan_inst.scan h 1);
   [
     row ~bench:"scan_grid" ~procs ~backend:"native" ~metric:"registers"
       ~value:(float_of_int (Metrics.Recorder.registers_created recorder))
@@ -591,9 +602,10 @@ let native_array_rows ~quick ~procs ~contended =
   let domains = if contended then procs else 1 in
   let _, elapsed =
     Pram.Native.run_parallel_timed ~procs:domains (fun pid ->
+        let h = Arr_native.attach t (Runtime.Ctx.make ~procs ~pid ()) in
         for i = 1 to pairs do
-          Arr_native.update t ~pid i;
-          ignore (Arr_native.snapshot t ~pid)
+          Arr_native.update h i;
+          ignore (Arr_native.snapshot h)
         done)
   in
   let bench =
@@ -647,23 +659,26 @@ module AA_direct = Agreement.Approx_agreement.Make (Pram.Memory.Direct)
 let direct_rows ~quick =
   let procs = 4 in
   let window = 64 in
-  let uc = ref (UC_direct.create ~procs) in
+  let ctx0 = Runtime.Ctx.make ~procs ~pid:0 () in
+  let uc = ref (UC_direct.attach (UC_direct.create ~procs) ctx0) in
   let k = ref 0 in
   let uc_ns =
     time_direct
       ~iters:(if quick then 200 else 2_000)
       (fun () ->
         incr k;
-        if !k mod window = 0 then uc := UC_direct.create ~procs;
-        ignore (UC_direct.execute !uc ~pid:0 (Spec.Counter_spec.Inc 1)))
+        if !k mod window = 0 then
+          uc := UC_direct.attach (UC_direct.create ~procs) ctx0;
+        ignore (UC_direct.execute !uc (Spec.Counter_spec.Inc 1)))
   in
   let aa_ns =
     time_direct
       ~iters:(if quick then 100 else 1_000)
       (fun () ->
         let t = AA_direct.create ~procs ~epsilon:0.01 in
-        AA_direct.input t ~pid:0 0.5;
-        ignore (AA_direct.output t ~pid:0))
+        let h = AA_direct.attach t ctx0 in
+        AA_direct.input h 0.5;
+        ignore (AA_direct.output h))
   in
   let nodes = 64 in
   let edges = List.init (nodes - 1) (fun i -> (i, i + 1)) in

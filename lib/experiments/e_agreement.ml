@@ -25,8 +25,9 @@ let measure_worst ~procs ~epsilon ~inputs ~seeds =
   let program () =
     let t = AA.create ~procs ~epsilon in
     fun pid ->
-      AA.input t ~pid inputs.(pid);
-      AA.output t ~pid
+      let h = AA.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      AA.input h inputs.(pid);
+      AA.output h
   in
   let worst = ref 0 in
   List.iter

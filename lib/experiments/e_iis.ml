@@ -20,7 +20,9 @@ let worst_gap ~procs ~layers ~rule ~delta ~seeds =
   in
   let program () =
     let t = IIS.create ~procs ~layers in
-    fun pid -> IIS.run t ~pid ~rule:(rule ~pid) inputs.(pid)
+    fun pid ->
+      let h = IIS.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      IIS.run h ~rule:(rule h) inputs.(pid)
   in
   let worst = ref 0.0 in
   List.iter
@@ -63,11 +65,16 @@ let e11 ?(max_k = 6) ?(seeds = 10) () =
     let epsilon = 1.0 /. Float.pow 3.0 (float_of_int k) in
     let l3 = IIS.layers_needed ~base:3.0 ~delta:1.0 ~epsilon in
     let g2 =
-      worst_gap ~procs:2 ~layers:l3 ~rule:IIS.two_proc_optimal ~delta:1.0
-        ~seeds
+      worst_gap ~procs:2 ~layers:l3
+        ~rule:(fun h -> IIS.two_proc_optimal h)
+        ~delta:1.0 ~seeds
     in
     let l2 = IIS.layers_needed ~base:2.0 ~delta:1.0 ~epsilon in
-    let g3 = worst_gap ~procs:3 ~layers:l2 ~rule:IIS.midpoint ~delta:1.0 ~seeds in
+    let g3 =
+      worst_gap ~procs:3 ~layers:l2
+        ~rule:(fun _h -> IIS.midpoint)
+        ~delta:1.0 ~seeds
+    in
     Table.add_row t
       [
         Printf.sprintf "3^-%d" k;

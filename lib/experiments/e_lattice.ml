@@ -15,7 +15,9 @@ module PS = Snapshot.Lattice_agreement.Pid_set
 let measured (module L : Snapshot.Lattice_agreement.S) ~procs =
   let program () =
     let t = L.create ~procs in
-    fun pid -> L.propose t ~pid (PS.singleton pid)
+    fun pid ->
+      let h = L.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      L.propose h (PS.singleton pid)
   in
   let d = Pram.Driver.create ~procs program in
   ignore (Pram.Driver.run_solo d 0);

@@ -18,7 +18,9 @@ module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
 let scan_cost ~procs ~variant =
   let program () =
     let t = Scan.create ~procs in
-    fun pid -> Scan.scan ~variant t ~pid (pid + 1)
+    fun pid ->
+      let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      Scan.scan ~variant h (pid + 1)
   in
   let d = Pram.Driver.create ~record_trace:true ~procs program in
   ignore (Pram.Driver.run_solo d 0);
@@ -79,12 +81,13 @@ module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim)
 
 (* Steps for process 0 to perform one update followed by one snapshot,
    running solo (quiet cost). *)
-let quiet_cost create update snapshot ~procs =
+let quiet_cost create attach update snapshot ~procs =
   let program () =
     let t = create ~procs in
     fun pid ->
-      update t ~pid (pid + 1);
-      ignore (snapshot t ~pid)
+      let h = attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      update h (pid + 1);
+      ignore (snapshot h)
   in
   let d = Pram.Driver.create ~procs program in
   ignore (Pram.Driver.run_solo d 0);
@@ -94,17 +97,18 @@ let quiet_cost create update snapshot ~procs =
    interleaved schedule giving each writer one step between each reader
    step.  Returns None if the reader fails to finish within [budget]
    reader steps (starvation). *)
-let contended_cost create update snapshot ~procs ~budget =
+let contended_cost create attach update snapshot ~procs ~budget =
   let program () =
     let t = create ~procs in
     fun pid ->
+      let h = attach t (Runtime.Ctx.make ~procs ~pid ()) in
       if pid = 0 then begin
-        ignore (snapshot t ~pid);
+        ignore (snapshot h);
         true
       end
       else begin
         for i = 1 to 100_000 do
-          update t ~pid i
+          update h i
         done;
         true
       end
@@ -134,45 +138,45 @@ let e7_cost ?(procs = 4) () =
   in
   let budget = 10_000 in
   let arr_quiet =
-    quiet_cost Arr.create
-      (fun t ~pid v -> Arr.update t ~pid v)
-      (fun t ~pid -> Arr.snapshot t ~pid)
+    quiet_cost Arr.create Arr.attach
+      (fun h v -> Arr.update h v)
+      (fun h -> Arr.snapshot h)
       ~procs
   in
   let arr_cont =
-    contended_cost Arr.create
-      (fun t ~pid v -> Arr.update t ~pid v)
-      (fun t ~pid -> Arr.snapshot t ~pid)
+    contended_cost Arr.create Arr.attach
+      (fun h v -> Arr.update h v)
+      (fun h -> Arr.snapshot h)
       ~procs ~budget
   in
   let dc_quiet =
-    quiet_cost DC.create
-      (fun t ~pid v -> DC.update t ~pid v)
-      (fun t ~pid -> DC.snapshot_exn ~max_rounds:1000 t ~pid)
+    quiet_cost DC.create DC.attach
+      (fun h v -> DC.update h v)
+      (fun h -> DC.snapshot_exn ~max_rounds:1000 h)
       ~procs
   in
   let dc_cont =
-    contended_cost DC.create
-      (fun t ~pid v -> DC.update t ~pid v)
-      (fun t ~pid -> DC.snapshot_exn ~max_rounds:1_000_000 t ~pid)
+    contended_cost DC.create DC.attach
+      (fun h v -> DC.update h v)
+      (fun h -> DC.snapshot_exn ~max_rounds:1_000_000 h)
       ~procs ~budget
   in
   let af_quiet =
-    quiet_cost AF.create
-      (fun t ~pid v -> AF.update t ~pid v)
-      (fun t ~pid -> AF.snapshot t ~pid)
+    quiet_cost AF.create AF.attach
+      (fun h v -> AF.update h v)
+      (fun h -> AF.snapshot h)
       ~procs
   in
   let af_cont =
-    contended_cost AF.create
-      (fun t ~pid v -> AF.update t ~pid v)
-      (fun t ~pid -> AF.snapshot t ~pid)
+    contended_cost AF.create AF.attach
+      (fun h v -> AF.update h v)
+      (fun h -> AF.snapshot h)
       ~procs ~budget
   in
   let naive_quiet =
-    quiet_cost Naive.create
-      (fun t ~pid v -> Naive.update t ~pid v)
-      (fun t ~pid -> Naive.snapshot t ~pid)
+    quiet_cost Naive.create Naive.attach
+      (fun h v -> Naive.update h v)
+      (fun h -> Naive.snapshot h)
       ~procs
   in
   let cell = function
@@ -201,7 +205,7 @@ module Arr_spec3 =
 
 module Check = Lincheck.Make (Arr_spec3)
 
-let violation_search ~seeds update snapshot create =
+let violation_search ~seeds attach update snapshot create =
   let found = ref None in
   let seed = ref 0 in
   while !found = None && !seed < seeds do
@@ -209,14 +213,15 @@ let violation_search ~seeds update snapshot create =
     let program () =
       let t = create ~procs:3 in
       fun pid ->
+        let h = attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
         ignore
           (Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
              (fun () ->
-               update t ~pid (pid + 10);
+               update h (pid + 10);
                `Unit));
         ignore
           (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-               `View (snapshot t ~pid)))
+               `View (snapshot h)))
     in
     let d = Pram.Driver.create ~procs:3 program in
     Pram.Scheduler.run (Pram.Scheduler.random ~seed:!seed ()) d;
@@ -235,21 +240,21 @@ let e7_verdicts ?(seeds = 400) () =
       ~header:[ "algorithm"; "schedules checked"; "violation found" ]
   in
   let scan_v =
-    violation_search ~seeds
-      (fun t ~pid v -> Arr.update t ~pid v)
-      (fun t ~pid -> Arr.snapshot t ~pid)
+    violation_search ~seeds Arr.attach
+      (fun h v -> Arr.update h v)
+      (fun h -> Arr.snapshot h)
       Arr.create
   in
   let af_v =
-    violation_search ~seeds
-      (fun t ~pid v -> AF.update t ~pid v)
-      (fun t ~pid -> AF.snapshot t ~pid)
+    violation_search ~seeds AF.attach
+      (fun h v -> AF.update h v)
+      (fun h -> AF.snapshot h)
       AF.create
   in
   let naive_v =
-    violation_search ~seeds
-      (fun t ~pid v -> Naive.update t ~pid v)
-      (fun t ~pid -> Naive.snapshot t ~pid)
+    violation_search ~seeds Naive.attach
+      (fun h v -> Naive.update h v)
+      (fun h -> Naive.snapshot h)
       Naive.create
   in
   let cell = function

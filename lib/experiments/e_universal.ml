@@ -21,7 +21,9 @@ module DirC_direct_mem = Universal.Direct.Counter (Pram.Memory.Direct)
 let universal_op_steps ~procs =
   let program () =
     let t = UC.create ~procs in
-    fun pid -> ignore (UC.execute t ~pid (Spec.Counter_spec.Inc (pid + 1)))
+    fun pid ->
+      let h = UC.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      ignore (UC.execute h (Spec.Counter_spec.Inc (pid + 1)))
   in
   let d = Pram.Driver.create ~procs program in
   ignore (Pram.Driver.run_solo d 0);
@@ -85,7 +87,9 @@ let e9 ?(history_sizes = [ 25; 50; 100; 200 ]) () =
   let direct_steps =
     let program () =
       let c = DirC.create ~procs in
-      fun pid -> DirC.inc c ~pid (pid + 1)
+      fun pid ->
+        let h = DirC.attach c (Runtime.Ctx.make ~procs ~pid ()) in
+        DirC.inc h (pid + 1)
     in
     let d = Pram.Driver.create ~procs program in
     ignore (Pram.Driver.run_solo d 0);
@@ -94,15 +98,23 @@ let e9 ?(history_sizes = [ 25; 50; 100; 200 ]) () =
   List.iter
     (fun ops ->
       let u = UC_direct_mem.create ~procs in
+      let uhs =
+        Array.init procs (fun pid ->
+            UC_direct_mem.attach u (Runtime.Ctx.make ~procs ~pid ()))
+      in
       let generic_us =
         time_per_op ~ops (fun i ->
             ignore
-              (UC_direct_mem.execute u ~pid:(i mod procs)
+              (UC_direct_mem.execute uhs.(i mod procs)
                  (Spec.Counter_spec.Inc 1)))
       in
       let c = DirC_direct_mem.create ~procs in
+      let chs =
+        Array.init procs (fun pid ->
+            DirC_direct_mem.attach c (Runtime.Ctx.make ~procs ~pid ()))
+      in
       let direct_us =
-        time_per_op ~ops (fun i -> DirC_direct_mem.inc c ~pid:(i mod procs) 1)
+        time_per_op ~ops (fun i -> DirC_direct_mem.inc chs.(i mod procs) 1)
       in
       Table.add_row t
         [

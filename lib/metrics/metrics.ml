@@ -4,8 +4,9 @@
    - simulator: [Recorder.observer] plugs into [Driver.create ?observer],
      so attribution follows the firing schedule exactly (one count per
      step, the paper's cost unit);
-   - native: [Instrument] wraps a backend via [Memory.Hooked] and
-     attributes each access to the calling domain's [set_pid].
+   - native: [Runtime.Instrument] wraps a backend via [Memory.Hooked]
+     and attributes each access to the calling domain's
+     [Runtime.set_pid].
 
    Counter layout: per-pid counts are plain [Atomic.t] cells (uncontended
    — each pid bumps only its own), per-register and span tables live
@@ -270,28 +271,6 @@ module Recorder = struct
         record_write ~reg_id:a.reg_id ~reg_name:a.reg_name t ~pid:a.pid
 end
 
-(* The calling domain's pid, for [Instrument] attribution.  One domain is
-   one process in the native harnesses ([Native.run_parallel] passes the
-   pid straight to the body), so domain-local storage is exactly the
-   right granularity there. *)
-let pid_key = Domain.DLS.new_key (fun () -> 0)
-let set_pid p = Domain.DLS.set pid_key p
-let current_pid () = Domain.DLS.get pid_key
-
-module Instrument (M : Pram.Memory.S) (R : sig
-  val recorder : Recorder.t
-end) =
-  Pram.Memory.Hooked
-    (M)
-    (struct
-      let on_create ~reg_id ~reg_name =
-        Recorder.record_create R.recorder ~reg_id ~reg_name
-
-      let on_read ~reg_id ~reg_name =
-        Recorder.record_read ~reg_id ~reg_name R.recorder
-          ~pid:(current_pid ())
-
-      let on_write ~reg_id ~reg_name =
-        Recorder.record_write ~reg_id ~reg_name R.recorder
-          ~pid:(current_pid ())
-    end)
+(* Pid attribution for native domains lives in [Runtime] (one
+   [Domain.DLS] slot shared with tracing); [Runtime.Instrument] wraps a
+   backend and feeds this recorder through a [Runtime.Sink]. *)

@@ -19,8 +19,9 @@
     - simulator: pass [Recorder.observer r] as [Driver.create]'s
       [?observer]; accesses are attributed by the driver, exactly one
       count per fired step;
-    - native domains: instantiate {!Instrument} over {!Pram.Native.Mem}
-      and have each domain call {!set_pid} once at the top of its body.
+    - native domains: instantiate [Runtime.Instrument] over
+      {!Pram.Native.Mem} with a sink carrying this recorder, and have
+      each domain call [Runtime.set_pid] once at the top of its body.
 
     Both feeds populate the same {!Recorder.t} and render to the same
     {!Snapshot.t}. *)
@@ -62,7 +63,8 @@ module Histogram : sig
 end
 
 (** Per-register totals, keyed by the feeding layer's register identity
-    (driver trace ids for the simulator, wrapper ids for {!Instrument}). *)
+    (driver trace ids for the simulator, wrapper ids for
+    [Runtime.Instrument]). *)
 type reg_stat = {
   rs_id : int;
   rs_name : string;
@@ -132,20 +134,3 @@ module Recorder : sig
       per fired access, attributed to the stepping pid. *)
   val observer : t -> Pram.Trace.access -> unit
 end
-
-(** Set the calling domain's pid for {!Instrument} attribution.  Native
-    harnesses call it once at the top of each domain body (the default
-    is pid 0, which is also right for single-threaded [Direct] use). *)
-val set_pid : int -> unit
-
-val current_pid : unit -> int
-
-(** [Instrument (M) (R)] is backend [M] with every access recorded into
-    [R.recorder], attributed to the calling domain's {!set_pid}.  This is
-    {!Pram.Memory.Hooked} plus pid plumbing: a separate module the
-    caller opts into, so uninstrumented code is untouched.  Use it for
-    [Direct]/[Native.Mem]; under [Sim] prefer the driver observer
-    (fibers share one domain, so {!set_pid} cannot track them). *)
-module Instrument (M : Pram.Memory.S) (R : sig
-  val recorder : Recorder.t
-end) : Pram.Memory.S

@@ -48,7 +48,7 @@ end
 (* Wrap any backend with access hooks.  This is the generic "counters
    behind a functor" mechanism: the unwrapped backends pay nothing, and an
    instrumented instantiation is a separate module the caller opts into
-   (see Metrics.Instrument).  Hooks fire when the access completes at this
+   (see Runtime.Instrument).  Hooks fire when the access completes at this
    layer: after the underlying read returns and after the underlying write
    is applied.  Under [Sim] that is invocation order, not firing order —
    prefer the [Driver] observer for scheduled executions. *)

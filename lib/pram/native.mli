@@ -10,13 +10,18 @@
 (** The domain-safe memory backend. *)
 module Mem : Memory.S with type 'a reg = 'a Atomic.t
 
-(** Wrap any backend with global atomic read/write counters (for cost
-    accounting under domains; adds contention, so do not combine with
-    timing measurements). *)
+(** Wrap any backend with read/write counters for cost accounting under
+    domains.  Each domain increments its own domain-local cell
+    (uncontended, so counting does not perturb the timing of the wrapped
+    accesses); [reads ()] / [writes ()] aggregate across all domains
+    that ever touched this instance, including ones already joined. *)
 module Counting (M : Memory.S) : sig
   include Memory.S
 
+  (** Zero every per-domain cell.  Call only while wrapped accesses are
+      quiescent (concurrent increments may land on either side). *)
   val reset : unit -> unit
+
   val reads : unit -> int
   val writes : unit -> int
 end

@@ -1,0 +1,16 @@
+(** The two effects that connect algorithm code (written in direct style
+    against [Memory.Sim]) to the scheduler in {!Driver}.
+
+    Performing one of these effects suspends the process at the point of
+    the access; the driver later fires the access atomically — one fired
+    effect is one step of the paper's cost model — and resumes the
+    process with the result.  Code running outside a driver must not
+    perform them (there is no handler installed; [Memory.Sim] falls back
+    to direct access in that case). *)
+
+type _ Effect.t +=
+  | Read : 'a Register.t -> 'a Effect.t
+      (** Suspend until the scheduler fires an atomic read of the
+          register; resumes with the value read. *)
+  | Write : 'a Register.t * 'a -> unit Effect.t
+      (** Suspend until the scheduler fires an atomic write. *)

@@ -1,0 +1,208 @@
+(** Per-process execution contexts: one object for pid, memory backend,
+    observability, and randomness.
+
+    The asynchronous PRAM model is "a process with an identity executing
+    against a memory".  Before this module, that identity and its
+    cross-cutting companions were threaded by hand through every layer:
+    [pid:int] on each call, [?journal] optionals per traced operation,
+    metrics via separately instantiated wrapper functors, per-pid RNG
+    memoized in [Workload].  {!Ctx} bundles them: construct one context
+    per process at session start, mint an algorithm {e handle} from it
+    ([X.attach obj ctx]), and every subsequent operation call carries no
+    cross-cutting arguments.
+
+    Three design rules hold throughout:
+
+    - {b Off by default is free}: a context with no sink performs no
+      accesses and allocates nothing on any instrumentation path (the
+      Gc-measured test in [test_tracing] pins this down).
+    - {b One pid authority}: a single domain-local {!set_pid} serves
+      every instrumentation consumer — the parallel copies that Metrics
+      and Tracing each kept are gone.
+    - {b One observer feed}: {!Sink} fans a single access stream out to
+      the metrics recorder and the tracing journal, whether the stream
+      originates from the simulator driver ({!Sink.observer}) or from a
+      wrapped backend ({!Instrument}). *)
+
+(** {1 Pid attribution} *)
+
+(** Set the calling domain's pid for {!Instrument} attribution (default
+    0).  Native harnesses call it once at the top of each domain body —
+    {!Backend.run} does so automatically.  Simulator code never needs
+    it: fibers share one domain, and the driver observer attributes by
+    firing schedule instead. *)
+val set_pid : int -> unit
+
+val current_pid : unit -> int
+
+(** {1 Deterministic randomness} *)
+
+module Rng : sig
+  (** [state ~seed ~pid] is the deterministic per-process random state:
+      a pure function of [(seed, pid)], so workloads are reproducible
+      regardless of the order in which harnesses visit pids.  (This is
+      the formula [Workload] has always used; it lives here so contexts
+      and workload scripts draw from the same stream definition.) *)
+  val state : seed:int -> pid:int -> Random.State.t
+end
+
+(** {1 The unified observer sink} *)
+
+(** A fan-out point for the shared-memory access stream: zero, one, or
+    both of a metrics recorder and a tracing journal.  One sink value
+    replaces the four instrumentation attachment points that previously
+    coexisted ([Memory.Hooks] wrappers, [Native.Counting], the driver
+    [?observer], and the Tracing [Instrument] feed). *)
+module Sink : sig
+  type t
+
+  (** The empty sink: observing nothing, costing nothing. *)
+  val none : t
+
+  val make :
+    ?metrics:Metrics.Recorder.t -> ?journal:Tracing.Journal.t -> unit -> t
+
+  val is_none : t -> bool
+  val metrics : t -> Metrics.Recorder.t option
+  val journal : t -> Tracing.Journal.t option
+
+  (** The streaming hook for [Pram.Driver.create ?observer]: [None] when
+      the sink is empty (so an observer-less driver stays on its free
+      path), otherwise one callback feeding every attached consumer. *)
+  val observer : t -> (Pram.Trace.access -> unit) option
+
+  (** Raw feeds, used by {!Instrument}; attribution is the caller's. *)
+  val record_create : t -> reg_id:int -> reg_name:string -> unit
+
+  val record_access :
+    t ->
+    pid:int ->
+    kind:Pram.Trace.kind ->
+    reg_id:int ->
+    reg_name:string ->
+    unit
+end
+
+(** [Instrument (M) (S)] is backend [M] with every completed access fed
+    to [S.sink], attributed to the calling domain's {!set_pid} — the
+    single replacement for the old [Metrics.Instrument] and
+    [Tracing.Instrument] pair.  Use it over [Direct] or [Native.Mem];
+    under [Memory.Sim] prefer the driver observer (hooks fire at
+    invocation, not firing, time). *)
+module Instrument (M : Pram.Memory.S) (S : sig
+  val sink : Sink.t
+end) : Pram.Memory.S
+
+(** {1 The per-process context} *)
+
+module Ctx : sig
+  type t
+
+  (** [make ~procs ~pid ()] builds the context process [pid] carries for
+      a session among [procs] processes.  [sink] defaults to
+      {!Sink.none} (instrumentation off, zero overhead); [seed] defaults
+      to [0] and determines {!rng}.
+      @raise Invalid_argument
+        if [procs <= 0] or [pid] is out of range. *)
+  val make : ?sink:Sink.t -> ?seed:int -> procs:int -> pid:int -> unit -> t
+
+  val pid : t -> int
+  val procs : t -> int
+  val sink : t -> Sink.t
+  val seed : t -> int
+
+  (** The journal / recorder attached to this context's sink, if any.
+      Handles cache these at attach time so per-access hot loops can
+      guard with a single [match] (the allocation-free discipline from
+      the tracing layer carries over unchanged). *)
+  val journal : t -> Tracing.Journal.t option
+
+  val metrics : t -> Metrics.Recorder.t option
+
+  (** This process's deterministic random state: {!Rng.state} on
+      [(seed, pid)], built lazily and cached, so contexts that never
+      draw randomness allocate no state. *)
+  val rng : t -> Random.State.t
+
+  (** [sibling t ~pid] is [t]'s configuration (sink, seed, procs) for
+      another process — fresh RNG, same shared sink.
+      @raise Invalid_argument if [pid] is out of range. *)
+  val sibling : t -> pid:int -> t
+
+  (** [family ~procs ()] is one context per pid, sharing one sink and
+      seed — the common "all processes of one session" constructor. *)
+  val family : ?sink:Sink.t -> ?seed:int -> procs:int -> unit -> t array
+
+  (** {2 Instrumentation helpers}
+
+      Each is free when the relevant sink half is absent: the [None]
+      path is a pattern match, with no access and no allocation. *)
+
+  (** [span t ~op f] brackets [f ()] as operation [op] in the journal
+      (Invoke/Response events) {e and} files its access count into the
+      metrics span histogram, whichever of the two is attached. *)
+  val span : t -> op:string -> (unit -> 'a) -> 'a
+
+  (** Free-form journal mark (e.g. ["round 3"]); no-op without a
+      journal. *)
+  val annotate : t -> string -> unit
+
+  (** Like {!annotate} with a format string; on the no-journal path the
+      message is never rendered.  [ikfprintf] still builds small
+      per-argument closures, so per-access hot loops should guard with
+      an explicit [match] on {!journal} instead (see [Snapshot.Scan]'s
+      pass loop). *)
+  val annotatef : t -> ('a, unit, string, unit) format4 -> 'a
+end
+
+(** {1 The backend registry} *)
+
+(** The three execution backends, each with its canonical instrumented
+    variant, behind one table — so the CLI, the bench pipeline and the
+    experiments select backends by name instead of duplicating match
+    arms. *)
+module Backend : sig
+  type kind =
+    | Sim  (** effect-handler fibers under {!Pram.Driver} *)
+    | Direct  (** immediate accesses, sequential *)
+    | Native  (** [Atomic] cells, one OCaml domain per process *)
+
+  val all : kind list
+  val name : kind -> string
+  val of_name : string -> kind option
+  val pp : Format.formatter -> kind -> unit
+
+  (** The uninstrumented memory module for a backend. *)
+  val memory : kind -> (module Pram.Memory.S)
+
+  (** The backend's canonical instrumented variant for a given sink:
+      [Direct]/[Native] wrap the memory in {!Instrument}; [Sim] returns
+      the raw module because its canonical instrumentation is the driver
+      observer ({!Sink.observer}), which attributes by firing schedule. *)
+  val instrumented : kind -> Sink.t -> (module Pram.Memory.S)
+
+  (** The result of one multi-process run: per-pid results ([None] for a
+      process that was crashed or never ran to completion) and, on the
+      simulator, the fired schedule (empty for the other backends). *)
+  type 'r outcome = {
+    results : 'r option array;
+    schedule : int list;
+  }
+
+  (** [run kind ~procs program] executes [program mem () pid] for each
+      pid on the chosen backend, with the sink attached the canonical
+      way: driver observer under [Sim], {!Instrument}-wrapped memory
+      under [Direct]/[Native] (where each body's pid is {!set_pid}
+      before it runs).  [scheduler] (default round-robin) and
+      [max_steps] (default 1e7; watchdog, see {!Pram.Scheduler.run})
+      apply to [Sim] only.  [program] receives the memory module first
+      so one functor application serves all backends. *)
+  val run :
+    kind ->
+    ?sink:Sink.t ->
+    ?scheduler:'r Pram.Scheduler.t ->
+    ?max_steps:int ->
+    procs:int ->
+    ((module Pram.Memory.S) -> unit -> int -> 'r) ->
+    'r outcome
+end

@@ -41,10 +41,19 @@ struct
       seq = Array.make procs 0;
     }
 
+  type handle = { obj : t; pid : int }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf "Afek.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid }
+
   let collect t = Array.map M.read t.slots
 
-  let scan_inner t ~pid =
-    ignore pid;
+  let scan_inner t =
     let n = t.procs in
     let moved = Array.make n 0 in
     let rec loop prev =
@@ -72,10 +81,11 @@ struct
     let first = collect t in
     loop first
 
-  let update t ~pid v =
-    let view = scan_inner t ~pid in
+  let update h v =
+    let t = h.obj and pid = h.pid in
+    let view = scan_inner t in
     t.seq.(pid) <- t.seq.(pid) + 1;
     M.write t.slots.(pid) { tag = t.seq.(pid); value = v; embedded = view }
 
-  let snapshot t ~pid = scan_inner t ~pid
+  let snapshot h = scan_inner h.obj
 end

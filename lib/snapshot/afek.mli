@@ -13,6 +13,13 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
   type t
 
   val create : procs:int -> t
-  val update : t -> pid:int -> V.t -> unit
-  val snapshot : t -> pid:int -> V.t array
+
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  val update : handle -> V.t -> unit
+  val snapshot : handle -> V.t array
 end

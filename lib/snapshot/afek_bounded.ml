@@ -66,6 +66,17 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) = struct
                 M.create ~name:(Printf.sprintf "ab_q[%d][%d]" i j) false));
     }
 
+  type handle = { obj : t; pid : int }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Afek_bounded.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid }
+
   let collect t = Array.map M.read t.slots
 
   (* Did writer j move, from scanner [pid]'s point of view, given the
@@ -114,7 +125,8 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) = struct
     in
     loop ()
 
-  let update t ~pid v =
+  let update h v =
+    let t = h.obj and pid = h.pid in
     let n = t.procs in
     (* handshake toward every potential scanner: set own bit to differ
        from the scanner's bit, announcing "I have written since your last
@@ -128,5 +140,5 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) = struct
     M.write t.slots.(pid)
       { value = v; embedded = view; toggle = not old.toggle; p = new_p }
 
-  let snapshot t ~pid = scan_inner t ~pid
+  let snapshot h = scan_inner h.obj ~pid:h.pid
 end

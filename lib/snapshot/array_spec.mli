@@ -1,0 +1,12 @@
+(** Sequential specification of the single-writer snapshot-array object:
+    n slots, [`Update (p, v)] stores [v] in slot [p], [`Snapshot]
+    returns all slots atomically.  The {!Lincheck} oracle for
+    {!Snapshot_array}, {!Collect}, {!Double_collect} and {!Afek}. *)
+
+module Make (V : Slot_value.S) (Width : sig
+  val procs : int
+end) :
+  Spec.Object_spec.S
+    with type state = V.t array
+     and type operation = [ `Update of int * V.t | `Snapshot ]
+     and type response = [ `Unit | `View of V.t array ]

@@ -21,10 +21,18 @@ struct
             M.create ~name:(Printf.sprintf "slot[%d]" p) V.default);
     }
 
-  let update t ~pid v = M.write t.slots.(pid) v
+  type handle = { obj : t; pid : int }
 
-  let snapshot t ~pid =
-    ignore pid;
-    (* n reads, one per slot — no atomicity whatsoever *)
-    Array.map M.read t.slots
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf "Collect.attach: ctx pid %d but object has %d procs"
+           pid obj.procs);
+    { obj; pid }
+
+  let update h v = M.write h.obj.slots.(h.pid) v
+
+  (* n reads, one per slot — no atomicity whatsoever *)
+  let snapshot h = Array.map M.read h.obj.slots
 end

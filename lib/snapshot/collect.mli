@@ -7,9 +7,17 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
   type t
 
   val create : procs:int -> t
-  val update : t -> pid:int -> V.t -> unit
+
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** Store a value in the caller's slot. *)
+  val update : handle -> V.t -> unit
 
   (** One read per slot, in slot order; no atomicity guarantee
       whatsoever. *)
-  val snapshot : t -> pid:int -> V.t array
+  val snapshot : handle -> V.t array
 end

@@ -31,9 +31,21 @@ struct
       seq = Array.make procs 0;
     }
 
-  let update t ~pid v =
-    t.seq.(pid) <- t.seq.(pid) + 1;
-    M.write t.slots.(pid) { tag = t.seq.(pid); value = v }
+  type handle = { obj : t; pid : int }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Double_collect.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid }
+
+  let update h v =
+    let t = h.obj in
+    t.seq.(h.pid) <- t.seq.(h.pid) + 1;
+    M.write t.slots.(h.pid) { tag = t.seq.(h.pid); value = v }
 
   let collect t = Array.map M.read t.slots
 
@@ -42,8 +54,8 @@ struct
 
   (* Unbounded retry loop; [max_rounds] is a watchdog for tests that
      deliberately starve it. *)
-  let snapshot ?(max_rounds = max_int) t ~pid =
-    ignore pid;
+  let snapshot ?(max_rounds = max_int) h =
+    let t = h.obj in
     let rec loop prev rounds =
       if rounds = 0 then None
       else
@@ -54,8 +66,8 @@ struct
     let first = collect t in
     loop first max_rounds
 
-  let snapshot_exn ?max_rounds t ~pid =
-    match snapshot ?max_rounds t ~pid with
+  let snapshot_exn ?max_rounds h =
+    match snapshot ?max_rounds h with
     | Some view -> view
     | None -> failwith "Double_collect.snapshot: starved (not wait-free)"
 end

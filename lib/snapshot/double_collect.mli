@@ -9,11 +9,18 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
   type t
 
   val create : procs:int -> t
-  val update : t -> pid:int -> V.t -> unit
+
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  val update : handle -> V.t -> unit
 
   (** [None] if [max_rounds] collects never stabilized (starved). *)
-  val snapshot : ?max_rounds:int -> t -> pid:int -> V.t array option
+  val snapshot : ?max_rounds:int -> handle -> V.t array option
 
   (** @raise Failure on starvation. *)
-  val snapshot_exn : ?max_rounds:int -> t -> pid:int -> V.t array
+  val snapshot_exn : ?max_rounds:int -> handle -> V.t array
 end

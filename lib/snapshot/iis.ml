@@ -40,29 +40,41 @@ module Make (M : Pram.Memory.S) = struct
 
   let layer_count t = Array.length t.layers
 
+  type handle = {
+    pid : int;
+    layer_handles : IS.handle array;  (* one session per layer, in order *)
+  }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf "Iis.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { pid; layer_handles = Array.map (fun l -> IS.attach l ctx) obj.layers }
+
   (* Run all layers, updating the value with [rule : own:float ->
      view:(int * float) list -> float]; returns the final value. *)
-  let run t ~pid ~rule v0 =
+  let run h ~rule v0 =
     Array.fold_left
       (fun v layer ->
-        let view = IS.participate layer ~pid v in
+        let view = IS.participate layer v in
         rule ~own:v ~view)
-      v0 t.layers
+      v0 h.layer_handles
 
   (* n = 2 only: the optimal rule (move 2/3 toward the other). *)
-  let two_proc_optimal ~pid =
+  let two_proc_optimal h =
     fun ~own ~view ->
-      match List.filter (fun (q, _) -> q <> pid) view with
+      match List.filter (fun (q, _) -> q <> h.pid) view with
       | [] -> own
       | (_, other) :: _ -> own +. ((other -. own) *. 2.0 /. 3.0)
 
   (* any n: midpoint of the view's range. *)
-  let midpoint ~pid:_ =
-    fun ~own ~view ->
-      let values = own :: List.map snd view in
-      let lo = List.fold_left Float.min infinity values in
-      let hi = List.fold_left Float.max neg_infinity values in
-      (lo +. hi) /. 2.0
+  let midpoint ~own ~view =
+    let values = own :: List.map snd view in
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    (lo +. hi) /. 2.0
 
   (* Layers sufficient for gap [delta] and slack [epsilon]:
      ceil(log_base(delta/epsilon)). *)

@@ -15,23 +15,27 @@ module Make (M : Pram.Memory.S) : sig
 
   val layer_count : t -> int
 
+  type handle
+
+  (** [attach t ctx] mints process [Ctx.pid ctx]'s session: one
+      underlying immediate-snapshot session per layer.
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** Run every layer, updating the value by [rule] on each view;
       one-shot per process. *)
   val run :
-    t ->
-    pid:int ->
-    rule:(own:float -> view:(int * float) list -> float) ->
-    float ->
+    handle -> rule:(own:float -> view:(int * float) list -> float) -> float ->
     float
 
   (** For n = 2: move two-thirds toward the other's value — shrinks the
       gap by exactly 3 per layer on every schedule, the optimal rate. *)
   val two_proc_optimal :
-    pid:int -> own:float -> view:(int * float) list -> float
+    handle -> own:float -> view:(int * float) list -> float
 
   (** For any n: midpoint of the view's range — factor-2 shrink per
       layer. *)
-  val midpoint : pid:int -> own:float -> view:(int * float) list -> float
+  val midpoint : own:float -> view:(int * float) list -> float
 
   (** [ceil(log_base (delta /. epsilon))], clamped at 0. *)
   val layers_needed : base:float -> delta:float -> epsilon:float -> int

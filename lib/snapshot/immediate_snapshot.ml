@@ -43,8 +43,20 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) = struct
             M.create ~name:(Printf.sprintf "is_lvl[%d]" p) (procs + 1));
     }
 
+  type handle = { obj : t; pid : int }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Immediate_snapshot.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid }
+
   (* One-shot: call at most once per process. *)
-  let participate t ~pid v =
+  let participate h v =
+    let t = h.obj and pid = h.pid in
     let n = t.procs in
     M.write t.values.(pid) (Some v);
     let rec descend level =

@@ -18,7 +18,13 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** One-shot: at most one call per process.  Returns the view as
       (pid, value) pairs sorted by pid. *)
-  val participate : t -> pid:int -> V.t -> (int * V.t) list
+  val participate : handle -> V.t -> (int * V.t) list
 end

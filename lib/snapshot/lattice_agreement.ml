@@ -41,9 +41,15 @@ module type S = sig
 
   val create : procs:int -> t
 
-  val propose : t -> pid:int -> Pid_set.t -> Pid_set.t
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
+  (** One process's session with the object. *)
+
+  val propose : handle -> Pid_set.t -> Pid_set.t
   (** One-shot: call at most once per process.  The input set must
-      contain [pid] (its own proposal); usually it is the singleton. *)
+      contain the caller's pid (its own proposal); usually it is the
+      singleton. *)
 
   val reads_per_propose : procs:int -> int
   (** Shared reads performed by one [propose] (exact, for E10). *)
@@ -68,9 +74,11 @@ module Via_scan (M : Pram.Memory.S) : S = struct
   module Scanner = Scan.Make (Lat) (M)
 
   type t = Scanner.t
+  type handle = Scanner.handle
 
   let create ~procs = Scanner.create ~procs
-  let propose t ~pid v = Scanner.scan t ~pid v
+  let attach = Scanner.attach
+  let propose h v = Scanner.scan h v
 
   let reads_per_propose ~procs =
     fst (Scan.cost_formula ~procs Optimized)
@@ -131,7 +139,19 @@ module Classifier (M : Pram.Memory.S) : S = struct
     if float_of_int (Pid_set.cardinal !union) > k then (`Right, !union)
     else (`Left, v)
 
-  let propose t ~pid v =
+  type handle = { obj : t; pid : int }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Lattice_agreement.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid }
+
+  let propose h v =
+    let t = h.obj and pid = h.pid in
     if not (Pid_set.mem pid v) then
       invalid_arg "Lattice_agreement.propose: value must contain own pid";
     let value = ref v in

@@ -18,10 +18,16 @@ module type S = sig
 
   val create : procs:int -> t
 
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t].
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** One-shot: at most one call per process; the input must contain the
       caller's own pid (usually the singleton).
       @raise Invalid_argument otherwise. *)
-  val propose : t -> pid:int -> Pid_set.t -> Pid_set.t
+  val propose : handle -> Pid_set.t -> Pid_set.t
 
   (** Exact shared reads of one [propose], for experiment E10. *)
   val reads_per_propose : procs:int -> int

@@ -28,7 +28,11 @@
    Both variants keep a local mirror of the process's own row so that the
    "scan[P][i] \/ ..." join uses the current own value without a shared
    read; the Plain variant still performs the paper's counted reads of own
-   registers so that measured costs match the n^2 + n + 1 formula. *)
+   registers so that measured costs match the n^2 + n + 1 formula.
+
+   Per-process state lives in a [handle] minted from a [Runtime.Ctx]:
+   the pid, the process's private row mirror, and the cached journal
+   option for the hot-loop guard. *)
 
 type variant =
   | Plain
@@ -55,23 +59,41 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
       mirror = Array.init procs (fun _ -> Array.make (procs + 2) L.bottom);
     }
 
-  let scan_plain ?journal t ~pid v =
+  type handle = {
+    obj : t;
+    pid : int;
+    ctx : Runtime.Ctx.t;
+    journal : Tracing.Journal.t option;
+        (* cached from [ctx] at attach time so the per-pass hot loop can
+           guard on it with a single allocation-free match *)
+  }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf "Scan.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid; ctx; journal = Runtime.Ctx.journal ctx }
+
+  let scan_plain h v =
+    let t = h.obj in
     let n = t.procs in
-    let row = t.grid.(pid) in
-    let mir = t.mirror.(pid) in
+    let row = t.grid.(h.pid) in
+    let mir = t.mirror.(h.pid) in
     (* line 2: 1 read + 1 write *)
     let v0 = L.join v (M.read row.(0)) in
     M.write row.(0) v0;
     mir.(0) <- v0;
     (* n+1 passes of n reads + 1 write each *)
     for i = 1 to n + 1 do
-      (* inline guard, not annotatef_opt: this is the per-pass hot loop,
+      (* inline guard, not Ctx.annotatef: this is the per-pass hot loop,
          and the match keeps the untraced path at literally zero extra
          allocation (ikfprintf builds small per-argument closures) *)
-      (match journal with
+      (match h.journal with
       | None -> ()
       | Some j ->
-          Tracing.Journal.annotate j ~pid
+          Tracing.Journal.annotate j ~pid:h.pid
             (Printf.sprintf "scan pass %d/%d" i (n + 1)));
       let acc = ref mir.(i) in
       for q = 0 to n - 1 do
@@ -82,26 +104,27 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
-  let scan_optimized ?journal t ~pid v =
+  let scan_optimized h v =
+    let t = h.obj in
     let n = t.procs in
-    let row = t.grid.(pid) in
-    let mir = t.mirror.(pid) in
+    let row = t.grid.(h.pid) in
+    let mir = t.mirror.(h.pid) in
     let v0 = L.join v mir.(0) in
     M.write row.(0) v0;
     mir.(0) <- v0;
     for i = 1 to n + 1 do
-      (* inline guard, not annotatef_opt: this is the per-pass hot loop,
+      (* inline guard, not Ctx.annotatef: this is the per-pass hot loop,
          and the match keeps the untraced path at literally zero extra
          allocation (ikfprintf builds small per-argument closures) *)
-      (match journal with
+      (match h.journal with
       | None -> ()
       | Some j ->
-          Tracing.Journal.annotate j ~pid
+          Tracing.Journal.annotate j ~pid:h.pid
             (Printf.sprintf "scan pass %d/%d" i (n + 1)));
       (* own column contributes via the mirror; peers via shared reads *)
       let acc = ref (L.join mir.(i) mir.(i - 1)) in
       for q = 0 to n - 1 do
-        if q <> pid then acc := L.join !acc (M.read t.grid.(q).(i - 1))
+        if q <> h.pid then acc := L.join !acc (M.read t.grid.(q).(i - 1))
       done;
       if i <= n then begin
         M.write row.(i) !acc;
@@ -111,18 +134,16 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
-  let scan ?(variant = Optimized) ?journal t ~pid v =
-    Tracing.span_opt journal ~pid ~op:"scan" (fun () ->
+  let scan ?(variant = Optimized) h v =
+    Runtime.Ctx.span h.ctx ~op:"scan" (fun () ->
         match variant with
-        | Plain -> scan_plain ?journal t ~pid v
-        | Optimized -> scan_optimized ?journal t ~pid v)
+        | Plain -> scan_plain h v
+        | Optimized -> scan_optimized h v)
 
   (* The two operations of the atomic scan object (Section 6): Write_L
      discards the scan's return value; ReadMax contributes bottom. *)
-  let write_l ?variant ?journal t ~pid v =
-    ignore (scan ?variant ?journal t ~pid v)
-
-  let read_max ?variant ?journal t ~pid = scan ?variant ?journal t ~pid L.bottom
+  let write_l ?variant h v = ignore (scan ?variant h v)
+  let read_max ?variant h = scan ?variant h L.bottom
 end
 
 (* Exact per-Scan access counts (Section 6.2), used by experiment E5:

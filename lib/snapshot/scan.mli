@@ -27,23 +27,29 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) : sig
       @raise Invalid_argument if [procs <= 0]. *)
   val create : procs:int -> t
 
-  (** The raw Scan(P, v) primitive of Figure 5: fold [v] into P's row and
-      return the accumulated join.  Building block for [write_l] and
-      [read_max]; not itself atomic (see above).  When [journal] is given
-      the call is bracketed as a ["scan"] span with one annotation per
-      pass; [None] (the default) costs nothing. *)
-  val scan :
-    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t -> L.t
+  type handle
+  (** One process's session with the object: pid, private row mirror,
+      and instrumentation, all drawn from the attached context. *)
+
+  (** [attach t ctx] mints the handle process [Ctx.pid ctx] uses for
+      every operation on [t].  If the context carries a journal, each
+      scan is bracketed as a ["scan"] span with one annotation per pass
+      (and filed in the metrics span histogram when a recorder is
+      attached); a sink-less context costs nothing.
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** The raw Scan(P, v) primitive of Figure 5: fold [v] into P's row
+      and return the accumulated join.  Building block for [write_l] and
+      [read_max]; not itself atomic (see above). *)
+  val scan : ?variant:variant -> handle -> L.t -> L.t
 
   (** Contribute a value to the join (the object's write operation). *)
-  val write_l :
-    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t ->
-    unit
+  val write_l : ?variant:variant -> handle -> L.t -> unit
 
   (** Return the join of all earlier contributions (the object's read
       operation). *)
-  val read_max :
-    ?variant:variant -> ?journal:Tracing.Journal.t -> t -> pid:int -> L.t
+  val read_max : ?variant:variant -> handle -> L.t
 end
 
 (** Exact per-Scan access counts of Section 6.2: [(reads, writes)] for

@@ -1,0 +1,15 @@
+(** Sequential specification of the atomic scan object (Section 6): a
+    [`Read_max] returns the join of the values written by earlier
+    [`Write_l] operations.
+
+    Note that the raw Scan(P, v) primitive — contribute [v] {e and}
+    return the join, atomically — is strictly stronger than this object
+    and is NOT what Theorem 33 promises: a Write_L's internal scan value
+    is discarded, and only that discarding makes the object
+    linearizable (see the counterexample in test/test_snapshot.ml). *)
+
+module Make (L : Semilattice.S) :
+  Spec.Object_spec.S
+    with type state = L.t
+     and type operation = [ `Write_l of L.t | `Read_max ]
+     and type response = [ `Unit | `Join of L.t ]

@@ -1,0 +1,20 @@
+(** The value type stored in snapshot slots.  Every snapshot
+    implementation in this library ({!Collect}, {!Double_collect},
+    {!Afek}, {!Afek_bounded}, {!Snapshot_array}, ...) is a functor over
+    this signature. *)
+
+module type S = sig
+  type t
+
+  val default : t
+  (** Initial content of every slot. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Integer slots, default [0]. *)
+module Int : S with type t = int
+
+(** String slots, default [""]. *)
+module String : S with type t = string

@@ -25,20 +25,31 @@ struct
     seq : int array;  (* per-process private tag counters *)
   }
 
-  let create ~procs = { procs; scanner = Scanner.create ~procs; seq = Array.make procs 0 }
+  let create ~procs =
+    { procs; scanner = Scanner.create ~procs; seq = Array.make procs 0 }
 
-  let update ?variant t ~pid v =
-    t.seq.(pid) <- t.seq.(pid) + 1;
+  type handle = {
+    obj : t;
+    pid : int;
+    scanner : Scanner.handle;  (* the underlying scan session *)
+  }
+
+  let attach obj ctx =
+    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+
+  let update ?variant h v =
+    let t = h.obj in
+    t.seq.(h.pid) <- t.seq.(h.pid) + 1;
     let contribution =
-      Lat.singleton ~width:t.procs pid (Slot.make ~tag:t.seq.(pid) v)
+      Lat.singleton ~width:t.procs h.pid (Slot.make ~tag:t.seq.(h.pid) v)
     in
-    Scanner.write_l ?variant t.scanner ~pid contribution
+    Scanner.write_l ?variant h.scanner contribution
 
   (* Raw (tag, value) view: tag 0 means "never updated". *)
-  let snapshot_tagged ?variant t ~pid =
-    let joined = Scanner.read_max ?variant t.scanner ~pid in
-    if Array.length joined = 0 then Array.make t.procs Slot.bottom else joined
+  let snapshot_tagged ?variant h =
+    let joined = Scanner.read_max ?variant h.scanner in
+    if Array.length joined = 0 then Array.make h.obj.procs Slot.bottom
+    else joined
 
-  let snapshot ?variant t ~pid =
-    Array.map Slot.value (snapshot_tagged ?variant t ~pid)
+  let snapshot ?variant h = Array.map Slot.value (snapshot_tagged ?variant h)
 end

@@ -16,15 +16,21 @@ module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t]; the
+      underlying scan session inherits the context's instrumentation. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** Store [v] in the caller's slot. *)
-  val update : ?variant:Scan.variant -> t -> pid:int -> V.t -> unit
+  val update : ?variant:Scan.variant -> handle -> V.t -> unit
 
   (** An instantaneous view of all slots ([V.default] for never-updated
       slots). *)
-  val snapshot : ?variant:Scan.variant -> t -> pid:int -> V.t array
+  val snapshot : ?variant:Scan.variant -> handle -> V.t array
 
   (** The raw view including per-slot tags (0 = never updated); the
       universal construction uses the tags as operation sequence
       numbers. *)
-  val snapshot_tagged : ?variant:Scan.variant -> t -> pid:int -> Slot.t array
+  val snapshot_tagged : ?variant:Scan.variant -> handle -> Slot.t array
 end

@@ -1,0 +1,26 @@
+(** The counter data type of Section 5.1 — the paper's worked example of
+    a Property-1 object:
+
+    {i "inc and dec operations commute, every operation overwrites read,
+    and reset overwrites every operation."}
+
+    A positive test input: the universal construction must accept it and
+    yield a linearizable wait-free counter. *)
+
+type operation =
+  | Inc of int
+  | Dec of int
+  | Reset of int
+  | Read
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

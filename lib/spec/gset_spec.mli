@@ -1,0 +1,26 @@
+(** A grow-only set with bulk clear — one of the "certain kinds of set
+    abstractions" the paper lists as constructible (Section 1).
+
+    [Add x] operations commute; every operation overwrites [Members];
+    [Clear] overwrites everything.  [Remove] would break Property 1 (add
+    and remove of the same element neither commute nor overwrite each
+    other), which is why it is absent. *)
+
+module Int_set : Set.S with type elt = int
+
+type operation =
+  | Add of int
+  | Clear
+  | Members
+
+type response =
+  | Unit
+  | Elements of int list  (** sorted ascending *)
+
+type state = Int_set.t
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

@@ -1,0 +1,33 @@
+(** A histogram (multiset of observations) — a larger constructible "set
+    abstraction" in the sense of Section 1.
+
+    [Observe (bucket, weight)] operations commute (multiset sums are
+    commutative); every operation overwrites the read-only queries
+    [Count bucket] and [Total]; [Reset_all] overwrites everything.  The
+    same algebra as the counter, lifted to a keyed collection — the spec
+    demonstrates that Property 1 objects compose naturally.
+
+    States are kept canonical (zero-weight buckets are never
+    distinguished from absent ones), so [equal_state] is structural and
+    [pp_state] prints canonically, as the linearizability checker
+    requires. *)
+
+module Int_map : Map.S with type key = int
+
+type operation =
+  | Observe of int * int  (** bucket, weight (weight >= 0) *)
+  | Count of int  (** read one bucket *)
+  | Total  (** read the sum of all buckets *)
+  | Reset_all
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int Int_map.t
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

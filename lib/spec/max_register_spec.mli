@@ -1,0 +1,23 @@
+(** A max-register, which doubles as a Lamport logical clock [33]: the
+    state is the largest value ever written.
+
+    [Write_max] operations commute (max is commutative); every operation
+    overwrites [Read_max]; and [Write_max a] is overwritten by
+    [Write_max b] whenever [a <= b] — so the object satisfies Property 1
+    and is constructible. *)
+
+type operation =
+  | Write_max of int
+  | Read_max
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

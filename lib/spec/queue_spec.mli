@@ -1,0 +1,28 @@
+(** A FIFO queue — the canonical NON-constructible object.
+
+    The paper (Section 1, citing [23, 26]) notes that queues solve
+    two-process consensus and therefore have no wait-free read/write
+    implementation.  Algebraically this shows up as a Property-1
+    failure: [Enq x] and [Deq] neither commute (on the empty queue the
+    dequeuer sees different responses depending on the order) nor
+    overwrite one another.
+
+    This spec exists as a negative test input: the Property-1 checker
+    must find a counterexample, and [Universal.check_property1] must
+    reject it. *)
+
+type operation =
+  | Enq of int
+  | Deq
+
+type response =
+  | Unit
+  | Dequeued of int option  (** [None] on the empty queue (total spec) *)
+
+type state = int list  (** front of the queue first *)
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

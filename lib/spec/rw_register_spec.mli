@@ -1,0 +1,25 @@
+(** A multi-writer read/write register.
+
+    Perhaps surprisingly, this classic object satisfies Property 1: two
+    writes overwrite EACH OTHER ([H . write a . write b] is equivalent
+    to [H . write b], and symmetrically), so the dominance tie-break on
+    process indices orders them; and every operation overwrites a read.
+    The universal construction therefore yields a wait-free multi-writer
+    register from single-writer registers — a known constructibility
+    result that falls out of the paper's characterization. *)
+
+type operation =
+  | Write of int
+  | Read
+
+type response =
+  | Unit
+  | Value of int
+
+type state = int
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

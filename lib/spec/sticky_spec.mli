@@ -1,0 +1,31 @@
+(** A sticky (write-once) register — the second negative example.
+
+    The first write sticks; later writes are silently ignored.  Sticky
+    registers solve consensus (everyone writes, then reads the winner),
+    so by the impossibility results the paper builds on [23, 26] they
+    have no wait-free read/write implementation — and indeed they fail
+    Property 1: for [a <> b], [Stick a] and [Stick b] neither commute
+    (the surviving value differs) nor overwrite each other (the FIRST
+    write wins, but Definition 11's overwriting requires the LAST to
+    win).
+
+    Contrast with {!Rw_register_spec}, where the last write wins and
+    writes mutually overwrite — which is exactly why ordinary registers
+    are constructible but sticky ones are not.  The algebra, not the API
+    shape, decides constructibility. *)
+
+type operation =
+  | Stick of int
+  | Read_sticky
+
+type response =
+  | Unit
+  | Value of int option
+
+type state = int option
+
+include
+  Object_spec.S
+    with type operation := operation
+     and type response := response
+     and type state := state

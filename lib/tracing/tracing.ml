@@ -3,7 +3,8 @@
    The journal is a mutex-protected reversed event list plus a sequence
    counter: O(1) append, safe under domains, and cheap enough that one
    journal can absorb both feeds (driver observer on the simulator,
-   Instrument hooks on native domains) without reordering — the mutex
+   [Runtime.Instrument] hooks on native domains) without reordering — the
+   mutex
    serializes stamping, so [seq] is the journal's total order.
 
    Two clocks:
@@ -133,28 +134,9 @@ let annotatef_opt j ~pid fmt =
 let span_opt j ~pid ~op f =
   match j with None -> f () | Some j -> Journal.with_span j ~pid ~op f
 
-(* Domain-local pid for the Instrument wrapper, mirroring Metrics: one
-   domain is one process in the native harnesses. *)
-let pid_key = Domain.DLS.new_key (fun () -> 0)
-let set_pid p = Domain.DLS.set pid_key p
-let current_pid () = Domain.DLS.get pid_key
-
-module Instrument (M : Pram.Memory.S) (J : sig
-  val journal : Journal.t
-end) =
-  Pram.Memory.Hooked
-    (M)
-    (struct
-      let on_create ~reg_id:_ ~reg_name:_ = ()
-
-      let on_read ~reg_id ~reg_name =
-        Journal.access J.journal ~pid:(current_pid ()) ~kind:Pram.Trace.Read
-          ~reg_id ~reg_name
-
-      let on_write ~reg_id ~reg_name =
-        Journal.access J.journal ~pid:(current_pid ()) ~kind:Pram.Trace.Write
-          ~reg_id ~reg_name
-    end)
+(* Pid attribution for native domains lives in [Runtime] (one
+   [Domain.DLS] slot shared with metrics); [Runtime.Instrument] wraps a
+   backend and feeds this journal through a [Runtime.Sink]. *)
 
 (* --- archives --------------------------------------------------------------- *)
 

@@ -6,7 +6,7 @@
     operation" for {e one} execution.  A {!Journal} records a totally
     ordered sequence of events — atomic accesses (fed from
     {!Pram.Driver}'s [?observer] on the simulator, or from the
-    {!Instrument} wrapper on real domains), operation {!Invoke} /
+    [Runtime.Instrument] wrapper on real domains), operation {!Invoke} /
     {!Response} spans, free-form {!Annotate} marks (e.g. ["round 3"],
     ["linearization point"]) and {!Crash} events — and renders it three
     ways:
@@ -98,24 +98,6 @@ val annotatef_opt :
   Journal.t option -> pid:int -> ('a, unit, string, unit) format4 -> 'a
 
 val span_opt : Journal.t option -> pid:int -> op:string -> (unit -> 'a) -> 'a
-
-(** Set the calling domain's pid for {!Instrument} attribution (default
-    0).  Native harnesses call it once at the top of each domain body;
-    simulator code never needs it (the driver observer attributes by
-    schedule). *)
-val set_pid : int -> unit
-
-val current_pid : unit -> int
-
-(** [Instrument (M) (J)] is backend [M] with every completed access
-    recorded into [J.journal], attributed to the calling domain's
-    {!set_pid} — {!Pram.Memory.Hooked} plus pid and timestamp plumbing.
-    Create the journal with [~clock:`Monotonic] so native events carry
-    real timestamps.  Under {!Pram.Memory.Sim} prefer the driver
-    observer (hooks fire at invocation, not firing, time). *)
-module Instrument (M : Pram.Memory.S) (J : sig
-  val journal : Journal.t
-end) : Pram.Memory.S
 
 (** A self-contained, serializable trace: the journal's events plus the
     encoded schedule that produced them (empty for native runs, where

@@ -61,6 +61,22 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
   let create ~procs =
     { procs; anchor = Anchor.create ~procs; seq = Array.make procs 0 }
 
+  type handle = {
+    obj : t;
+    pid : int;
+    ctx : Runtime.Ctx.t;
+    anchor : Anchor.handle;  (* the underlying snapshot-array session *)
+  }
+
+  let attach obj ctx =
+    let pid = Runtime.Ctx.pid ctx in
+    if pid >= obj.procs then
+      invalid_arg
+        (Printf.sprintf
+           "Construction.attach: ctx pid %d but object has %d procs" pid
+           obj.procs);
+    { obj; pid; ctx; anchor = Anchor.attach obj.anchor ctx }
+
   (* Collect every entry reachable from the view through [preceding]
      pointers.  Entries are keyed by (pid, seq). *)
   let collect_entries view =
@@ -144,15 +160,15 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
     List.fold_left (fun s e -> fst (O.apply s e.e_op)) O.initial lin
 
   (* Figure 4: execute an invocation. *)
-  let execute ?journal t ~pid op =
-    Tracing.span_opt journal ~pid ~op:"uc.execute" @@ fun () ->
+  let execute h op =
+    let t = h.obj and pid = h.pid in
+    Runtime.Ctx.span h.ctx ~op:"uc.execute" @@ fun () ->
     (* Step 1: atomic snapshot of the anchor, linearize, compute the
        response. *)
-    Tracing.annotate_opt journal ~pid "snapshot";
-    let view = Anchor.snapshot t.anchor ~pid in
+    Runtime.Ctx.annotate h.ctx "snapshot";
+    let view = Anchor.snapshot h.anchor in
     let lin = linearization_of_view view in
-    Tracing.annotatef_opt journal ~pid "linearize %d entries"
-      (List.length lin);
+    Runtime.Ctx.annotatef h.ctx "linearize %d entries" (List.length lin);
     let state = state_of_linearization lin in
     let _, resp = O.apply state op in
     t.seq.(pid) <- t.seq.(pid) + 1;
@@ -166,8 +182,8 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       }
     in
     (* Step 2: write out the entry. *)
-    Tracing.annotate_opt journal ~pid "publish";
-    Anchor.update t.anchor ~pid (Some e);
+    Runtime.Ctx.annotate h.ctx "publish";
+    Anchor.update h.anchor (Some e);
     resp
 
   (* Read-only variant: linearizes the current graph and applies [op] to
@@ -175,14 +191,14 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
      operations that do not change the state (e.g. a counter's read); the
      result is still linearizable because such operations commute with or
      are overwritten by everything.  Exposed for the E9 ablation. *)
-  let query t ~pid op =
-    let view = Anchor.snapshot t.anchor ~pid in
+  let query h op =
+    let view = Anchor.snapshot h.anchor in
     let state = state_of_linearization (linearization_of_view view) in
     snd (O.apply state op)
 
   (* Introspection for tests and benches. *)
-  let history_size t ~pid =
-    let view = Anchor.snapshot t.anchor ~pid in
+  let history_size h =
+    let view = Anchor.snapshot h.anchor in
     Hashtbl.length (collect_entries view)
 end
 

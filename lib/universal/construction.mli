@@ -28,21 +28,28 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** Figure 4's [execute]: snapshot, linearize, respond, publish.  When
-      [journal] is given the call is bracketed as a ["uc.execute"] span
-      with snapshot / linearize / publish annotations; [None] (the
-      default) costs nothing. *)
-  val execute :
-    ?journal:Tracing.Journal.t -> t -> pid:int -> O.operation -> O.response
+  type handle
+
+  (** [attach t ctx] is process [Ctx.pid ctx]'s session with [t] (and
+      with the underlying anchor snapshot-array).  If the context
+      carries a journal, each [execute] is bracketed as a
+      ["uc.execute"] span with snapshot / linearize / publish
+      annotations (and filed in the metrics span histogram when a
+      recorder is attached); a sink-less context costs nothing.
+      @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** Figure 4's [execute]: snapshot, linearize, respond, publish. *)
+  val execute : handle -> O.operation -> O.response
 
   (** Compute the response [op] would get from the current state without
       publishing an entry — valid only for state-preserving operations
       (reads/queries); cheaper and history-neutral. *)
-  val query : t -> pid:int -> O.operation -> O.response
+  val query : handle -> O.operation -> O.response
 
   (** Number of entries reachable from the caller's current view (the
       precedence-graph size); test/bench introspection. *)
-  val history_size : t -> pid:int -> int
+  val history_size : handle -> int
 end
 
 (** Check Property 1 over a finite operation universe; [Error] carries

@@ -15,6 +15,11 @@
    - grow-only set (add/members): set union;
    - max register / logical clock: max.
 
+   Each module follows the handle convention: [attach t ctx] mints one
+   process's session (including the underlying scan session, which
+   inherits the context's instrumentation), and operations take the
+   handle only.
+
    Experiment E9 measures these against the generic construction. *)
 
 module Counter (M : Pram.Memory.S) = struct
@@ -37,24 +42,31 @@ module Counter (M : Pram.Memory.S) = struct
       dec_total = Array.make procs 0;
     }
 
-  let publish t ~pid =
+  type handle = { obj : t; pid : int; scanner : Scanner.handle }
+
+  let attach obj ctx =
+    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+
+  let publish h =
+    let t = h.obj in
     let contribution =
-      Lat.singleton ~width:t.procs pid (t.inc_total.(pid), t.dec_total.(pid))
+      Lat.singleton ~width:t.procs h.pid
+        (t.inc_total.(h.pid), t.dec_total.(h.pid))
     in
-    Scanner.write_l t.scanner ~pid contribution
+    Scanner.write_l h.scanner contribution
 
-  let inc t ~pid amount =
+  let inc h amount =
     if amount < 0 then invalid_arg "Direct.Counter.inc: negative amount";
-    t.inc_total.(pid) <- t.inc_total.(pid) + amount;
-    publish t ~pid
+    h.obj.inc_total.(h.pid) <- h.obj.inc_total.(h.pid) + amount;
+    publish h
 
-  let dec t ~pid amount =
+  let dec h amount =
     if amount < 0 then invalid_arg "Direct.Counter.dec: negative amount";
-    t.dec_total.(pid) <- t.dec_total.(pid) + amount;
-    publish t ~pid
+    h.obj.dec_total.(h.pid) <- h.obj.dec_total.(h.pid) + amount;
+    publish h
 
-  let read t ~pid =
-    let totals = Scanner.read_max t.scanner ~pid in
+  let read h =
+    let totals = Scanner.read_max h.scanner in
     Array.fold_left (fun acc (i, d) -> acc + i - d) 0 totals
 end
 
@@ -72,11 +84,12 @@ module Gset (M : Pram.Memory.S) = struct
 
   let create ~procs = { scanner = Scanner.create ~procs }
 
-  let add t ~pid x = Scanner.write_l t.scanner ~pid (Lat.of_list [ x ])
+  type handle = Scanner.handle
 
-  let members t ~pid = Lat.elements (Scanner.read_max t.scanner ~pid)
-
-  let mem t ~pid x = List.mem x (members t ~pid)
+  let attach t ctx = Scanner.attach t.scanner ctx
+  let add h x = Scanner.write_l h (Lat.of_list [ x ])
+  let members h = Lat.elements (Scanner.read_max h)
+  let mem h x = List.mem x (members h)
 end
 
 module Max_register (M : Pram.Memory.S) = struct
@@ -85,11 +98,16 @@ module Max_register (M : Pram.Memory.S) = struct
   type t = { scanner : Scanner.t }
 
   let create ~procs = { scanner = Scanner.create ~procs }
-  let write_max t ~pid v =
-    if v < 0 then invalid_arg "Direct.Max_register: negative value";
-    Scanner.write_l t.scanner ~pid v
 
-  let read_max t ~pid = Scanner.read_max t.scanner ~pid
+  type handle = Scanner.handle
+
+  let attach t ctx = Scanner.attach t.scanner ctx
+
+  let write_max h v =
+    if v < 0 then invalid_arg "Direct.Max_register: negative value";
+    Scanner.write_l h v
+
+  let read_max h = Scanner.read_max h
 end
 
 (* Lamport logical clocks [33] on the max register: [tick] produces a
@@ -111,15 +129,17 @@ module Logical_clock (M : Pram.Memory.S) = struct
 
   let create ~procs = { reg = R.create ~procs }
 
-  let tick t ~pid : timestamp =
-    let c = R.read_max t.reg ~pid in
-    R.write_max t.reg ~pid (c + 1);
-    (c + 1, pid)
+  type handle = { pid : int; rh : R.handle }
 
-  let observe t ~pid (c, _ : timestamp) = R.write_max t.reg ~pid c
+  let attach t ctx = { pid = Runtime.Ctx.pid ctx; rh = R.attach t.reg ctx }
 
-  let now t ~pid = R.read_max t.reg ~pid
+  let tick h : timestamp =
+    let c = R.read_max h.rh in
+    R.write_max h.rh (c + 1);
+    (c + 1, h.pid)
 
+  let observe h (c, _ : timestamp) = R.write_max h.rh c
+  let now h = R.read_max h.rh
   let compare_ts (a : timestamp) (b : timestamp) = compare a b
 end
 
@@ -151,15 +171,20 @@ module Histogram (M : Pram.Memory.S) = struct
       own = Array.make procs Buckets.bottom;
     }
 
-  let observe t ~pid ~bucket weight =
+  type handle = { obj : t; pid : int; scanner : Scanner.handle }
+
+  let attach obj ctx =
+    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+
+  let observe h ~bucket weight =
     if weight < 0 then invalid_arg "Direct.Histogram.observe: negative weight";
+    let t = h.obj and pid = h.pid in
     t.own.(pid) <-
       Buckets.add bucket (Buckets.find bucket t.own.(pid) + weight) t.own.(pid);
-    Scanner.write_l t.scanner ~pid
-      (Lat.singleton ~width:t.procs pid t.own.(pid))
+    Scanner.write_l h.scanner (Lat.singleton ~width:t.procs pid t.own.(pid))
 
-  let merged t ~pid =
-    let per_proc = Scanner.read_max t.scanner ~pid in
+  let merged h =
+    let per_proc = Scanner.read_max h.scanner in
     Array.fold_left
       (fun acc m ->
         List.fold_left
@@ -167,12 +192,12 @@ module Histogram (M : Pram.Memory.S) = struct
           acc (Buckets.bindings m))
       Buckets.bottom per_proc
 
-  let count t ~pid ~bucket = Buckets.find bucket (merged t ~pid)
+  let count h ~bucket = Buckets.find bucket (merged h)
 
-  let total t ~pid =
-    List.fold_left (fun acc (_, v) -> acc + v) 0 (Buckets.bindings (merged t ~pid))
+  let total h =
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Buckets.bindings (merged h))
 
-  let bindings t ~pid = Buckets.bindings (merged t ~pid)
+  let bindings h = Buckets.bindings (merged h)
 end
 
 (* Vector clocks: the per-process causal-time vectors of distributed
@@ -193,16 +218,22 @@ module Vector_clock (M : Pram.Memory.S) = struct
   let create ~procs =
     { procs; scanner = Scanner.create ~procs; own_count = Array.make procs 0 }
 
-  let tick t ~pid =
-    t.own_count.(pid) <- t.own_count.(pid) + 1;
-    Scanner.scan t.scanner ~pid
-      (Lat.singleton ~width:t.procs pid t.own_count.(pid))
+  type handle = { obj : t; pid : int; scanner : Scanner.handle }
 
-  let observe t ~pid v = Scanner.write_l t.scanner ~pid v
+  let attach obj ctx =
+    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
 
-  let now t ~pid =
-    let v = Scanner.read_max t.scanner ~pid in
-    if Array.length v = 0 then Array.make t.procs 0 else v
+  let tick h =
+    let t = h.obj in
+    t.own_count.(h.pid) <- t.own_count.(h.pid) + 1;
+    Scanner.scan h.scanner
+      (Lat.singleton ~width:t.procs h.pid t.own_count.(h.pid))
+
+  let observe h v = Scanner.write_l h.scanner v
+
+  let now h =
+    let v = Scanner.read_max h.scanner in
+    if Array.length v = 0 then Array.make h.obj.procs 0 else v
 
   let leq a b =
     Array.length a = Array.length b

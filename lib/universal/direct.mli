@@ -11,7 +11,12 @@
     no removals on the set) — overwriting operations need the generic
     construction.  All implementations here are linearizable; the test
     suite checks the counter exhaustively over every 2-process
-    interleaving. *)
+    interleaving.
+
+    Every module follows the handle convention: [attach t ctx] mints
+    process [Ctx.pid ctx]'s session with the object (the underlying scan
+    session inherits the context's instrumentation), and operations take
+    the handle only. *)
 
 (** Counter with per-process monotone (inc_total, dec_total) pairs. *)
 module Counter (M : Pram.Memory.S) : sig
@@ -19,13 +24,17 @@ module Counter (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** @raise Invalid_argument on negative amounts. *)
-  val inc : t -> pid:int -> int -> unit
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
 
   (** @raise Invalid_argument on negative amounts. *)
-  val dec : t -> pid:int -> int -> unit
+  val inc : handle -> int -> unit
 
-  val read : t -> pid:int -> int
+  (** @raise Invalid_argument on negative amounts. *)
+  val dec : handle -> int -> unit
+
+  val read : handle -> int
 end
 
 (** Grow-only set of ints under union. *)
@@ -33,12 +42,16 @@ module Gset (M : Pram.Memory.S) : sig
   type t
 
   val create : procs:int -> t
-  val add : t -> pid:int -> int -> unit
+
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
+  val add : handle -> int -> unit
 
   (** Sorted ascending. *)
-  val members : t -> pid:int -> int list
+  val members : handle -> int list
 
-  val mem : t -> pid:int -> int -> bool
+  val mem : handle -> int -> bool
 end
 
 (** Max-register over naturals. *)
@@ -47,10 +60,14 @@ module Max_register (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** @raise Invalid_argument on negative values. *)
-  val write_max : t -> pid:int -> int -> unit
+  type handle
 
-  val read_max : t -> pid:int -> int
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** @raise Invalid_argument on negative values. *)
+  val write_max : handle -> int -> unit
+
+  val read_max : handle -> int
 end
 
 (** Lamport logical clocks [33] on the max-register.  Concurrent ticks
@@ -63,13 +80,17 @@ module Logical_clock (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** A timestamp strictly above everything this process has observed. *)
-  val tick : t -> pid:int -> timestamp
+  val tick : handle -> timestamp
 
   (** Fold in a timestamp received out of band. *)
-  val observe : t -> pid:int -> timestamp -> unit
+  val observe : handle -> timestamp -> unit
 
-  val now : t -> pid:int -> int
+  val now : handle -> int
   val compare_ts : timestamp -> timestamp -> int
 end
 
@@ -79,14 +100,18 @@ module Histogram (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
-  (** @raise Invalid_argument on negative weights. *)
-  val observe : t -> pid:int -> bucket:int -> int -> unit
+  type handle
 
-  val count : t -> pid:int -> bucket:int -> int
-  val total : t -> pid:int -> int
+  val attach : t -> Runtime.Ctx.t -> handle
+
+  (** @raise Invalid_argument on negative weights. *)
+  val observe : handle -> bucket:int -> int -> unit
+
+  val count : handle -> bucket:int -> int
+  val total : handle -> int
 
   (** Non-zero buckets, sorted by key. *)
-  val bindings : t -> pid:int -> (int * int) list
+  val bindings : handle -> (int * int) list
 end
 
 (** Vector clocks on the Vector(Nat_max) lattice.  [tick] returns the
@@ -97,12 +122,16 @@ module Vector_clock (M : Pram.Memory.S) : sig
   type t
 
   val create : procs:int -> t
-  val tick : t -> pid:int -> int array
+
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
+  val tick : handle -> int array
 
   (** Merge a vector received out of band. *)
-  val observe : t -> pid:int -> int array -> unit
+  val observe : handle -> int array -> unit
 
-  val now : t -> pid:int -> int array
+  val now : handle -> int array
 
   (** Pointwise order: the happened-before test. *)
   val leq : int array -> int array -> bool

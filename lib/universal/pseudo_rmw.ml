@@ -53,19 +53,25 @@ module Make (F : FUNCTIONS) (M : Pram.Memory.S) = struct
       own_log = Array.make procs Log.empty;
     }
 
-  let pseudo_rmw t ~pid f =
-    t.own_log.(pid) <- Log.append t.own_log.(pid) f;
-    Scanner.write_l t.scanner ~pid
-      (Lat.singleton ~width:t.procs pid t.own_log.(pid))
+  type handle = { obj : t; pid : int; scanner : Scanner.handle }
 
-  let read t ~pid =
-    let logs = Scanner.read_max t.scanner ~pid in
+  let attach obj ctx =
+    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+
+  let pseudo_rmw h f =
+    let t = h.obj in
+    t.own_log.(h.pid) <- Log.append t.own_log.(h.pid) f;
+    Scanner.write_l h.scanner
+      (Lat.singleton ~width:t.procs h.pid t.own_log.(h.pid))
+
+  let read h =
+    let logs = Scanner.read_max h.scanner in
     Array.fold_left
       (fun acc log -> List.fold_left F.apply acc (Log.to_list log))
       F.init logs
 
   (* Number of operations applied so far, for tests. *)
-  let applied_count t ~pid =
-    let logs = Scanner.read_max t.scanner ~pid in
+  let applied_count h =
+    let logs = Scanner.read_max h.scanner in
     Array.fold_left (fun acc log -> acc + Log.length log) 0 logs
 end

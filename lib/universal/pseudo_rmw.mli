@@ -27,12 +27,16 @@ module Make (F : FUNCTIONS) (M : Pram.Memory.S) : sig
 
   val create : procs:int -> t
 
+  type handle
+
+  val attach : t -> Runtime.Ctx.t -> handle
+
   (** Apply [f]; no return value (the "pseudo" in the name). *)
-  val pseudo_rmw : t -> pid:int -> F.f -> unit
+  val pseudo_rmw : handle -> F.f -> unit
 
   (** Fold every applied function over [F.init]. *)
-  val read : t -> pid:int -> F.value
+  val read : handle -> F.value
 
   (** Number of operations applied so far (tests). *)
-  val applied_count : t -> pid:int -> int
+  val applied_count : handle -> int
 end

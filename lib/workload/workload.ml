@@ -11,8 +11,11 @@ let rng seed = Random.State.make [| seed; 0x5eed |]
    in which pids first requested their script, so two harnesses walking
    pids in different orders silently ran different workloads under "the
    same seed".  With the pid folded into the state, scripts are a pure
-   function of (seed, pid). *)
-let rng_for ~seed ~pid = Random.State.make [| seed; pid; 0x5eed |]
+   function of (seed, pid).  The state itself is [Runtime.Rng.state] —
+   the same stream a [Runtime.Ctx] hands to algorithms — so a script
+   generated here and a coin flipped inside the algorithm under the same
+   (seed, pid) come from one deterministic source. *)
+let rng_for ~seed ~pid = Runtime.Rng.state ~seed ~pid
 
 (* --- operation scripts ---------------------------------------------------- *)
 

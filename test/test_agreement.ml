@@ -6,42 +6,50 @@ module AA_d = Agreement.Approx_agreement.Make (Pram.Memory.Direct)
 
 let check_bool = Alcotest.(check bool)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 
 (* --- sequential sanity --------------------------------------------------- *)
 
 let test_solo_returns_input () =
   let t = AA_d.create ~procs:2 ~epsilon:0.5 in
-  AA_d.input t ~pid:0 3.25;
-  let v = AA_d.output t ~pid:0 in
+  let h0 = AA_d.attach t (ctx ~procs:2 0) in
+  AA_d.input h0 3.25;
+  let v = AA_d.output h0 in
   check_bool "solo output equals input" true (Float.equal v 3.25)
 
 let test_sequential_agreement () =
   let t = AA_d.create ~procs:2 ~epsilon:0.5 in
-  AA_d.input t ~pid:0 0.0;
-  AA_d.input t ~pid:1 10.0;
-  let v0 = AA_d.output t ~pid:0 in
-  let v1 = AA_d.output t ~pid:1 in
+  let h0 = AA_d.attach t (ctx ~procs:2 0) in
+  let h1 = AA_d.attach t (ctx ~procs:2 1) in
+  AA_d.input h0 0.0;
+  AA_d.input h1 10.0;
+  let v0 = AA_d.output h0 in
+  let v1 = AA_d.output h1 in
   check_bool "within epsilon" true (Float.abs (v0 -. v1) < 0.5);
   check_bool "within range" true (v0 >= 0.0 && v0 <= 10.0 && v1 >= 0.0 && v1 <= 10.0)
 
 let test_input_idempotent () =
   let t = AA_d.create ~procs:2 ~epsilon:0.5 in
-  AA_d.input t ~pid:0 1.0;
-  AA_d.input t ~pid:0 99.0;
-  check_bool "first input wins" true (Float.equal (AA_d.output t ~pid:0) 1.0)
+  let h0 = AA_d.attach t (ctx ~procs:2 0) in
+  AA_d.input h0 1.0;
+  AA_d.input h0 99.0;
+  check_bool "first input wins" true (Float.equal (AA_d.output h0) 1.0)
 
 let test_output_before_input_rejected () =
   let t = AA_d.create ~procs:2 ~epsilon:0.5 in
+  let h0 = AA_d.attach t (ctx ~procs:2 0) in
   check_bool "raises" true
-    (try ignore (AA_d.output t ~pid:0); false with Invalid_argument _ -> true)
+    (try ignore (AA_d.output h0); false with Invalid_argument _ -> true)
 
 (* --- concurrent correctness under random schedules (Figure 1's spec) ---- *)
 
 let agreement_program ~procs ~epsilon ~inputs () =
   let t = AA.create ~procs ~epsilon in
   fun pid ->
-    AA.input t ~pid inputs.(pid);
-    AA.output t ~pid
+    let h = AA.attach t (ctx ~procs pid) in
+    AA.input h inputs.(pid);
+    AA.output h
 
 let run_random ~procs ~epsilon ~inputs ~seed ~crash_prob =
   let d =

@@ -12,8 +12,8 @@ let run_consensus ~procs ~inputs ~seed ~crash_prob =
   let program () =
     let t = RC.create ~procs ~max_rounds:64 in
     fun pid ->
-      let rng = Random.State.make [| seed; pid; 0xbeef |] in
-      RC.propose t ~pid ~rng inputs.(pid)
+      let h = RC.attach t (Runtime.Ctx.make ~seed ~procs ~pid ()) in
+      RC.propose h inputs.(pid)
   in
   let d = Pram.Driver.create ~procs program in
   Pram.Scheduler.run ~max_steps:10_000_000
@@ -77,10 +77,11 @@ let test_solo_decides_own_input () =
   let module RC_d = Consensus.Randomized_consensus.Make (Pram.Memory.Direct) in
   let t2 = RC_d.create ~procs:3 ~max_rounds:8 in
   ignore t;
-  let rng = Random.State.make [| 1 |] in
-  check_bool "solo false" false (RC_d.propose t2 ~pid:0 ~rng false);
+  let h0 = RC_d.attach t2 (Runtime.Ctx.make ~seed:1 ~procs:3 ~pid:0 ()) in
+  let h1 = RC_d.attach t2 (Runtime.Ctx.make ~seed:1 ~procs:3 ~pid:1 ()) in
+  check_bool "solo false" false (RC_d.propose h0 false);
   (* a second process must agree with the first decision *)
-  check_bool "late joiner agrees" false (RC_d.propose t2 ~pid:1 ~rng true)
+  check_bool "late joiner agrees" false (RC_d.propose h1 true)
 
 let test_consensus_on_domains () =
   for round = 1 to 20 do
@@ -89,8 +90,10 @@ let test_consensus_on_domains () =
     let inputs = [| round mod 2 = 0; true; false |] in
     let decisions =
       Pram.Native.run_parallel ~procs (fun pid ->
-          let rng = Random.State.make [| round; pid; 0xd00d |] in
-          RC_native.propose t ~pid ~rng inputs.(pid))
+          let h =
+            RC_native.attach t (Runtime.Ctx.make ~seed:round ~procs ~pid ())
+          in
+          RC_native.propose h inputs.(pid))
     in
     match decisions with
     | v :: rest ->
@@ -108,8 +111,8 @@ let qcheck_shared_coin_terminates =
       let program () =
         let c = Coin.create ~procs in
         fun pid ->
-          let rng = Random.State.make [| seed; pid |] in
-          Coin.flip c ~pid ~rng
+          let h = Coin.attach c (Runtime.Ctx.make ~seed ~procs ~pid ()) in
+          Coin.flip h
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run ~max_steps:5_000_000

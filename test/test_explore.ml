@@ -9,6 +9,8 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 (* --- explorer sanity ------------------------------------------------------ *)
 
 let test_count_small () =
@@ -109,19 +111,20 @@ let test_scan_exhaustive () =
     recorder := Spec.History.Recorder.create ();
     let t = Scan.create ~procs:2 in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs:2 pid) in
       if pid = 0 then begin
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Write_l 1) (fun () ->
-               Scan.write_l t ~pid 1;
+               Scan.write_l h 1;
                `Unit));
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
       end
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
   in
   let report = Scan_check.explore_check ~procs:2 ~recorder program in
   check_bool "no interleaving violates linearizability" true
@@ -137,10 +140,11 @@ let test_scan_exhaustive_with_crash () =
     recorder := Spec.History.Recorder.create ();
     let t = Scan.create ~procs:2 in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs:2 pid) in
       ignore
         (Spec.History.Recorder.record !recorder ~pid (`Write_l (pid + 1))
            (fun () ->
-             Scan.write_l t ~pid (pid + 1);
+             Scan.write_l h (pid + 1);
              `Unit))
   in
   let outcome =
@@ -171,16 +175,17 @@ let test_direct_counter_exhaustive () =
     recorder := Spec.History.Recorder.create ();
     let t = DC.create ~procs:2 in
     fun pid ->
+      let h = DC.attach t (ctx ~procs:2 pid) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
              (fun () ->
-               DC.inc t ~pid 1;
+               DC.inc h 1;
                Spec.Counter_spec.Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
-             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+             (fun () -> Spec.Counter_spec.Value (DC.read h)))
   in
   let outcome =
     Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun d sched ->
@@ -219,16 +224,17 @@ let test_naive_collect_violations_counted () =
     recorder := Spec.History.Recorder.create ();
     let t = Naive.create ~procs:3 in
     fun pid ->
+      let h = Naive.attach t (ctx ~procs:3 pid) in
       if pid < 2 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Update (pid, pid + 10))
              (fun () ->
-               Naive.update t ~pid (pid + 10);
+               Naive.update h (pid + 10);
                `Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
-               `View (Naive.snapshot t ~pid)))
+               `View (Naive.snapshot h)))
   in
   let outcome =
     Pram.Explore.exhaustive ~procs:3 program (fun _d _sched ->
@@ -263,16 +269,17 @@ let test_atomic_snapshot_no_violations () =
     recorder := Spec.History.Recorder.create ();
     let t = Arr.create ~procs:2 in
     fun pid ->
+      let h = Arr.attach t (ctx ~procs:2 pid) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
              (fun () ->
-               Arr.update t ~pid 10;
+               Arr.update h 10;
                `Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
-               `View (Arr.snapshot t ~pid)))
+               `View (Arr.snapshot h)))
   in
   let report = Arr_check2.explore_check ~procs:2 ~recorder program in
   check_bool "atomic snapshot: zero violating schedules" true
@@ -293,16 +300,17 @@ let test_afek_bounded_exhaustive () =
     recorder := Spec.History.Recorder.create ();
     let t = AB.create ~procs:2 in
     fun pid ->
+      let h = AB.attach t (ctx ~procs:2 pid) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
              (fun () ->
-               AB.update t ~pid 10;
+               AB.update h 10;
                `Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
-               `View (AB.snapshot t ~pid)))
+               `View (AB.snapshot h)))
   in
   let outcome =
     Pram.Explore.exhaustive ~max_schedules:2_000_000 ~procs:2 program
@@ -332,16 +340,17 @@ let qcheck_afek_bounded_contended =
       let program () =
         let t = AB.create ~procs:3 in
         fun pid ->
+          let h = AB.attach t (ctx ~procs:3 pid) in
           if pid = 0 then
             ignore
               (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-                   `View (AB.snapshot t ~pid)))
+                   `View (AB.snapshot h)))
           else
             for i = 1 to 3 do
               ignore
                 (Spec.History.Recorder.record recorder ~pid
                    (`Update (pid, (10 * pid) + i)) (fun () ->
-                     AB.update t ~pid ((10 * pid) + i);
+                     AB.update h ((10 * pid) + i);
                      `Unit))
             done
       in
@@ -360,9 +369,10 @@ let test_agreement_exhaustive () =
   let program () =
     let t = AA.create ~procs:2 ~epsilon in
     fun pid ->
+      let h = AA.attach t (ctx ~procs:2 pid) in
       let x = if pid = 0 then 0.0 else 0.9 in
-      AA.input t ~pid x;
-      AA.output t ~pid
+      AA.input h x;
+      AA.output h
   in
   let outcome =
     Pram.Explore.exhaustive ~max_schedules:500_000 ~procs:2 program
@@ -413,19 +423,20 @@ let test_dpor_vs_naive_scan () =
     recorder := Spec.History.Recorder.create ();
     let t = Scan.create ~procs:2 in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs:2 pid) in
       if pid = 0 then begin
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Write_l 1) (fun () ->
-               Scan.write_l t ~pid 1;
+               Scan.write_l h 1;
                `Unit));
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
       end
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
   in
   let check _d _sched =
     Scan_check.is_linearizable (Spec.History.Recorder.events !recorder)
@@ -446,16 +457,17 @@ let test_dpor_vs_naive_counter () =
     recorder := Spec.History.Recorder.create ();
     let t = DC.create ~procs:2 in
     fun pid ->
+      let h = DC.attach t (ctx ~procs:2 pid) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
              (fun () ->
-               DC.inc t ~pid 1;
+               DC.inc h 1;
                Spec.Counter_spec.Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
-             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+             (fun () -> Spec.Counter_spec.Value (DC.read h)))
   in
   let check _d _sched =
     Check_counter.is_linearizable (Spec.History.Recorder.events !recorder)
@@ -481,8 +493,9 @@ let test_dpor_vs_naive_agreement_3procs () =
   let program () =
     let t = AA.create ~procs:3 ~epsilon in
     fun pid ->
-      AA.input t ~pid inputs.(pid);
-      AA.output t ~pid
+      let h = AA.attach t (ctx ~procs:3 pid) in
+      AA.input h inputs.(pid);
+      AA.output h
   in
   let check d _sched =
     let results = List.init 3 (fun p -> Pram.Driver.result d p) in
@@ -519,16 +532,17 @@ let test_scan_3procs_dpor () =
     recorder := Spec.History.Recorder.create ();
     let t = Scan.create ~procs:3 in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs:3 pid) in
       if pid < 2 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (`Write_l (pid + 1))
              (fun () ->
-               Scan.write_l t ~pid (pid + 1);
+               Scan.write_l h (pid + 1);
                `Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
   in
   let outcome =
     Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~max_schedules:2_000_000
@@ -546,16 +560,17 @@ let test_counter_3procs_dpor () =
     recorder := Spec.History.Recorder.create ();
     let t = DC.create ~procs:3 in
     fun pid ->
+      let h = DC.attach t (ctx ~procs:3 pid) in
       if pid < 2 then
         ignore
           (Spec.History.Recorder.record !recorder ~pid (Spec.Counter_spec.Inc 1)
              (fun () ->
-               DC.inc t ~pid 1;
+               DC.inc h 1;
                Spec.Counter_spec.Unit))
       else
         ignore
           (Spec.History.Recorder.record !recorder ~pid Spec.Counter_spec.Read
-             (fun () -> Spec.Counter_spec.Value (DC.read t ~pid)))
+             (fun () -> Spec.Counter_spec.Value (DC.read h)))
   in
   let outcome =
     Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~max_schedules:2_000_000
@@ -573,8 +588,9 @@ let test_agreement_3procs_dpor () =
   let program () =
     let t = AA.create ~procs:3 ~epsilon in
     fun pid ->
-      AA.input t ~pid inputs.(pid);
-      AA.output t ~pid
+      let h = AA.attach t (ctx ~procs:3 pid) in
+      AA.input h inputs.(pid);
+      AA.output h
   in
   let outcome =
     Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs:3 program
@@ -717,15 +733,16 @@ let test_explore_check_wrapper () =
     recorder2 := Spec.History.Recorder.create ();
     let t = Scan.create ~procs:2 in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs:2 pid) in
       if pid = 0 then
         ignore
           (Spec.History.Recorder.record !recorder2 ~pid `Read_max (fun () ->
-               `Join (Scan.read_max t ~pid)))
+               `Join (Scan.read_max h)))
       else
         ignore
           (Spec.History.Recorder.record !recorder2 ~pid (`Write_l 2)
              (fun () ->
-               Scan.write_l t ~pid 2;
+               Scan.write_l h 2;
                `Unit))
   in
   let report2 =

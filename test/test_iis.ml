@@ -10,6 +10,8 @@
 
 let check_bool = Alcotest.(check bool)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 module IS = Snapshot.Immediate_snapshot.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
 
 (* the three IS properties over a set of (pid, view) results *)
@@ -36,7 +38,7 @@ let is_properties results =
 let run_is ~procs ~seed ~crash_prob =
   let program () =
     let t = IS.create ~procs in
-    fun pid -> IS.participate t ~pid (pid + 10)
+    fun pid -> IS.participate (IS.attach t (ctx ~procs pid)) (pid + 10)
   in
   let d = Pram.Driver.create ~procs program in
   Pram.Scheduler.run
@@ -61,7 +63,7 @@ let qcheck_is_properties =
 let test_is_exhaustive_two_procs () =
   let program () =
     let t = IS.create ~procs:2 in
-    fun pid -> IS.participate t ~pid (pid + 10)
+    fun pid -> IS.participate (IS.attach t (ctx ~procs:2 pid)) (pid + 10)
   in
   let outcome =
     Pram.Explore.exhaustive ~max_crashes:1 ~max_schedules:2_000_000 ~procs:2
@@ -80,9 +82,9 @@ let test_is_sequential () =
     Snapshot.Immediate_snapshot.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
   in
   let t = IS_d.create ~procs:3 in
-  let v0 = IS_d.participate t ~pid:0 100 in
+  let v0 = IS_d.participate (IS_d.attach t (ctx ~procs:3 0)) 100 in
   check_bool "solo view is singleton" true (v0 = [ (0, 100) ]);
-  let v1 = IS_d.participate t ~pid:1 200 in
+  let v1 = IS_d.participate (IS_d.attach t (ctx ~procs:3 1)) 200 in
   check_bool "second sees both" true (v1 = [ (0, 100); (1, 200) ])
 
 (* --- IIS approximate agreement -------------------------------------------- *)
@@ -92,7 +94,9 @@ module IIS = Snapshot.Iis.Make (Pram.Memory.Sim)
 let run_iis_agreement ~procs ~layers ~inputs ~seed ~rule =
   let program () =
     let t = IIS.create ~procs ~layers in
-    fun pid -> IIS.run t ~pid ~rule:(rule ~pid) inputs.(pid)
+    fun pid ->
+      let h = IIS.attach t (ctx ~procs pid) in
+      IIS.run h ~rule:(rule h) inputs.(pid)
   in
   let d = Pram.Driver.create ~procs program in
   Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
@@ -117,7 +121,7 @@ let qcheck_two_proc_optimal_rate =
       let inputs = [| 0.0; delta |] in
       let outputs =
         run_iis_agreement ~procs:2 ~layers ~inputs ~seed
-          ~rule:IIS.two_proc_optimal
+          ~rule:(fun h -> IIS.two_proc_optimal h)
       in
       let bound = delta /. Float.pow 3.0 (float_of_int layers) in
       spread outputs <= bound +. 1e-12)
@@ -129,7 +133,7 @@ let qcheck_two_proc_validity =
       let inputs = [| 2.0; 5.0 |] in
       let outputs =
         run_iis_agreement ~procs:2 ~layers ~inputs ~seed
-          ~rule:IIS.two_proc_optimal
+          ~rule:(fun h -> IIS.two_proc_optimal h)
       in
       List.for_all (fun v -> v >= 2.0 && v <= 5.0) outputs)
 
@@ -147,7 +151,8 @@ let qcheck_midpoint_rate =
             else delta /. 2.0)
       in
       let outputs =
-        run_iis_agreement ~procs ~layers ~inputs ~seed ~rule:IIS.midpoint
+        run_iis_agreement ~procs ~layers ~inputs ~seed
+          ~rule:(fun _h -> IIS.midpoint)
       in
       let bound = delta /. Float.pow 2.0 (float_of_int layers) in
       spread outputs <= bound +. 1e-12)
@@ -166,7 +171,8 @@ let test_two_proc_exhaustive_one_layer () =
   let program () =
     let t = IIS.create ~procs:2 ~layers:1 in
     fun pid ->
-      IIS.run t ~pid ~rule:(IIS.two_proc_optimal ~pid)
+      let h = IIS.attach t (ctx ~procs:2 pid) in
+      IIS.run h ~rule:(IIS.two_proc_optimal h)
         (if pid = 0 then 0.0 else 1.0)
   in
   let outcome =

@@ -10,11 +10,13 @@ module PS = Snapshot.Lattice_agreement.Pid_set
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 let run_random (module L : Snapshot.Lattice_agreement.S) ~procs ~seed
     ~crash_prob =
   let program () =
     let t = L.create ~procs in
-    fun pid -> L.propose t ~pid (PS.singleton pid)
+    fun pid -> L.propose (L.attach t (ctx ~procs pid)) (PS.singleton pid)
   in
   let d = Pram.Driver.create ~procs program in
   Pram.Scheduler.run
@@ -56,16 +58,17 @@ let qcheck_properties name (module L : Snapshot.Lattice_agreement.S) =
 
 let test_sequential () =
   let t = LA_cls_d.create ~procs:4 in
-  let o0 = LA_cls_d.propose t ~pid:0 (PS.singleton 0) in
+  let o0 = LA_cls_d.propose (LA_cls_d.attach t (ctx ~procs:4 0)) (PS.singleton 0) in
   check_bool "first proposer outputs at least itself" true (PS.mem 0 o0);
-  let o1 = LA_cls_d.propose t ~pid:1 (PS.singleton 1) in
+  let o1 = LA_cls_d.propose (LA_cls_d.attach t (ctx ~procs:4 1)) (PS.singleton 1) in
   check_bool "comparable" true (Snapshot.Lattice_agreement.comparable o0 o1);
   check_bool "later output contains earlier" true (PS.subset o0 o1)
 
 let test_propose_requires_own_pid () =
   let t = LA_cls_d.create ~procs:2 in
+  let h0 = LA_cls_d.attach t (ctx ~procs:2 0) in
   check_bool "rejected" true
-    (try ignore (LA_cls_d.propose t ~pid:0 (PS.singleton 1)); false
+    (try ignore (LA_cls_d.propose h0 (PS.singleton 1)); false
      with Invalid_argument _ -> true)
 
 let test_costs () =
@@ -83,7 +86,8 @@ let test_measured_cost_matches () =
     (fun procs ->
       let program () =
         let t = LA_cls.create ~procs in
-        fun pid -> LA_cls.propose t ~pid (PS.singleton pid)
+        fun pid ->
+          LA_cls.propose (LA_cls.attach t (ctx ~procs pid)) (PS.singleton pid)
       in
       let d = Pram.Driver.create ~procs program in
       ignore (Pram.Driver.run_solo d 0);
@@ -100,7 +104,8 @@ let test_measured_cost_matches () =
 let test_exhaustive_two_procs () =
   let program () =
     let t = LA_cls.create ~procs:2 in
-    fun pid -> LA_cls.propose t ~pid (PS.singleton pid)
+    fun pid ->
+      LA_cls.propose (LA_cls.attach t (ctx ~procs:2 pid)) (PS.singleton pid)
   in
   let outcome =
     Pram.Explore.exhaustive ~max_crashes:1 ~procs:2 program (fun d _ ->
@@ -116,7 +121,8 @@ let qcheck_wait_free =
       let procs = 4 in
       let program () =
         let t = LA_cls.create ~procs in
-        fun pid -> LA_cls.propose t ~pid (PS.singleton pid)
+        fun pid ->
+          LA_cls.propose (LA_cls.attach t (ctx ~procs pid)) (PS.singleton pid)
       in
       let d = Pram.Driver.create ~procs program in
       let sched = Pram.Scheduler.random ~seed () in

@@ -72,22 +72,22 @@ let test_stats_edge_cases () =
 let test_instrument_direct () =
   let recorder = Metrics.Recorder.create ~procs:2 in
   let module M =
-    Metrics.Instrument
+    Runtime.Instrument
       (Pram.Memory.Direct)
       (struct
-        let recorder = recorder
+        let sink = Runtime.Sink.make ~metrics:recorder ()
       end)
   in
   let a = M.create ~name:"a" 0 in
   let b = M.create ~name:"b" 0 in
-  Metrics.set_pid 0;
+  Runtime.set_pid 0;
   M.write a 1;
   ignore (M.read a);
   ignore (M.read b);
-  Metrics.set_pid 1;
+  Runtime.set_pid 1;
   M.write b 2;
   M.write b 3;
-  Metrics.set_pid 0;
+  Runtime.set_pid 0;
   check_int "pid0 reads" 2 (Metrics.Recorder.reads recorder ~pid:0);
   check_int "pid0 writes" 1 (Metrics.Recorder.writes recorder ~pid:0);
   check_int "pid1 reads" 0 (Metrics.Recorder.reads recorder ~pid:1);
@@ -117,16 +117,16 @@ let test_instrument_native_domains () =
   let reads_per_pid = 500 in
   let recorder = Metrics.Recorder.create ~procs in
   let module M =
-    Metrics.Instrument
+    Runtime.Instrument
       (Pram.Native.Mem)
       (struct
-        let recorder = recorder
+        let sink = Runtime.Sink.make ~metrics:recorder ()
       end)
   in
   let r = M.create 0 in
   let _ =
     Pram.Native.run_parallel ~procs (fun pid ->
-        Metrics.set_pid pid;
+        Runtime.set_pid pid;
         for _ = 1 to reads_per_pid do
           ignore (M.read r)
         done;
@@ -209,16 +209,17 @@ let test_spans_under_interleaving () =
 let scan_cost_via_instrument ~procs ~variant =
   let recorder = Metrics.Recorder.create ~procs in
   let module M =
-    Metrics.Instrument
+    Runtime.Instrument
       (Pram.Memory.Direct)
       (struct
-        let recorder = recorder
+        let sink = Runtime.Sink.make ~metrics:recorder ()
       end)
   in
   let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
   let t = Scan.create ~procs in
-  Metrics.set_pid 0;
-  ignore (Scan.scan ~variant t ~pid:0 1);
+  Runtime.set_pid 0;
+  let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid:0 ()) in
+  ignore (Scan.scan ~variant h 1);
   ( Metrics.Recorder.reads recorder ~pid:0,
     Metrics.Recorder.writes recorder ~pid:0,
     Metrics.Recorder.registers_created recorder )
@@ -228,7 +229,9 @@ let scan_cost_via_observer ~procs ~variant =
   let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim) in
   let program () =
     let t = Scan.create ~procs in
-    fun pid -> ignore (Scan.scan ~variant t ~pid (pid + 1))
+    fun pid ->
+      let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      ignore (Scan.scan ~variant h (pid + 1))
   in
   let d =
     Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
@@ -258,6 +261,106 @@ let test_cost_formula_matches_counting_backend () =
         let or_, ow = scan_cost_via_observer ~procs ~variant in
         check_int (label "reads (observer, contended)") fr or_;
         check_int (label "writes (observer, contended)") fw ow
+      done)
+    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
+
+(* --- one access stream, three meters ---------------------------------------
+   The unified [Runtime.Sink] must report exactly the per-pid read/write
+   counts of both legacy metering paths — a hand-rolled
+   [Pram.Memory.Hooked] wrapper and the driver's [?observer] — on the
+   same seeded scan workload, procs 1..8, both variants.  Scan's access
+   count is schedule-oblivious, so the contended simulator run must
+   agree with the two sequential direct runs, per pid. *)
+
+let per_pid_counts recorder ~procs =
+  Array.init procs (fun pid ->
+      ( Metrics.Recorder.reads recorder ~pid,
+        Metrics.Recorder.writes recorder ~pid ))
+
+let scan_workload_via_sink ~procs ~variant =
+  let recorder = Metrics.Recorder.create ~procs in
+  let module M =
+    Runtime.Instrument
+      (Pram.Memory.Direct)
+      (struct
+        let sink = Runtime.Sink.make ~metrics:recorder ()
+      end)
+  in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let t = Scan.create ~procs in
+  for pid = 0 to procs - 1 do
+    Runtime.set_pid pid;
+    let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+    ignore (Scan.scan ~variant h (pid + 1))
+  done;
+  Runtime.set_pid 0;
+  per_pid_counts recorder ~procs
+
+let scan_workload_via_hooked ~procs ~variant =
+  (* the pre-Ctx idiom: raw hooks over a mutable pid cell *)
+  let reads = Array.make procs 0 and writes = Array.make procs 0 in
+  let cur = ref 0 in
+  let module M =
+    Pram.Memory.Hooked
+      (Pram.Memory.Direct)
+      (struct
+        let on_create ~reg_id:_ ~reg_name:_ = ()
+        let on_read ~reg_id:_ ~reg_name:_ = reads.(!cur) <- reads.(!cur) + 1
+
+        let on_write ~reg_id:_ ~reg_name:_ =
+          writes.(!cur) <- writes.(!cur) + 1
+      end)
+  in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let t = Scan.create ~procs in
+  for pid = 0 to procs - 1 do
+    cur := pid;
+    let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+    ignore (Scan.scan ~variant h (pid + 1))
+  done;
+  Array.init procs (fun pid -> (reads.(pid), writes.(pid)))
+
+let scan_workload_via_driver ~procs ~variant ~seed =
+  let recorder = Metrics.Recorder.create ~procs in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim) in
+  let program () =
+    let t = Scan.create ~procs in
+    fun pid ->
+      let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      ignore (Scan.scan ~variant h (pid + 1))
+  in
+  let d =
+    Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
+      program
+  in
+  Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+  per_pid_counts recorder ~procs
+
+let test_sink_equals_legacy_paths () =
+  List.iter
+    (fun variant ->
+      let vname =
+        match variant with
+        | Snapshot.Scan.Plain -> "plain"
+        | Snapshot.Scan.Optimized -> "optimized"
+      in
+      for procs = 1 to 8 do
+        let sink = scan_workload_via_sink ~procs ~variant in
+        let hooked = scan_workload_via_hooked ~procs ~variant in
+        let driver = scan_workload_via_driver ~procs ~variant ~seed:(41 + procs) in
+        for pid = 0 to procs - 1 do
+          let label path what =
+            Printf.sprintf "%s procs=%d pid=%d %s (%s)" vname procs pid what
+              path
+          in
+          let sr, sw = sink.(pid) in
+          let hr, hw = hooked.(pid) in
+          let dr, dw = driver.(pid) in
+          check_int (label "hooked" "reads") sr hr;
+          check_int (label "hooked" "writes") sw hw;
+          check_int (label "driver" "reads") sr dr;
+          check_int (label "driver" "writes") sw dw
+        done
       done)
     [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
 
@@ -325,6 +428,11 @@ let () =
         [
           Alcotest.test_case "Section 6.2 formulas, procs 1..8" `Quick
             test_cost_formula_matches_counting_backend;
+        ] );
+      ( "sink-equivalence",
+        [
+          Alcotest.test_case "sink = hooked = driver observer, procs 1..8"
+            `Quick test_sink_equals_legacy_paths;
         ] );
       ( "bench-json",
         [

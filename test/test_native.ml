@@ -14,6 +14,8 @@ let procs = 3
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let ctx pid = Runtime.Ctx.make ~procs ~pid ()
+
 module C = Universal.Direct.Counter (Pram.Native.Mem)
 module G = Universal.Direct.Gset (Pram.Native.Mem)
 module MR = Universal.Direct.Max_register (Pram.Native.Mem)
@@ -40,20 +42,21 @@ let test_counter_linearizable_on_domains () =
     let t = C.create ~procs in
     let _ =
       Pram.Native.run_parallel ~procs (fun pid ->
+          let h = C.attach t (ctx pid) in
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                (Spec.Counter_spec.Inc (pid + 1)) (fun () ->
-                 C.inc t ~pid (pid + 1);
+                 C.inc h (pid + 1);
                  Spec.Counter_spec.Unit));
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                Spec.Counter_spec.Read (fun () ->
-                 Spec.Counter_spec.Value (C.read t ~pid))))
+                 Spec.Counter_spec.Value (C.read h))))
     in
     check_bool "counter history linearizable" true
       (Check_counter.is_linearizable
          (Spec.History.Concurrent_recorder.events recorder));
-    check_int "final value" 6 (C.read t ~pid:0)
+    check_int "final value" 6 (C.read (C.attach t (ctx 0)))
   done
 
 let test_snapshot_array_linearizable_on_domains () =
@@ -62,14 +65,15 @@ let test_snapshot_array_linearizable_on_domains () =
     let t = Arr.create ~procs in
     let _ =
       Pram.Native.run_parallel ~procs (fun pid ->
+          let h = Arr.attach t (ctx pid) in
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                (`Update (pid, pid + 10)) (fun () ->
-                 Arr.update t ~pid (pid + 10);
+                 Arr.update h (pid + 10);
                  `Unit));
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid `Snapshot
-               (fun () -> `View (Arr.snapshot t ~pid))))
+               (fun () -> `View (Arr.snapshot h))))
     in
     check_bool "snapshot history linearizable" true
       (Check_arr.is_linearizable
@@ -82,14 +86,15 @@ let test_bounded_afek_linearizable_on_domains () =
     let t = AB.create ~procs in
     let _ =
       Pram.Native.run_parallel ~procs (fun pid ->
+          let h = AB.attach t (ctx pid) in
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                (`Update (pid, pid + 10)) (fun () ->
-                 AB.update t ~pid (pid + 10);
+                 AB.update h (pid + 10);
                  `Unit));
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid `Snapshot
-               (fun () -> `View (AB.snapshot t ~pid))))
+               (fun () -> `View (AB.snapshot h))))
     in
     check_bool "bounded afek history linearizable" true
       (Check_arr.is_linearizable
@@ -102,31 +107,34 @@ let test_max_register_on_domains () =
     let t = MR.create ~procs in
     let _ =
       Pram.Native.run_parallel ~procs (fun pid ->
+          let h = MR.attach t (ctx pid) in
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                (Spec.Max_register_spec.Write_max ((pid + 1) * 5)) (fun () ->
-                 MR.write_max t ~pid ((pid + 1) * 5);
+                 MR.write_max h ((pid + 1) * 5);
                  Spec.Max_register_spec.Unit));
           ignore
             (Spec.History.Concurrent_recorder.record recorder ~pid
                Spec.Max_register_spec.Read_max (fun () ->
-                 Spec.Max_register_spec.Value (MR.read_max t ~pid))))
+                 Spec.Max_register_spec.Value (MR.read_max h))))
     in
     check_bool "max register history linearizable" true
       (Check_maxreg.is_linearizable
          (Spec.History.Concurrent_recorder.events recorder));
-    check_int "final max" 15 (MR.read_max t ~pid:0)
+    check_int "final max" 15 (MR.read_max (MR.attach t (ctx 0)))
   done
 
 let test_gset_on_domains () =
   let t = G.create ~procs in
   let _ =
     Pram.Native.run_parallel ~procs (fun pid ->
+        let h = G.attach t (ctx pid) in
         for i = 0 to 9 do
-          G.add t ~pid ((pid * 10) + i)
+          G.add h ((pid * 10) + i)
         done)
   in
-  check_int "all elements present" 30 (List.length (G.members t ~pid:0))
+  check_int "all elements present" 30
+    (List.length (G.members (G.attach t (ctx 0))))
 
 let test_agreement_on_domains () =
   for round = 1 to rounds do
@@ -135,8 +143,9 @@ let test_agreement_on_domains () =
     let t = AA.create ~procs ~epsilon in
     let outputs =
       Pram.Native.run_parallel ~procs (fun pid ->
-          AA.input t ~pid inputs.(pid);
-          AA.output t ~pid)
+          let h = AA.attach t (ctx pid) in
+          AA.input h inputs.(pid);
+          AA.output h)
     in
     let lo = List.fold_left Float.min infinity outputs in
     let hi = List.fold_left Float.max neg_infinity outputs in
@@ -151,11 +160,12 @@ let test_counter_torture () =
   let per = 2_000 in
   let _ =
     Pram.Native.run_parallel ~procs (fun pid ->
+        let h = C.attach t (ctx pid) in
         for _ = 1 to per do
-          C.inc t ~pid 1
+          C.inc h 1
         done)
   in
-  check_int "no lost updates" (procs * per) (C.read t ~pid:0)
+  check_int "no lost updates" (procs * per) (C.read (C.attach t (ctx 0)))
 
 let () =
   Alcotest.run "native"

@@ -6,6 +6,8 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 (* --- sticky register: the algebra decides constructibility ---------------- *)
 
 let sticky_negative_tests =
@@ -102,11 +104,12 @@ let qcheck_universal_histogram_linearizable =
       let program () =
         let t = UH.create ~procs:3 in
         fun pid ->
+          let h = UH.attach t (ctx ~procs:3 pid) in
           List.iter
             (fun op ->
               ignore
                 (Spec.History.Recorder.record recorder ~pid op (fun () ->
-                     UH.execute t ~pid op)))
+                     UH.execute h op)))
             (script pid)
       in
       let d = Pram.Driver.create ~procs:3 program in
@@ -127,19 +130,22 @@ module DH_s = Universal.Direct.Histogram (Pram.Memory.Sim)
 
 let test_direct_histogram_sequential () =
   let t = DH.create ~procs:2 in
-  DH.observe t ~pid:0 ~bucket:1 5;
-  DH.observe t ~pid:1 ~bucket:1 3;
-  DH.observe t ~pid:1 ~bucket:2 7;
-  check_int "bucket 1" 8 (DH.count t ~pid:0 ~bucket:1);
-  check_int "bucket 2" 7 (DH.count t ~pid:0 ~bucket:2);
-  check_int "empty bucket" 0 (DH.count t ~pid:0 ~bucket:9);
-  check_int "total" 15 (DH.total t ~pid:1);
-  check_bool "bindings" true (DH.bindings t ~pid:0 = [ (1, 8); (2, 7) ])
+  let h0 = DH.attach t (ctx ~procs:2 0) in
+  let h1 = DH.attach t (ctx ~procs:2 1) in
+  DH.observe h0 ~bucket:1 5;
+  DH.observe h1 ~bucket:1 3;
+  DH.observe h1 ~bucket:2 7;
+  check_int "bucket 1" 8 (DH.count h0 ~bucket:1);
+  check_int "bucket 2" 7 (DH.count h0 ~bucket:2);
+  check_int "empty bucket" 0 (DH.count h0 ~bucket:9);
+  check_int "total" 15 (DH.total h1);
+  check_bool "bindings" true (DH.bindings h0 = [ (1, 8); (2, 7) ])
 
 let test_direct_histogram_rejects_negative () =
   let t = DH.create ~procs:1 in
+  let h0 = DH.attach t (ctx ~procs:1 0) in
   check_bool "negative weight rejected" true
-    (try DH.observe t ~pid:0 ~bucket:0 (-1); false
+    (try DH.observe h0 ~bucket:0 (-1); false
      with Invalid_argument _ -> true)
 
 let qcheck_direct_histogram_concurrent_total =
@@ -151,9 +157,10 @@ let qcheck_direct_histogram_concurrent_total =
       let program () =
         let t = DH_s.create ~procs in
         fun pid ->
-          DH_s.observe t ~pid ~bucket:(pid mod 2) (pid + 1);
-          DH_s.observe t ~pid ~bucket:2 1;
-          DH_s.total t ~pid
+          let h = DH_s.attach t (ctx ~procs pid) in
+          DH_s.observe h ~bucket:(pid mod 2) (pid + 1);
+          DH_s.observe h ~bucket:2 1;
+          DH_s.total h
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
@@ -174,17 +181,18 @@ module VC_s = Universal.Direct.Vector_clock (Pram.Memory.Sim)
 
 let test_vector_clock_sequential () =
   let t = VC.create ~procs:3 in
-  let v1 = VC.tick t ~pid:0 in
+  let v1 = VC.tick (VC.attach t (ctx ~procs:3 0)) in
   check_bool "first tick" true (v1 = [| 1; 0; 0 |]);
-  let v2 = VC.tick t ~pid:1 in
+  let v2 = VC.tick (VC.attach t (ctx ~procs:3 1)) in
   check_bool "second tick merges" true (v2 = [| 1; 1; 0 |]);
   check_bool "v1 happened before v2" true (VC.leq v1 v2);
   check_bool "v2 not before v1" false (VC.leq v2 v1)
 
 let test_vector_clock_observe () =
   let t = VC.create ~procs:2 in
-  VC.observe t ~pid:0 [| 0; 41 |];
-  let v = VC.tick t ~pid:0 in
+  let h0 = VC.attach t (ctx ~procs:2 0) in
+  VC.observe h0 [| 0; 41 |];
+  let v = VC.tick h0 in
   check_bool "tick after observe dominates it" true (VC.leq [| 0; 41 |] v);
   check_bool "own component advanced" true (v.(0) = 1 && v.(1) = 41)
 
@@ -198,8 +206,9 @@ let qcheck_vector_clock_causality =
       let program () =
         let t = VC_s.create ~procs in
         fun pid ->
-          let a = VC_s.tick t ~pid in
-          let b = VC_s.tick t ~pid in
+          let h = VC_s.attach t (ctx ~procs pid) in
+          let a = VC_s.tick h in
+          let b = VC_s.tick h in
           (a, b)
       in
       let d = Pram.Driver.create ~procs program in
@@ -224,7 +233,7 @@ let qcheck_vector_clock_ticks_comparable =
       let procs = 3 in
       let program () =
         let t = VC_s.create ~procs in
-        fun pid -> VC_s.tick t ~pid
+        fun pid -> VC_s.tick (VC_s.attach t (ctx ~procs pid))
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;

@@ -172,6 +172,37 @@ let test_native_counting () =
   check_int "reads counted" 2 (C.reads ());
   check_int "writes counted" 1 (C.writes ())
 
+let test_native_counting_per_domain_totals () =
+  (* Regression for the per-domain cell rewrite: the aggregated totals
+     must equal what the old single-pair-of-global-atomics version
+     reported — exactly procs * per-domain work, with nothing lost when
+     the domains have already joined, and reset must zero every cell. *)
+  let module C = Pram.Native.Counting (Pram.Native.Mem) in
+  let procs = 4 and reads = 300 and writes = 120 in
+  C.reset ();
+  let r = C.create 0 in
+  let _ =
+    Pram.Native.run_parallel ~procs (fun pid ->
+        for _ = 1 to reads do
+          ignore (C.read r)
+        done;
+        for i = 1 to writes do
+          C.write r (pid + i)
+        done)
+  in
+  (* every domain has joined; its cell's counts must still be visible *)
+  check_int "reads = procs * per-domain reads" (procs * reads) (C.reads ());
+  check_int "writes = procs * per-domain writes" (procs * writes)
+    (C.writes ());
+  C.reset ();
+  check_int "reset zeroes reads" 0 (C.reads ());
+  check_int "reset zeroes writes" 0 (C.writes ());
+  (* and a second parallel round counts from zero again *)
+  let _ =
+    Pram.Native.run_parallel ~procs (fun _ -> ignore (C.read r))
+  in
+  check_int "fresh round counts fresh" procs (C.reads ())
+
 (* --- encoded-schedule parsing ------------------------------------------------ *)
 
 let qcheck_encoded_schedule_roundtrip =
@@ -328,6 +359,8 @@ let suite =
     Alcotest.test_case "prefer_register fallback" `Quick test_prefer_register_scheduler;
     Alcotest.test_case "native parallel counter" `Quick test_native_parallel_counter;
     Alcotest.test_case "native counting wrapper" `Quick test_native_counting;
+    Alcotest.test_case "native counting per-domain totals" `Quick
+      test_native_counting_per_domain_totals;
     Alcotest.test_case "parse_encoded_schedule cases" `Quick
       test_parse_encoded_schedule_cases;
     Alcotest.test_case "swapping independent accesses is unobservable" `Quick

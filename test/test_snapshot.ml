@@ -37,22 +37,27 @@ module Scan_check = Lincheck.Make (Scan_seq_spec)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 (* --- basic sequential behaviour ---------------------------------------- *)
 
 let test_scan_sequential () =
   let t = Scan_d.create ~procs:3 in
-  check_int "first scan returns own value" 5 (Scan_d.scan t ~pid:0 5);
-  check_int "second process sees the join" 7 (Scan_d.scan t ~pid:1 7);
-  check_int "read_max sees the join" 7 (Scan_d.read_max t ~pid:2);
-  Scan_d.write_l t ~pid:2 9;
-  check_int "after write_l" 9 (Scan_d.read_max t ~pid:0)
+  let h = Array.init 3 (fun pid -> Scan_d.attach t (ctx ~procs:3 pid)) in
+  check_int "first scan returns own value" 5 (Scan_d.scan h.(0) 5);
+  check_int "second process sees the join" 7 (Scan_d.scan h.(1) 7);
+  check_int "read_max sees the join" 7 (Scan_d.read_max h.(2));
+  Scan_d.write_l h.(2) 9;
+  check_int "after write_l" 9 (Scan_d.read_max h.(0))
 
 let test_scan_plain_equals_optimized () =
   let run variant =
     let t = Scan_d.create ~procs:2 in
-    let a = Scan_d.scan ~variant t ~pid:0 3 in
-    let b = Scan_d.scan ~variant t ~pid:1 8 in
-    let c = Scan_d.read_max ~variant t ~pid:0 in
+    let h0 = Scan_d.attach t (ctx ~procs:2 0) in
+    let h1 = Scan_d.attach t (ctx ~procs:2 1) in
+    let a = Scan_d.scan ~variant h0 3 in
+    let b = Scan_d.scan ~variant h1 8 in
+    let c = Scan_d.read_max ~variant h0 in
     (a, b, c)
   in
   check_bool "variants agree sequentially" true
@@ -63,7 +68,7 @@ let test_scan_plain_equals_optimized () =
 let scan_cost ~procs ~variant =
   let program () =
     let t = Scan.create ~procs in
-    fun pid -> Scan.scan ~variant t ~pid (pid + 1)
+    fun pid -> Scan.scan ~variant (Scan.attach t (ctx ~procs pid)) (pid + 1)
   in
   let d = Pram.Driver.create ~procs program in
   (* run only process 0 to completion; count its steps *)
@@ -104,8 +109,9 @@ let qcheck_comparability =
         let t = Scan_set.create ~procs in
         fun pid ->
           (* two scans per process, each contributing a distinct element *)
-          let r1 = Scan_set.scan t ~pid (Set_lat.of_list [ (pid * 2) + 1 ]) in
-          let r2 = Scan_set.scan t ~pid (Set_lat.of_list [ (pid * 2) + 2 ]) in
+          let h = Scan_set.attach t (ctx ~procs pid) in
+          let r1 = Scan_set.scan h (Set_lat.of_list [ (pid * 2) + 1 ]) in
+          let r2 = Scan_set.scan h (Set_lat.of_list [ (pid * 2) + 2 ]) in
           [ r1; r2 ]
       in
       let d = Pram.Driver.create ~procs program in
@@ -138,14 +144,15 @@ let scan_object_history ~procs ~seed ~with_crash =
   let program () =
     let t = Scan.create ~procs in
     fun pid ->
+      let h = Scan.attach t (ctx ~procs pid) in
       ignore
         (Spec.History.Recorder.record recorder ~pid (`Write_l (pid + 1))
            (fun () ->
-             Scan.write_l t ~pid (pid + 1);
+             Scan.write_l h (pid + 1);
              `Unit));
       ignore
         (Spec.History.Recorder.record recorder ~pid `Read_max (fun () ->
-             `Join (Scan.read_max t ~pid)))
+             `Join (Scan.read_max h)))
   in
   let d = Pram.Driver.create ~procs program in
   let crash_prob = if with_crash then 0.05 else 0.0 in
@@ -195,11 +202,12 @@ let test_combined_scan_not_atomic () =
     let program () =
       let t = Scan.create ~procs in
       fun pid ->
+        let h = Scan.attach t (ctx ~procs pid) in
         for round = 0 to 1 do
           let v = 1 + (pid * 2) + round in
           ignore
             (Spec.History.Recorder.record recorder ~pid v (fun () ->
-                 Scan.scan t ~pid v))
+                 Scan.scan h v))
         done
     in
     let d = Pram.Driver.create ~procs program in
@@ -226,11 +234,12 @@ let qcheck_scan_monotone =
       let program () =
         let t = Scan.create ~procs in
         fun pid ->
-          Scan.write_l t ~pid (pid + 1);
-          let a = Scan.read_max t ~pid in
-          let b = Scan.read_max t ~pid in
-          Scan.write_l t ~pid (10 * (pid + 1));
-          let c = Scan.read_max t ~pid in
+          let h = Scan.attach t (ctx ~procs pid) in
+          Scan.write_l h (pid + 1);
+          let a = Scan.read_max h in
+          let b = Scan.read_max h in
+          Scan.write_l h (10 * (pid + 1));
+          let c = Scan.read_max h in
           (a, b, c)
       in
       let d = Pram.Driver.create ~procs program in
@@ -255,7 +264,7 @@ let qcheck_wait_free =
       let procs = 4 in
       let program () =
         let t = Scan.create ~procs in
-        fun pid -> Scan.scan t ~pid pid
+        fun pid -> Scan.scan (Scan.attach t (ctx ~procs pid)) pid
       in
       (* random prefix, then crash everyone except process 0 *)
       let d = Pram.Driver.create ~procs program in
@@ -293,13 +302,14 @@ module Arr_check = Lincheck.Make (Arr_spec)
 let snapshot_array_program ~procs recorder () =
   let t = Arr.create ~procs in
   fun pid ->
+    let h = Arr.attach t (ctx ~procs pid) in
     Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
       (fun () ->
-        Arr.update t ~pid (pid + 10);
+        Arr.update h (pid + 10);
         `Unit)
     |> ignore;
     Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-        `View (Arr.snapshot t ~pid))
+        `View (Arr.snapshot h))
     |> ignore
 
 let qcheck_snapshot_array_linearizable =
@@ -316,12 +326,13 @@ let qcheck_snapshot_array_linearizable =
 
 let test_snapshot_array_sequential () =
   let t = Arr_d.create ~procs:3 in
-  Arr_d.update t ~pid:0 100;
-  Arr_d.update t ~pid:2 300;
-  let view = Arr_d.snapshot t ~pid:1 in
+  let h = Array.init 3 (fun pid -> Arr_d.attach t (ctx ~procs:3 pid)) in
+  Arr_d.update h.(0) 100;
+  Arr_d.update h.(2) 300;
+  let view = Arr_d.snapshot h.(1) in
   check_bool "view" true (view = [| 100; 0; 300 |]);
-  Arr_d.update t ~pid:0 111;
-  let view = Arr_d.snapshot t ~pid:2 in
+  Arr_d.update h.(0) 111;
+  let view = Arr_d.snapshot h.(2) in
   check_bool "updated view" true (view = [| 111; 0; 300 |])
 
 (* --- the naive collect is NOT atomic ------------------------------------ *)
@@ -340,23 +351,24 @@ let test_naive_collect_violation () =
   let program () =
     let t = Naive.create ~procs:3 in
     fun pid ->
+      let h = Naive.attach t (ctx ~procs:3 pid) in
       match pid with
       | 0 ->
           ignore
             (Spec.History.Recorder.record recorder ~pid (`Update (0, 1))
                (fun () ->
-                 Naive.update t ~pid 1;
+                 Naive.update h 1;
                  `Unit))
       | 1 ->
           ignore
             (Spec.History.Recorder.record recorder ~pid (`Update (1, 1))
                (fun () ->
-                 Naive.update t ~pid 1;
+                 Naive.update h 1;
                  `Unit))
       | _ ->
           ignore
             (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-                 `View (Naive.snapshot t ~pid)))
+                 `View (Naive.snapshot h)))
   in
   let d = Pram.Driver.create ~procs:3 program in
   (* p2's snapshot reads slots in order 0,1. *)
@@ -374,8 +386,8 @@ module DC = Snapshot.Double_collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.
 
 let test_double_collect_correct_when_quiet () =
   let t = DC_d.create ~procs:2 in
-  DC_d.update t ~pid:0 5;
-  let v = DC_d.snapshot_exn t ~pid:1 in
+  DC_d.update (DC_d.attach t (ctx ~procs:2 0)) 5;
+  let v = DC_d.snapshot_exn (DC_d.attach t (ctx ~procs:2 1)) in
   check_bool "view" true (v = [| 5; 0 |])
 
 let test_double_collect_starves () =
@@ -385,14 +397,15 @@ let test_double_collect_starves () =
   let program () =
     let t = DC.create ~procs:2 in
     fun pid ->
+      let h = DC.attach t (ctx ~procs:2 pid) in
       if pid = 0 then begin
         (* endless writer *)
         for i = 1 to 1_000 do
-          DC.update t ~pid i
+          DC.update h i
         done;
         None
       end
-      else DC.snapshot ~max_rounds:50 t ~pid
+      else DC.snapshot ~max_rounds:50 h
   in
   let d = Pram.Driver.create ~procs:2 program in
   (* interleave: 1 writer write (2 slots... update = 1 write), then the
@@ -424,9 +437,9 @@ module AB_d = Snapshot.Afek_bounded.Make (Snapshot.Slot_value.Int) (Pram.Memory.
 
 let test_afek_sequential () =
   let t = AF_d.create ~procs:3 in
-  AF_d.update t ~pid:0 7;
-  AF_d.update t ~pid:1 8;
-  let v = AF_d.snapshot t ~pid:2 in
+  AF_d.update (AF_d.attach t (ctx ~procs:3 0)) 7;
+  AF_d.update (AF_d.attach t (ctx ~procs:3 1)) 8;
+  let v = AF_d.snapshot (AF_d.attach t (ctx ~procs:3 2)) in
   check_bool "view" true (v = [| 7; 8; 0 |])
 
 let qcheck_afek_linearizable =
@@ -438,14 +451,15 @@ let qcheck_afek_linearizable =
       let program () =
         let t = AF.create ~procs in
         fun pid ->
+          let h = AF.attach t (ctx ~procs pid) in
           ignore
             (Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
                (fun () ->
-                 AF.update t ~pid (pid + 10);
+                 AF.update h (pid + 10);
                  `Unit));
           ignore
             (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-                 `View (AF.snapshot t ~pid)))
+                 `View (AF.snapshot h)))
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
@@ -453,11 +467,12 @@ let qcheck_afek_linearizable =
 
 let test_afek_bounded_sequential () =
   let t = AB_d.create ~procs:3 in
-  AB_d.update t ~pid:0 7;
-  AB_d.update t ~pid:1 8;
-  check_bool "view" true (AB_d.snapshot t ~pid:2 = [| 7; 8; 0 |]);
-  AB_d.update t ~pid:0 9;
-  check_bool "second view" true (AB_d.snapshot t ~pid:1 = [| 9; 8; 0 |])
+  let h = Array.init 3 (fun pid -> AB_d.attach t (ctx ~procs:3 pid)) in
+  AB_d.update h.(0) 7;
+  AB_d.update h.(1) 8;
+  check_bool "view" true (AB_d.snapshot h.(2) = [| 7; 8; 0 |]);
+  AB_d.update h.(0) 9;
+  check_bool "second view" true (AB_d.snapshot h.(1) = [| 9; 8; 0 |])
 
 let qcheck_afek_bounded_linearizable =
   QCheck.Test.make ~name:"bounded afek snapshot linearizable" ~count:300
@@ -468,14 +483,15 @@ let qcheck_afek_bounded_linearizable =
       let program () =
         let t = AB.create ~procs in
         fun pid ->
+          let h = AB.attach t (ctx ~procs pid) in
           ignore
             (Spec.History.Recorder.record recorder ~pid (`Update (pid, pid + 10))
                (fun () ->
-                 AB.update t ~pid (pid + 10);
+                 AB.update h (pid + 10);
                  `Unit));
           ignore
             (Spec.History.Recorder.record recorder ~pid `Snapshot (fun () ->
-                 `View (AB.snapshot t ~pid)))
+                 `View (AB.snapshot h)))
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run ~max_steps:5_000_000 (Pram.Scheduler.random ~seed ()) d;
@@ -490,10 +506,11 @@ let qcheck_afek_bounded_wait_free =
       let program () =
         let t = AB.create ~procs in
         fun pid ->
-          if pid = 0 then ignore (AB.snapshot t ~pid)
+          let h = AB.attach t (ctx ~procs pid) in
+          if pid = 0 then ignore (AB.snapshot h)
           else
             for i = 1 to 30 do
-              AB.update t ~pid i
+              AB.update h i
             done
       in
       let d = Pram.Driver.create ~procs program in
@@ -513,13 +530,14 @@ let qcheck_afek_wait_free_bound =
       let program () =
         let t = AF.create ~procs in
         fun pid ->
+          let h = AF.attach t (ctx ~procs pid) in
           if pid = 0 then begin
-            ignore (AF.snapshot t ~pid);
+            ignore (AF.snapshot h);
             [||]
           end
           else begin
             for i = 1 to 50 do
-              AF.update t ~pid i
+              AF.update h i
             done;
             [||]
           end

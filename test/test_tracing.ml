@@ -106,9 +106,11 @@ let test_parse_errors () =
 let scan_program ~procs j () =
   let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
   let t = S.create ~procs in
+  let sink = Runtime.Sink.make ~journal:j () in
   fun pid ->
-    S.write_l ~journal:j t ~pid (pid + 1);
-    ignore (S.read_max ~journal:j t ~pid)
+    let h = S.attach t (Runtime.Ctx.make ~sink ~procs ~pid ()) in
+    S.write_l h (pid + 1);
+    ignore (S.read_max h)
 
 let traced_scan_run ~procs ~seed =
   let j = Tracing.Journal.create ~procs () in
@@ -210,16 +212,17 @@ let collect_program () =
   collect_recorder := Spec.History.Recorder.create ();
   let t = Naive_c.create ~procs:3 in
   fun pid ->
+    let h = Naive_c.attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
     if pid < 2 then
       ignore
         (Spec.History.Recorder.record !collect_recorder ~pid
            (`Update (pid, pid + 10)) (fun () ->
-             Naive_c.update t ~pid (pid + 10);
+             Naive_c.update h (pid + 10);
              `Unit))
     else
       ignore
         (Spec.History.Recorder.record !collect_recorder ~pid `Snapshot
-           (fun () -> `View (Naive_c.snapshot t ~pid)))
+           (fun () -> `View (Naive_c.snapshot h)))
 
 let test_counterexample_trace () =
   (* the injected bug: the naive collect is not linearizable; the
@@ -279,16 +282,16 @@ let test_instrument_native_domains () =
   let procs = 4 in
   let j = Tracing.Journal.create ~clock:`Monotonic ~procs () in
   let module M =
-    Tracing.Instrument
+    Runtime.Instrument
       (Pram.Native.Mem)
       (struct
-        let journal = j
+        let sink = Runtime.Sink.make ~journal:j ()
       end)
   in
   let regs = Array.init procs (fun _ -> M.create 0) in
   let _ =
     Pram.Native.run_parallel ~procs (fun pid ->
-        Tracing.set_pid pid;
+        Runtime.set_pid pid;
         Tracing.Journal.with_span j ~pid ~op:"work" (fun () ->
             for i = 1 to 25 do
               M.write regs.(pid) i;
@@ -335,11 +338,17 @@ let scan_access_counts ~journal ~procs =
     | true -> Some (Tracing.Journal.create ~procs ())
   in
   let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
+  let sink =
+    match j with
+    | None -> Runtime.Sink.none
+    | Some jn -> Runtime.Sink.make ~journal:jn ()
+  in
   let program () =
     let t = S.create ~procs in
     fun pid ->
-      S.write_l ?journal:j t ~pid (pid + 1);
-      ignore (S.read_max ?journal:j t ~pid)
+      let h = S.attach t (Runtime.Ctx.make ~sink ~procs ~pid ()) in
+      S.write_l h (pid + 1);
+      ignore (S.read_max h)
   in
   let observer =
     match j with
@@ -411,6 +420,35 @@ let test_disabled_helpers_allocate_nothing () =
        empty helpers)
     true (helpers = empty)
 
+let test_ctx_no_sink_allocates_nothing () =
+  (* the Ctx generalization of the guarantee: a context carrying
+     [Sink.none] (the default) must make annotation and span sites free —
+     no bytes allocated, no events recorded. *)
+  let ctx = Runtime.Ctx.make ~procs:1 ~pid:0 () in
+  check_bool "default sink is none" true
+    (Runtime.Sink.is_none (Runtime.Ctx.sink ctx));
+  let f = ref (fun () -> 0) in
+  (f := fun () -> 1);
+  let measure g =
+    let b0 = Gc.allocated_bytes () in
+    g ();
+    let b1 = Gc.allocated_bytes () in
+    b1 -. b0
+  in
+  let empty = measure (fun () -> for _ = 0 to 9_999 do () done) in
+  let ctx_sites =
+    measure (fun () ->
+        for _ = 0 to 9_999 do
+          Runtime.Ctx.annotate ctx "static label";
+          ignore (Runtime.Ctx.span ctx ~op:"op" !f)
+        done)
+  in
+  check_bool
+    (Printf.sprintf
+       "no allocation through a sink-less Ctx (empty loop %.0f, ctx %.0f)"
+       empty ctx_sites)
+    true (ctx_sites = empty)
+
 let () =
   Alcotest.run "tracing"
     [
@@ -453,5 +491,7 @@ let () =
             test_tracing_adds_zero_accesses;
           Alcotest.test_case "disabled helpers allocate nothing" `Quick
             test_disabled_helpers_allocate_nothing;
+          Alcotest.test_case "sink-less Ctx allocates nothing" `Quick
+            test_ctx_no_sink_allocates_nothing;
         ] );
     ]

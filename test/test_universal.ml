@@ -13,6 +13,8 @@
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
 (* --- graph primitives ---------------------------------------------------- *)
 
 let test_graph_paths () =
@@ -181,11 +183,11 @@ module Runner
     (O : Spec.Object_spec.S)
     (U : sig
       type t
+      type handle
 
       val create : procs:int -> t
-
-      val execute :
-        ?journal:Tracing.Journal.t -> t -> pid:int -> O.operation -> O.response
+      val attach : t -> Runtime.Ctx.t -> handle
+      val execute : handle -> O.operation -> O.response
     end) =
 struct
   let run ~procs ~seed ~crash_prob (script : int -> O.operation list) =
@@ -193,11 +195,12 @@ struct
     let program () =
       let t = U.create ~procs in
       fun pid ->
+        let h = U.attach t (ctx ~procs pid) in
         List.iter
           (fun op ->
             ignore
               (Spec.History.Recorder.record recorder ~pid op (fun () ->
-                   U.execute t ~pid op)))
+                   U.execute h op)))
           (script pid)
     in
     let d = Pram.Driver.create ~procs program in
@@ -290,21 +293,25 @@ module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direc
 
 let test_universal_counter_sequential () =
   let t = UC_d.create ~procs:2 in
+  let h0 = UC_d.attach t (ctx ~procs:2 0) in
+  let h1 = UC_d.attach t (ctx ~procs:2 1) in
   let open Spec.Counter_spec in
-  check_bool "inc" true (UC_d.execute t ~pid:0 (Inc 5) = Unit);
-  check_bool "dec" true (UC_d.execute t ~pid:1 (Dec 2) = Unit);
-  check_bool "read" true (UC_d.execute t ~pid:0 Read = Value 3);
-  check_bool "reset" true (UC_d.execute t ~pid:1 (Reset 100) = Unit);
-  check_bool "read after reset" true (UC_d.execute t ~pid:0 Read = Value 100);
-  check_int "history grows" 5 (UC_d.history_size t ~pid:0)
+  check_bool "inc" true (UC_d.execute h0 (Inc 5) = Unit);
+  check_bool "dec" true (UC_d.execute h1 (Dec 2) = Unit);
+  check_bool "read" true (UC_d.execute h0 Read = Value 3);
+  check_bool "reset" true (UC_d.execute h1 (Reset 100) = Unit);
+  check_bool "read after reset" true (UC_d.execute h0 Read = Value 100);
+  check_int "history grows" 5 (UC_d.history_size h0)
 
 let test_universal_query_matches_execute () =
   let t = UC_d.create ~procs:2 in
+  let h0 = UC_d.attach t (ctx ~procs:2 0) in
+  let h1 = UC_d.attach t (ctx ~procs:2 1) in
   let open Spec.Counter_spec in
-  ignore (UC_d.execute t ~pid:0 (Inc 7));
-  check_bool "query read" true (UC_d.query t ~pid:1 Read = Value 7);
+  ignore (UC_d.execute h0 (Inc 7));
+  check_bool "query read" true (UC_d.query h1 Read = Value 7);
   (* query does not grow the history *)
-  check_int "history unchanged by query" 1 (UC_d.history_size t ~pid:0)
+  check_int "history unchanged by query" 1 (UC_d.history_size h0)
 
 let test_universal_steps_bounded () =
   (* The synchronization overhead per operation is one snapshot plus one
@@ -313,7 +320,9 @@ let test_universal_steps_bounded () =
   let procs = 4 in
   let program () =
     let t = UC.create ~procs in
-    fun pid -> ignore (UC.execute t ~pid (Spec.Counter_spec.Inc pid))
+    fun pid ->
+      let h = UC.attach t (ctx ~procs pid) in
+      ignore (UC.execute h (Spec.Counter_spec.Inc pid))
   in
   let d = Pram.Driver.create ~procs program in
   check_bool "finishes" true (Pram.Driver.run_solo d 0);
@@ -331,8 +340,9 @@ let qcheck_universal_wait_free =
       let program () =
         let t = UC.create ~procs in
         fun pid ->
-          ignore (UC.execute t ~pid (Spec.Counter_spec.Inc (pid + 1)));
-          ignore (UC.execute t ~pid Spec.Counter_spec.Read)
+          let h = UC.attach t (ctx ~procs pid) in
+          ignore (UC.execute h (Spec.Counter_spec.Inc (pid + 1)));
+          ignore (UC.execute h Spec.Counter_spec.Read)
       in
       let d = Pram.Driver.create ~procs program in
       let sched = Pram.Scheduler.random ~seed () in
@@ -383,8 +393,9 @@ let qcheck_long_lived_universal_counter =
       let program () =
         let t = UC.create ~procs in
         fun pid ->
-          List.iter (fun op -> ignore (UC.execute t ~pid op)) script.(pid);
-          UC.execute t ~pid Spec.Counter_spec.Read
+          let h = UC.attach t (ctx ~procs pid) in
+          List.iter (fun op -> ignore (UC.execute h op)) script.(pid);
+          UC.execute h Spec.Counter_spec.Read
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run ~max_steps:50_000_000
@@ -414,10 +425,11 @@ let test_long_lived_direct_counter () =
   let program () =
     let t = DC_s2.create ~procs in
     fun pid ->
+      let h = DC_s2.attach t (ctx ~procs pid) in
       for i = 1 to per_proc do
-        if i mod 3 = 0 then DC_s2.dec t ~pid 1 else DC_s2.inc t ~pid 2
+        if i mod 3 = 0 then DC_s2.dec h 1 else DC_s2.inc h 2
       done;
-      DC_s2.read t ~pid
+      DC_s2.read h
   in
   let d = Pram.Driver.create ~procs program in
   Pram.Scheduler.run ~max_steps:50_000_000
@@ -461,16 +473,19 @@ module DC_s = Universal.Direct.Counter (Pram.Memory.Sim)
 
 let test_direct_counter_sequential () =
   let t = DC_d.create ~procs:2 in
-  DC_d.inc t ~pid:0 5;
-  DC_d.dec t ~pid:1 2;
-  check_int "value" 3 (DC_d.read t ~pid:0);
-  DC_d.inc t ~pid:1 10;
-  check_int "value again" 13 (DC_d.read t ~pid:1)
+  let h0 = DC_d.attach t (ctx ~procs:2 0) in
+  let h1 = DC_d.attach t (ctx ~procs:2 1) in
+  DC_d.inc h0 5;
+  DC_d.dec h1 2;
+  check_int "value" 3 (DC_d.read h0);
+  DC_d.inc h1 10;
+  check_int "value again" 13 (DC_d.read h1)
 
 let test_direct_counter_rejects_negative () =
   let t = DC_d.create ~procs:1 in
+  let h0 = DC_d.attach t (ctx ~procs:1 0) in
   check_bool "negative inc rejected" true
-    (try DC_d.inc t ~pid:0 (-1); false with Invalid_argument _ -> true)
+    (try DC_d.inc h0 (-1); false with Invalid_argument _ -> true)
 
 let qcheck_direct_counter_linearizable =
   (* Direct counter histories must satisfy the same counter spec
@@ -483,14 +498,15 @@ let qcheck_direct_counter_linearizable =
       let program () =
         let t = DC_s2.create ~procs in
         fun pid ->
+          let h = DC_s2.attach t (ctx ~procs pid) in
           ignore
             (Spec.History.Recorder.record recorder ~pid
                (Spec.Counter_spec.Inc (pid + 1)) (fun () ->
-                 DC_s.inc t ~pid (pid + 1);
+                 DC_s2.inc h (pid + 1);
                  Spec.Counter_spec.Unit));
           ignore
             (Spec.History.Recorder.record recorder ~pid Spec.Counter_spec.Read
-               (fun () -> Spec.Counter_spec.Value (DC_s2.read t ~pid)))
+               (fun () -> Spec.Counter_spec.Value (DC_s2.read h)))
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
@@ -498,29 +514,35 @@ let qcheck_direct_counter_linearizable =
 
 let test_direct_gset () =
   let t = DG_d.create ~procs:2 in
-  DG_d.add t ~pid:0 3;
-  DG_d.add t ~pid:1 7;
-  check_bool "members" true (DG_d.members t ~pid:0 = [ 3; 7 ]);
-  check_bool "mem" true (DG_d.mem t ~pid:1 3);
-  check_bool "not mem" false (DG_d.mem t ~pid:1 99)
+  let h0 = DG_d.attach t (ctx ~procs:2 0) in
+  let h1 = DG_d.attach t (ctx ~procs:2 1) in
+  DG_d.add h0 3;
+  DG_d.add h1 7;
+  check_bool "members" true (DG_d.members h0 = [ 3; 7 ]);
+  check_bool "mem" true (DG_d.mem h1 3);
+  check_bool "not mem" false (DG_d.mem h1 99)
 
 let test_direct_max_register () =
   let t = DM_d.create ~procs:2 in
-  DM_d.write_max t ~pid:0 5;
-  DM_d.write_max t ~pid:1 3;
-  check_int "max" 5 (DM_d.read_max t ~pid:0);
-  DM_d.write_max t ~pid:1 11;
-  check_int "max again" 11 (DM_d.read_max t ~pid:0)
+  let h0 = DM_d.attach t (ctx ~procs:2 0) in
+  let h1 = DM_d.attach t (ctx ~procs:2 1) in
+  DM_d.write_max h0 5;
+  DM_d.write_max h1 3;
+  check_int "max" 5 (DM_d.read_max h0);
+  DM_d.write_max h1 11;
+  check_int "max again" 11 (DM_d.read_max h0)
 
 let test_logical_clock () =
   let t = LC_d.create ~procs:2 in
-  let t1 = LC_d.tick t ~pid:0 in
-  let t2 = LC_d.tick t ~pid:1 in
+  let h0 = LC_d.attach t (ctx ~procs:2 0) in
+  let h1 = LC_d.attach t (ctx ~procs:2 1) in
+  let t1 = LC_d.tick h0 in
+  let t2 = LC_d.tick h1 in
   check_bool "ticks increase" true (LC_d.compare_ts t1 t2 < 0);
-  LC_d.observe t ~pid:0 (100, 1);
-  let t3 = LC_d.tick t ~pid:0 in
+  LC_d.observe h0 (100, 1);
+  let t3 = LC_d.tick h0 in
   check_bool "tick after observe exceeds observed" true (fst t3 > 100);
-  check_int "now" (fst t3) (LC_d.now t ~pid:1)
+  check_int "now" (fst t3) (LC_d.now h1)
 
 (* --- pseudo read-modify-write -------------------------------------------- *)
 
@@ -540,10 +562,12 @@ module PRMW_s = Universal.Pseudo_rmw.Make (Add_mul_mod) (Pram.Memory.Sim)
 
 let test_pseudo_rmw_sequential () =
   let t = PRMW_d.create ~procs:2 in
-  PRMW_d.pseudo_rmw t ~pid:0 5;
-  PRMW_d.pseudo_rmw t ~pid:1 7;
-  check_int "sum" 12 (PRMW_d.read t ~pid:0);
-  check_int "count" 2 (PRMW_d.applied_count t ~pid:1)
+  let h0 = PRMW_d.attach t (ctx ~procs:2 0) in
+  let h1 = PRMW_d.attach t (ctx ~procs:2 1) in
+  PRMW_d.pseudo_rmw h0 5;
+  PRMW_d.pseudo_rmw h1 7;
+  check_int "sum" 12 (PRMW_d.read h0);
+  check_int "count" 2 (PRMW_d.applied_count h1)
 
 let qcheck_pseudo_rmw_concurrent =
   (* Under any schedule, once quiescent, the value is the fold of all
@@ -556,10 +580,11 @@ let qcheck_pseudo_rmw_concurrent =
       let program () =
         let t = PRMW_s.create ~procs in
         fun pid ->
+          let h = PRMW_s.attach t (ctx ~procs pid) in
           for i = 1 to per_proc do
-            PRMW_s.pseudo_rmw t ~pid ((pid * 10) + i)
+            PRMW_s.pseudo_rmw h ((pid * 10) + i)
           done;
-          PRMW_s.read t ~pid
+          PRMW_s.read h
       in
       let d = Pram.Driver.create ~procs program in
       Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;

@@ -142,14 +142,15 @@ let qcheck_pct_preserves_correct_algorithms =
       let program () =
         let t = Scan.create ~procs:3 in
         fun pid ->
+          let h = Scan.attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
           ignore
             (Spec.History.Recorder.record recorder ~pid (`Write_l (pid + 1))
                (fun () ->
-                 Scan.write_l t ~pid (pid + 1);
+                 Scan.write_l h (pid + 1);
                  `Unit));
           ignore
             (Spec.History.Recorder.record recorder ~pid `Read_max (fun () ->
-                 `Join (Scan.read_max t ~pid)))
+                 `Join (Scan.read_max h)))
       in
       let d = Pram.Driver.create ~procs:3 program in
       Pram.Scheduler.run (Pram.Scheduler.pct ~seed ~depth ~max_steps:60 ()) d;
