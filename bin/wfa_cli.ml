@@ -10,7 +10,7 @@
      explore                     model-check snapshot implementations
      trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
-     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR2.json)
+     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR5.json)
      bench-validate FILE         schema-check a bench JSON file
 
    Exit codes are meaningful on every subcommand — non-zero whenever the
@@ -708,8 +708,8 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:
          "Run the JSON bench pipeline: simulator step counts, native \
-          multi-domain throughput (procs 1,2,4,8), and direct timing — \
-          the BENCH_PR2.json rows.")
+          multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
+          and direct timing — the BENCH_PR5.json rows.")
     Term.(ret (const run $ json $ out $ quick))
 
 let bench_validate_cmd =

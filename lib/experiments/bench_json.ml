@@ -1,6 +1,6 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR2.json and uploaded by CI.
+   BENCH_PR5.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
@@ -10,13 +10,17 @@
    - "sim":    exact step counts from the deterministic simulator, fed
                through the Metrics recorder attached as a Driver
                observer.  Machine-independent; the scan rows must equal
-               Scan.cost_formula (the validator re-checks this).
+               Scan.cost_formula (the validator re-checks this), and the
+               universal-construction rows carry the spec-replay counts
+               that separate the incremental memo (PR 5) from the
+               from-scratch Reference mode.
    - "native": wall-clock measurements over real OCaml domains
                (Atomic registers), at procs in {1,2,4,8} — contended and
-               uncontended variants of the hot paths.
+               uncontended variants of the hot paths, each with the
+               wall_ns / ops_per_sec / ns_per_op metric family.
    - "direct": single-threaded wall-clock of the remaining flagship ops
-               (universal counter, agreement, lingraph build), the
-               B4-B6 counterparts.
+               (universal counter in both construction modes, agreement,
+               lingraph build), the B4-B6 counterparts.
 
    Everything is deterministic in structure (same benches, same procs
    sweep) so trajectory tooling can diff files across PRs; only
@@ -353,6 +357,65 @@ let semantic_checks rows =
         err "%s procs=%d lost %s updates" r.bench r.procs
           (number_to_string r.value))
     rows;
+  (* Wall-clock rows (PR 5) are schema-checked but not threshold-gated:
+     the span and throughput must merely be positive and carry the right
+     unit — actual magnitudes are machine-dependent. *)
+  List.iter
+    (fun r ->
+      match r.metric with
+      | "wall_ns" ->
+          if r.unit_ <> "ns" then
+            err "%s procs=%d: wall_ns rows must have unit \"ns\", got %S"
+              r.bench r.procs r.unit_;
+          if r.value <= 0.0 then
+            err "%s procs=%d: wall_ns must be positive, got %s" r.bench
+              r.procs (number_to_string r.value)
+      | "ops_per_sec" ->
+          if r.value <= 0.0 then
+            err "%s procs=%d: ops_per_sec must be positive, got %s" r.bench
+              r.procs (number_to_string r.value)
+      | _ -> ())
+    rows;
+  (* The PR 5 universal benches must cover the full sweep with the
+     wall-clock family. *)
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun metric ->
+              let covered =
+                List.exists
+                  (fun r ->
+                    r.backend = "native" && r.bench = bench && r.procs = p
+                    && r.metric = metric)
+                  rows
+              in
+              if not covered then
+                err "no native %s row for %s procs=%d" metric bench p)
+            [ "wall_ns"; "ops_per_sec" ])
+        [ 1; 2; 4; 8 ])
+    [ "universal_counter"; "universal_gset" ];
+  (* Sim replay counts are deterministic, so the memoized mode may never
+     replay more history entries than the from-scratch mode it must
+     match byte-for-byte. *)
+  List.iter
+    (fun r ->
+      if r.backend = "sim" && r.metric = "spec_replays" then
+        List.iter
+          (fun r' ->
+            if
+              r'.backend = "sim" && r'.bench = r.bench && r'.procs = r.procs
+              && r'.metric = "spec_replays_reference"
+              && r.value > r'.value
+            then
+              err
+                "sim %s procs=%d: incremental spec_replays (%s) exceeds \
+                 reference (%s)"
+                r.bench r.procs (number_to_string r.value)
+                (number_to_string r'.value))
+          rows)
+    rows;
   List.rev !errors
 
 let validate_string contents =
@@ -474,6 +537,86 @@ let sim_universal_rows ~procs ~ops_per_proc =
         mk "steps_max" (float_of_int s.Metrics.Stats.max);
       ]
 
+(* PR 5 universal-construction benches: the same deterministic script in
+   both construction modes.  Synchronization accesses are identical by
+   design (the memo only changes local work — test/test_incremental.ml
+   asserts this per schedule); what separates the modes is the number of
+   sequential-spec replay calls, emitted side by side so the O(m) vs
+   O(m^2) gap is visible in the committed JSON. *)
+module Sim_universal (O : Spec.Object_spec.S) = struct
+  module U = Universal.Construction.Make (O) (Pram.Memory.Sim)
+
+  let run ~procs ~mode ~script =
+    let recorder = Metrics.Recorder.create ~procs in
+    let replays = Array.make procs 0 in
+    let program () =
+      let t = U.create ~procs in
+      fun pid ->
+        let h = U.attach ~mode t (Runtime.Ctx.make ~procs ~pid ()) in
+        List.iter (fun op -> ignore (U.execute h op)) (script pid);
+        replays.(pid) <- (U.stats h).U.spec_replays
+    in
+    let d =
+      Pram.Driver.create ~observer:(Metrics.Recorder.observer recorder) ~procs
+        program
+    in
+    Pram.Scheduler.run ~max_steps:50_000_000 (Pram.Scheduler.round_robin ()) d;
+    let total count =
+      let acc = ref 0 in
+      for p = 0 to procs - 1 do
+        acc := !acc + count ~pid:p
+      done;
+      !acc
+    in
+    ( total (fun ~pid -> Metrics.Recorder.reads recorder ~pid),
+      total (fun ~pid -> Metrics.Recorder.writes recorder ~pid),
+      Array.fold_left ( + ) 0 replays )
+
+  let rows ~bench ~procs ~ops_per_proc ~script =
+    let reads, writes, inc_replays = run ~procs ~mode:U.Incremental ~script in
+    let reads', writes', ref_replays = run ~procs ~mode:U.Reference ~script in
+    if reads <> reads' || writes <> writes' then
+      failwith
+        (Printf.sprintf
+           "Bench_json: %s procs=%d: construction modes disagree on \
+            synchronization accesses (%d/%d vs %d/%d)"
+           bench procs reads writes reads' writes');
+    let mk metric value unit_ =
+      row ~bench ~procs ~backend:"sim" ~metric
+        ~value:(float_of_int value) ~unit_
+    in
+    [
+      mk "reads" reads "accesses";
+      mk "writes" writes "accesses";
+      mk "ops" (procs * ops_per_proc) "ops";
+      mk "spec_replays" inc_replays "calls";
+      mk "spec_replays_reference" ref_replays "calls";
+    ]
+end
+
+module Sim_uc = Sim_universal (Spec.Counter_spec)
+module Sim_ug = Sim_universal (Spec.Gset_spec)
+
+(* Commute-heavy scripts (increments/adds with a sprinkling of reads):
+   the workload class the paper's Property 1 is about, and the one where
+   the incremental memo merges every delta without rebuilds. *)
+let bench_counter_script ~ops_per_proc pid =
+  List.init ops_per_proc (fun i ->
+      if i mod 4 = 3 then Spec.Counter_spec.Read
+      else Spec.Counter_spec.Inc (pid + 1))
+
+let bench_gset_script ~ops_per_proc pid =
+  List.init ops_per_proc (fun i ->
+      if i mod 4 = 3 then Spec.Gset_spec.Members
+      else Spec.Gset_spec.Add ((pid * ops_per_proc) + i))
+
+let sim_universal_mode_rows ~quick ~procs =
+  let ops_per_proc = if quick then 6 else 12 in
+  Sim_uc.rows ~bench:"universal_counter" ~procs ~ops_per_proc
+    ~script:(bench_counter_script ~ops_per_proc)
+  @ Sim_ug.rows ~bench:"universal_gset" ~procs ~ops_per_proc
+      ~script:(bench_gset_script ~ops_per_proc)
+
 module AA_sim = Agreement.Approx_agreement.Make (Pram.Memory.Sim)
 
 let sim_agreement_rows ~procs =
@@ -509,6 +652,10 @@ let sim_rows ~quick =
         (fun procs ->
           sim_universal_rows ~procs ~ops_per_proc:(if quick then 4 else 8))
         (if quick then [ 1; 2; 4 ] else sweep);
+      (* the mode-comparison rows keep the full sweep even under --quick:
+         the validator requires universal coverage at procs 1/2/4/8 *)
+      List.concat_map (fun procs -> sim_universal_mode_rows ~quick ~procs)
+        sweep;
       List.concat_map (fun procs -> sim_agreement_rows ~procs) sweep;
     ]
 
@@ -519,10 +666,15 @@ module Scan_native = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Native.Mem)
 module Arr_native =
   Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Native.Mem)
 
+(* The wall-clock metric family (PR 5): every native timing emits the
+   raw elapsed span (wall_ns) next to the derived throughput rows, so
+   downstream tooling never has to reconstruct one from the other. *)
 let throughput_rows ~bench ~procs ~total_ops ~elapsed extra =
   let ops = float_of_int total_ops in
-  row ~bench ~procs ~backend:"native" ~metric:"ops_per_sec"
-    ~value:(ops /. elapsed) ~unit_:"ops/s"
+  row ~bench ~procs ~backend:"native" ~metric:"wall_ns"
+    ~value:(elapsed *. 1e9) ~unit_:"ns"
+  :: row ~bench ~procs ~backend:"native" ~metric:"ops_per_sec"
+       ~value:(ops /. elapsed) ~unit_:"ops/s"
   :: row ~bench ~procs ~backend:"native" ~metric:"ns_per_op"
        ~value:(elapsed *. 1e9 /. ops) ~unit_:"ns"
   :: extra
@@ -549,6 +701,40 @@ let native_counter_rows ~quick ~procs =
         ~value:(float_of_int (total_ops - final))
         ~unit_:"ops";
     ]
+
+module UC_native = Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Mem)
+module UG_native = Universal.Construction.Make (Spec.Gset_spec) (Pram.Native.Mem)
+
+(* Wall-clock of the generic universal construction on real domains
+   (incremental mode, the default), one domain per process, every domain
+   running the same commute-heavy script as the sim rows.  Uses
+   [run_parallel_timed], so spawn/join overhead is inside the span —
+   the op counts are sized to dominate it. *)
+let native_universal_counter_rows ~quick ~procs =
+  let ops_per_proc = if quick then 120 else 600 in
+  let t = UC_native.create ~procs in
+  let _, elapsed =
+    Pram.Native.run_parallel_timed ~procs (fun pid ->
+        let h = UC_native.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+        List.iter
+          (fun op -> ignore (UC_native.execute h op))
+          (bench_counter_script ~ops_per_proc pid))
+  in
+  throughput_rows ~bench:"universal_counter" ~procs
+    ~total_ops:(procs * ops_per_proc) ~elapsed []
+
+let native_universal_gset_rows ~quick ~procs =
+  let ops_per_proc = if quick then 100 else 400 in
+  let t = UG_native.create ~procs in
+  let _, elapsed =
+    Pram.Native.run_parallel_timed ~procs (fun pid ->
+        let h = UG_native.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+        List.iter
+          (fun op -> ignore (UG_native.execute h op))
+          (bench_gset_script ~ops_per_proc pid))
+  in
+  throughput_rows ~bench:"universal_gset" ~procs
+    ~total_ops:(procs * ops_per_proc) ~elapsed []
 
 (* Contended vs uncontended scan on real domains.  The step counts are
    identical by wait-freedom (the sim rows pin that down); what contention
@@ -640,6 +826,12 @@ let native_rows ~quick =
     [
       List.concat_map (fun procs -> native_counter_rows ~quick ~procs)
         procs_sweep;
+      List.concat_map
+        (fun procs -> native_universal_counter_rows ~quick ~procs)
+        procs_sweep;
+      List.concat_map
+        (fun procs -> native_universal_gset_rows ~quick ~procs)
+        procs_sweep;
       native_scan_rows ~quick;
     ]
 
@@ -660,17 +852,22 @@ let direct_rows ~quick =
   let procs = 4 in
   let window = 64 in
   let ctx0 = Runtime.Ctx.make ~procs ~pid:0 () in
-  let uc = ref (UC_direct.attach (UC_direct.create ~procs) ctx0) in
-  let k = ref 0 in
-  let uc_ns =
+  (* windowed universal counter in both construction modes: the same
+     op stream, recreated every [window] ops so the history stays
+     bounded; the incremental/Reference pair is the B4 before/after *)
+  let uc_mode_ns mode =
+    let uc = ref (UC_direct.attach ~mode (UC_direct.create ~procs) ctx0) in
+    let k = ref 0 in
     time_direct
       ~iters:(if quick then 200 else 2_000)
       (fun () ->
         incr k;
         if !k mod window = 0 then
-          uc := UC_direct.attach (UC_direct.create ~procs) ctx0;
+          uc := UC_direct.attach ~mode (UC_direct.create ~procs) ctx0;
         ignore (UC_direct.execute !uc (Spec.Counter_spec.Inc 1)))
   in
+  let uc_ns = uc_mode_ns UC_direct.Incremental in
+  let uc_ref_ns = uc_mode_ns UC_direct.Reference in
   let aa_ns =
     time_direct
       ~iters:(if quick then 100 else 1_000)
@@ -695,6 +892,7 @@ let direct_rows ~quick =
   in
   [
     mk "universal_counter_inc" procs uc_ns;
+    mk "universal_counter_inc_reference" procs uc_ref_ns;
     mk "approx_agreement_solo" procs aa_ns;
     mk "lingraph_build_k64" 1 lg_ns;
   ]
@@ -704,7 +902,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR2.json"
+let default_path = "BENCH_PR5.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

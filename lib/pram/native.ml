@@ -8,14 +8,20 @@
 
    [Atomic.t] gives sequentially consistent single-cell reads and writes —
    exactly the atomic-register semantics of the asynchronous PRAM model.
-   Values stored are immutable OCaml values, so publication is safe. *)
+   Values stored are immutable OCaml values, so publication is safe.
+
+   Registers are padded to cache-line granularity ([Padding]): the
+   algorithms allocate whole arrays of registers at once (grid rows,
+   anchor slots), which would otherwise pack several logically-private
+   single-writer registers into one line and serialize unrelated
+   domains on coherence traffic. *)
 
 module Mem : Memory.S with type 'a reg = 'a Atomic.t = struct
   type 'a reg = 'a Atomic.t
 
   let create ?name init =
     ignore name;
-    Atomic.make init
+    Padding.padded_atomic init
 
   let read = Atomic.get
   let write = Atomic.set
@@ -43,16 +49,31 @@ end = struct
 
   (* All cells ever handed out, CAS-appended on each domain's first
      access.  A cell outlives its domain, so counts from joined domains
-     stay in the totals. *)
-  let registry : cell list Atomic.t = Atomic.make []
+     stay in the totals.  The CAS loop backs off with [Domain.cpu_relax]
+     so that a registration stampede (every domain registers on its
+     first wrapped access, i.e. all at once right after spawn) yields
+     the core to the winner instead of hammering the line. *)
+  let registry : cell list Atomic.t = Padding.padded_atomic []
 
   let rec register c =
     let old = Atomic.get registry in
-    if not (Atomic.compare_and_set registry old (c :: old)) then register c
+    if not (Atomic.compare_and_set registry old (c :: old)) then begin
+      Domain.cpu_relax ();
+      register c
+    end
 
+  (* Each counter on its own cache line: cells from different domains are
+     allocated close together, and an unpadded neighbour pair would put
+     two "uncontended" hot counters on one line — exactly the false
+     sharing the per-domain design is meant to avoid. *)
   let cell_key =
     Domain.DLS.new_key (fun () ->
-        let c = { c_reads = Atomic.make 0; c_writes = Atomic.make 0 } in
+        let c =
+          {
+            c_reads = Padding.padded_atomic 0;
+            c_writes = Padding.padded_atomic 0;
+          }
+        in
         register c;
         c)
 

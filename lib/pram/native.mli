@@ -7,14 +7,19 @@
     unchanged, in parallel, here.  Used by the examples, the CLI's
     [counter] torture command, and the wall-clock benches. *)
 
-(** The domain-safe memory backend. *)
+(** The domain-safe memory backend.  Registers are padded to cache-line
+    granularity (see {!Padding}): algorithms allocate arrays of
+    single-writer registers back-to-back, and unpadded neighbours would
+    false-share lines across domains. *)
 module Mem : Memory.S with type 'a reg = 'a Atomic.t
 
 (** Wrap any backend with read/write counters for cost accounting under
     domains.  Each domain increments its own domain-local cell
-    (uncontended, so counting does not perturb the timing of the wrapped
-    accesses); [reads ()] / [writes ()] aggregate across all domains
-    that ever touched this instance, including ones already joined. *)
+    (uncontended and cache-line padded, so counting does not perturb
+    the timing of the wrapped accesses); [reads ()] / [writes ()]
+    aggregate across all domains that ever touched this instance,
+    including ones already joined.  Registration of a new domain's cell
+    is a CAS loop with [Domain.cpu_relax] back-off. *)
 module Counting (M : Memory.S) : sig
   include Memory.S
 

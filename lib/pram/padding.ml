@@ -1,0 +1,43 @@
+(* Cache-line padding for contended heap blocks.
+
+   OCaml's minor allocator packs small blocks densely, so two [Atomic.t]
+   cells allocated back-to-back by different domains routinely share a
+   cache line: every CAS or even plain read then fights the coherence
+   protocol over memory the algorithm never actually shares (false
+   sharing).  The fix is the standard one — reallocate the block with
+   enough trailing padding words that it owns its line(s).
+
+   [copy_as_padded] re-allocates an ordinary (tag-0) block at
+   [words] words, copying the real fields and filling the tail with the
+   immediate 0 so the GC scans only valid values.  The result is
+   observationally equal for field access — in particular for
+   [Atomic.get]/[set]/[compare_and_set], which operate on field 0 — but
+   NOT for [Obj.size]-sensitive operations (structural comparison,
+   marshalling), so reserve it for cells used only through [Atomic] or
+   mutable-field access.  Values that are immediates, non-tag-0 blocks
+   (boxed floats, closures, ...) or already at least [words] long are
+   returned unchanged.
+
+   [Atomic.make_contended] would do this for us, but it only exists
+   since OCaml 5.2 and this library supports 5.1. *)
+
+(* 16 words = 128 bytes on 64-bit: one full line on x86 (64 B) plus its
+   adjacent-line prefetch pair, and exactly one line on Apple silicon. *)
+let words = 16
+
+let copy_as_padded (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if Obj.is_int r || Obj.tag r <> 0 || Obj.size r >= words then v
+  else begin
+    let n = Obj.size r in
+    let b = Obj.new_block 0 words in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field r i)
+    done;
+    for i = n to words - 1 do
+      Obj.set_field b i (Obj.repr 0)
+    done;
+    Obj.obj b
+  end
+
+let padded_atomic v = copy_as_padded (Atomic.make v)

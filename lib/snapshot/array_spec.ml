@@ -35,6 +35,8 @@ end) :
     | (`Update _ | `Snapshot), `Snapshot -> true
     | `Snapshot, `Update _ -> false
 
+  let reads_only = function `Snapshot -> true | `Update _ -> false
+
   let equal_state a b = Array.for_all2 V.equal a b
 
   let equal_response a b =

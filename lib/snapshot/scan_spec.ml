@@ -46,6 +46,8 @@ module Make (L : Semilattice.S) :
     | (`Write_l _ | `Read_max), `Read_max -> true
     | `Read_max, `Write_l _ -> false
 
+  let reads_only = function `Read_max -> true | `Write_l _ -> false
+
   let equal_state = L.equal
 
   let equal_response a b =

@@ -43,6 +43,8 @@ let overwrites q p =
   | (Inc _ | Dec _ | Read), Read -> true
   | (Inc _ | Dec _ | Read), (Inc _ | Dec _ | Reset _) -> false
 
+let reads_only = function Read -> true | Inc _ | Dec _ | Reset _ -> false
+
 let equal_state = Int.equal
 let equal_response a b =
   match (a, b) with

@@ -40,6 +40,8 @@ let overwrites q p =
   | Add x, Add y -> x = y
   | (Add _ | Members), (Add _ | Clear) -> false
 
+let reads_only = function Members -> true | Add _ | Clear -> false
+
 let equal_state = Int_set.equal
 
 let equal_response a b =

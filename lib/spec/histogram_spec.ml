@@ -48,6 +48,8 @@ let overwrites q p =
   | (Observe _ | Count _ | Total), p when is_query p -> true
   | (Observe _ | Count _ | Total), _ -> false
 
+let reads_only = is_query
+
 (* Canonical states: never store zero buckets (so equal states are
    structurally equal and print canonically for the checker). *)
 let normalize s = Int_map.filter (fun _ v -> v <> 0) s

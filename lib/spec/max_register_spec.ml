@@ -33,6 +33,8 @@ let overwrites q p =
   | (Write_max _ | Read_max), Read_max -> true
   | Read_max, Write_max _ -> false
 
+let reads_only = function Read_max -> true | Write_max _ -> false
+
 let equal_state = Int.equal
 
 let equal_response a b =

@@ -37,6 +37,14 @@ module type S = sig
   (** [overwrites q p]: appending [p] then [q] is equivalent to appending
       [q] alone (Definition 11: "q overwrites p"). *)
 
+  val reads_only : operation -> bool
+  (** [reads_only p] declares that [p] never changes the state: for every
+      state [s], [fst (apply s p)] is equivalent to [s].  (Equivalently:
+      every operation overwrites [p].)  Read-only operations may be
+      reordered freely with respect to the STATE (not the response!), a
+      fact the incremental universal construction exploits when merging
+      late-arriving entries behind its committed prefix. *)
+
   val equal_state : state -> state -> bool
   val equal_response : response -> response -> bool
   val pp_operation : Format.formatter -> operation -> unit
@@ -103,6 +111,9 @@ module Algebra (O : S) = struct
     else if O.overwrites q p && not (overwrites_at s ~q ~p) then
       fail "declared overwrite fails at state %a: %a overwrites %a"
         O.pp_state s O.pp_operation q O.pp_operation p
+    else if O.reads_only p && not (O.equal_state (fst (O.apply s p)) s) then
+      fail "declared reads_only fails at state %a: %a changes the state"
+        O.pp_state s O.pp_operation p
     else None
 
   (* Property-1 check for a pair, with declared relations. *)

@@ -29,6 +29,15 @@ module type S = sig
   (** [overwrites q p]: appending [p] then [q] is equivalent to
       appending [q] alone (Definition 11: "q overwrites p"). *)
 
+  val reads_only : operation -> bool
+  (** [reads_only p] declares that [p] never changes the state: for
+      every state [s], [fst (apply s p)] is equivalent to [s]
+      (equivalently, every operation overwrites [p]).  A proof
+      obligation like [commutes]/[overwrites], discharged pointwise by
+      {!Algebra.check_declarations_at}; the incremental universal
+      construction relies on it to reorder queries freely with respect
+      to the state when merging deltas behind its committed prefix. *)
+
   val equal_state : state -> state -> bool
   val equal_response : response -> response -> bool
   val pp_operation : Format.formatter -> operation -> unit

@@ -39,6 +39,9 @@ let overwrites q p =
   match (q, p) with
   | (Enq _ | Deq), (Enq _ | Deq) -> false
 
+(* Even [Deq] mutates (it pops), so nothing here is a pure query. *)
+let reads_only = function Enq _ | Deq -> false
+
 let equal_state a b = a = b
 
 let equal_response a b =

@@ -36,6 +36,8 @@ let overwrites q p =
   | Read, Read -> true
   | Read, Write _ -> false
 
+let reads_only = function Read -> true | Write _ -> false
+
 let equal_state = Int.equal
 
 let equal_response a b =

@@ -41,6 +41,8 @@ let overwrites q p =
   | (Stick _ | Read_sticky), Read_sticky -> true
   | Read_sticky, Stick _ -> false
 
+let reads_only = function Read_sticky -> true | Stick _ -> false
+
 let equal_state = Option.equal Int.equal
 
 let equal_response a b =

@@ -4,7 +4,10 @@
 
     Insertion maintains one reachability bitset per node, costing
     O(V^2/word) worst case; node counts here are the number of
-    operations in one object's history. *)
+    operations in one object's history.  This is the dominant local cost
+    of a from-scratch linearization ({!Construction.Make.Reference}
+    mode); the incremental mode exists precisely to rebuild this closure
+    only when a merge cannot be proven safe. *)
 
 type t
 

@@ -6,7 +6,16 @@
     dominance edges — each directed from the dominated operation to its
     dominator — that keeps the graph acyclic (Lemma 18).  Topological
     sorts of the result are the object's linearizations; Lemma 20 (tested
-    in test/test_universal.ml) shows they are all equivalent. *)
+    in test/test_universal.ml) shows they are all equivalent.
+
+    {b Not prefix-stable.}  A dominance edge is skipped exactly when it
+    would close a cycle, and the blocking path may run through nodes
+    added {e later}: growing the graph can therefore flip the relative
+    order of two {e old} incomparable operations between rebuilds.  Any
+    layer that caches a linearized prefix (the incremental mode of
+    {!Construction}) must not assume an old pair keeps its order as the
+    history grows — see DESIGN.md section 10 for the merge rules that
+    make caching sound without that assumption. *)
 
 (** @raise Invalid_argument if the precedence edges are cyclic. *)
 val build :

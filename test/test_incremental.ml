@@ -1,0 +1,330 @@
+(* Differential tests for the incremental universal construction (PR 5).
+
+   The memoized [Incremental] mode of [Universal.Construction] must be
+   observationally indistinguishable from the from-scratch [Reference]
+   mode:
+
+   - byte-identical responses on EVERY schedule — checked exhaustively
+     (DPOR) for procs <= 3, including crash branches, and on random
+     commute/overwrite scripts for procs 1..4;
+   - an unchanged synchronization layer — the per-process simulator step
+     counts (every atomic register access) must match exactly, since the
+     memo only replaces local linearization work;
+   - O(delta) local work — a sequential run of m operations must replay
+     history entries O(m) times in total where the reference replays
+     Theta(m^2), counted both through [stats] and through the
+     ["replay %d entries"] annotations in the observer sink.
+
+   See DESIGN.md section 10 for why the merge rules make this sound. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
+
+(* --- generic differential machinery --------------------------------------- *)
+
+module Diff (O : Spec.Object_spec.S) = struct
+  module U = Universal.Construction.Make (O) (Pram.Memory.Sim)
+
+  (* A program running [script] with [mode] handles, appending each
+     response (with its pid) to [out] as it is produced, so crashed
+     processes still contribute their completed prefix. *)
+  let program ~mode ~procs ~script out () =
+    out := [];
+    let t = U.create ~procs in
+    fun pid ->
+      let h = U.attach ~mode t (ctx ~procs pid) in
+      List.iter
+        (fun op ->
+          let r = U.execute h op in
+          out := (pid, r) :: !out)
+        (script pid)
+
+  (* Both runs execute the same script under the same schedule, so the
+     k-th completed operation is the same (pid, op) in both — comparing
+     (pid, response) sequences compares responses pointwise. *)
+  let same_responses a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (p1, r1) (p2, r2) -> p1 = p2 && O.equal_response r1 r2)
+         a b
+
+  (* Exhaustively explore the Incremental program; for every enumerated
+     schedule, replay the SAME encoded schedule against the Reference
+     program and demand identical responses and identical per-pid step
+     counts.  Returns the explore outcome for the caller to gate on. *)
+  let explore_diff ?mode ?max_schedules ?max_crashes ~procs ~script () =
+    let out_inc = ref [] and out_ref = ref [] in
+    let inc_program = program ~mode:U.Incremental ~procs ~script out_inc in
+    let ref_program = program ~mode:U.Reference ~procs ~script out_ref in
+    Pram.Explore.exhaustive ?mode ?max_schedules ?max_crashes ~procs
+      inc_program
+      (fun d sched ->
+        let d_ref, _ =
+          Pram.Explore.replay_encoded ~procs ref_program sched
+        in
+        same_responses (List.rev !out_inc) (List.rev !out_ref)
+        && List.for_all
+             (fun p -> Pram.Driver.steps d p = Pram.Driver.steps d_ref p)
+             (List.init procs Fun.id))
+
+  (* One random schedule (seeded), both modes: identical responses and
+     per-pid steps.  Completion after the scheduler gives up is part of
+     the recorded schedule, so the replay is exact. *)
+  let random_diff ~procs ~seed ~script =
+    let out_inc = ref [] and out_ref = ref [] in
+    let inc_program = program ~mode:U.Incremental ~procs ~script out_inc in
+    let ref_program = program ~mode:U.Reference ~procs ~script out_ref in
+    let d = Pram.Driver.create ~procs inc_program in
+    Pram.Scheduler.run ~max_steps:5_000_000
+      (Pram.Scheduler.random ~seed ())
+      d;
+    for p = 0 to procs - 1 do
+      if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+    done;
+    let d_ref =
+      Pram.Driver.replay ~procs ref_program (Pram.Driver.schedule d)
+    in
+    same_responses (List.rev !out_inc) (List.rev !out_ref)
+    && List.for_all
+         (fun p -> Pram.Driver.steps d p = Pram.Driver.steps d_ref p)
+         (List.init procs Fun.id)
+end
+
+module Diff_counter = Diff (Spec.Counter_spec)
+module Diff_gset = Diff (Spec.Gset_spec)
+module Diff_sticky = Diff (Spec.Sticky_spec)
+
+(* --- exhaustive differential (procs <= 3, DPOR) --------------------------- *)
+
+let test_explore_diff_counter_p2 () =
+  (* Inc/Read commute with reads; Reset overwrites: both the merge path
+     and the rebuild/non-canonical path are hit across the schedules. *)
+  let script = function
+    | 0 -> Spec.Counter_spec.[ Inc 1; Read ]
+    | _ -> Spec.Counter_spec.[ Reset 5 ]
+  in
+  let outcome =
+    Diff_counter.explore_diff ~mode:Pram.Explore.Dpor ~procs:2 ~script ()
+  in
+  check_bool "all DPOR schedules agree (counter, procs 2)" true
+    (Pram.Explore.ok outcome);
+  check_bool "non-trivial schedule count" true
+    (outcome.Pram.Explore.explored > 10)
+
+let test_explore_diff_gset_p3 () =
+  (* Complete DPOR closure at procs 3: two single-op processes (the
+     third stays idle but contributes its anchor slot to every scan),
+     with [Members] making the schedule-dependent state visible in the
+     responses — [Elements []] before the [Add], [Elements [1]] after. *)
+  let script = function
+    | 0 -> Spec.Gset_spec.[ Add 1 ]
+    | 1 -> Spec.Gset_spec.[ Members ]
+    | _ -> []
+  in
+  let outcome =
+    Diff_gset.explore_diff ~mode:Pram.Explore.Dpor ~procs:3 ~script ()
+  in
+  check_bool "all DPOR schedules agree (gset, procs 3)" true
+    (Pram.Explore.ok outcome);
+  check_bool "non-trivial schedule count" true
+    (outcome.Pram.Explore.explored > 10)
+
+let test_explore_diff_gset_p3_sampled () =
+  (* Three active processes including the overwriting [Clear]: the full
+     DPOR closure at this size exceeds 10^6 classes, so explore a
+     bounded prefix of it and demand zero disagreements in the sample
+     (complete closures are covered by the two tests above). *)
+  let script = function
+    | 0 -> Spec.Gset_spec.[ Add 1 ]
+    | 1 -> Spec.Gset_spec.[ Clear ]
+    | _ -> Spec.Gset_spec.[ Members ]
+  in
+  let outcome =
+    Diff_gset.explore_diff ~mode:Pram.Explore.Dpor ~max_schedules:60_000
+      ~procs:3 ~script ()
+  in
+  check_bool "no disagreement in the sampled schedules" true
+    (outcome.Pram.Explore.failures = []);
+  check_bool "sampled the full budget" true
+    (outcome.Pram.Explore.explored >= 60_000)
+
+let test_explore_diff_counter_crashes () =
+  (* Naive exploration with crash branching: a crashed process's
+     published-but-unlinearized entry must be merged identically by both
+     modes.  The naive space at this size is too big to finish, so gate
+     on "no failures among the first N schedules" instead of [ok]. *)
+  let script = function
+    | 0 -> Spec.Counter_spec.[ Inc 1 ]
+    | _ -> Spec.Counter_spec.[ Reset 5 ]
+  in
+  let outcome =
+    Diff_counter.explore_diff ~mode:Pram.Explore.Naive ~max_crashes:1
+      ~max_schedules:4_000 ~procs:2 ~script ()
+  in
+  check_bool "no disagreement under crashes" true
+    (outcome.Pram.Explore.failures = []);
+  check_bool "explored a real sample" true
+    (outcome.Pram.Explore.explored >= 4_000)
+
+(* --- random-script differential (procs 1..4) ------------------------------ *)
+
+let qcheck_diff_random ~name ~random_diff ~gen_op =
+  QCheck.Test.make ~name ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, procs) ->
+      let rng = Random.State.make [| seed; procs; 0x1ac |] in
+      let script =
+        Array.init procs (fun _ ->
+            List.init (1 + Random.State.int rng 4) (fun _ -> gen_op rng))
+      in
+      random_diff ~procs ~seed ~script:(fun pid -> script.(pid)))
+
+let qcheck_diff_counter =
+  qcheck_diff_random ~name:"incremental = reference: counter, random"
+    ~random_diff:Diff_counter.random_diff ~gen_op:(fun rng ->
+      match Random.State.int rng 8 with
+      | 0 | 1 | 2 -> Spec.Counter_spec.Inc (1 + Random.State.int rng 5)
+      | 3 | 4 -> Spec.Counter_spec.Dec (1 + Random.State.int rng 5)
+      | 5 -> Spec.Counter_spec.Reset (Random.State.int rng 10)
+      | _ -> Spec.Counter_spec.Read)
+
+let qcheck_diff_gset =
+  qcheck_diff_random ~name:"incremental = reference: gset, random"
+    ~random_diff:Diff_gset.random_diff ~gen_op:(fun rng ->
+      match Random.State.int rng 6 with
+      | 0 | 1 | 2 -> Spec.Gset_spec.Add (Random.State.int rng 8)
+      | 3 -> Spec.Gset_spec.Clear
+      | _ -> Spec.Gset_spec.Members)
+
+let qcheck_diff_sticky =
+  (* Sticky writes neither commute nor overwrite (Property 1 rejects the
+     spec), which drives the memo permanently non-canonical: the
+     differential identity must survive the fallback-forever path too. *)
+  qcheck_diff_random ~name:"incremental = reference: sticky, random"
+    ~random_diff:Diff_sticky.random_diff ~gen_op:(fun rng ->
+      if Random.State.int rng 3 = 0 then Spec.Sticky_spec.Read_sticky
+      else Spec.Sticky_spec.Stick (Random.State.int rng 5))
+
+(* --- O(delta) regression --------------------------------------------------- *)
+
+module UC_direct = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+
+(* Count the history entries a handle replayed, from the journal's
+   ["replay %d entries"] annotations — the observer-sink view of the
+   same quantity [stats] reports as [spec_replays]. *)
+let replays_in_journal journal =
+  List.fold_left
+    (fun acc (e : Tracing.event) ->
+      match e.Tracing.ev with
+      | Tracing.Annotate s -> (
+          try Scanf.sscanf s "replay %d entries" (fun n -> acc + n)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc)
+      | _ -> acc)
+    0 (Tracing.Journal.events journal)
+
+let run_sequential ~mode ~procs ~per_proc =
+  (* Round-robin at operation granularity: p0 op, p1 op, ... — every
+     operation sees all previous ones, so the reference replays the whole
+     history each time while the memo only absorbs the new entries. *)
+  let journal = Tracing.Journal.create ~procs () in
+  let sink = Runtime.Sink.make ~journal () in
+  let t = UC_direct.create ~procs in
+  let handles =
+    Array.init procs (fun pid ->
+        UC_direct.attach ~mode t (Runtime.Ctx.make ~sink ~procs ~pid ()))
+  in
+  for _round = 1 to per_proc do
+    Array.iteri
+      (fun pid h ->
+        ignore (UC_direct.execute h (Spec.Counter_spec.Inc (pid + 1))))
+      handles
+  done;
+  let stats_total =
+    Array.fold_left
+      (fun acc h -> acc + (UC_direct.stats h).spec_replays)
+      0 handles
+  in
+  (stats_total, replays_in_journal journal)
+
+let test_odelta_regression () =
+  let procs = 3 and per_proc = 12 in
+  let m = procs * per_proc in
+  let inc_stats, inc_journal =
+    run_sequential ~mode:UC_direct.Incremental ~procs ~per_proc
+  in
+  let ref_stats, ref_journal =
+    run_sequential ~mode:UC_direct.Reference ~procs ~per_proc
+  in
+  (* the two accounting channels must agree with each other *)
+  check_int "incremental: stats = journal" inc_stats inc_journal;
+  check_int "reference: stats = journal" ref_stats ref_journal;
+  (* each entry is merged at most once by each OTHER process's memo:
+     total incremental replays <= procs * m, i.e. c*m with c = procs *)
+  check_bool "incremental replays are O(m)" true (inc_stats <= procs * m);
+  (* the reference replays the full i-entry history before op i+1:
+     sum_{i<m} i = m(m-1)/2 *)
+  check_int "reference replays are m(m-1)/2" (m * (m - 1) / 2) ref_stats;
+  check_bool "memoization actually wins" true (inc_stats * 4 < ref_stats)
+
+let test_odelta_single_process () =
+  (* A solo process never replays at all: its own entries are committed
+     with their stored responses, no [O.apply] needed. *)
+  let inc_stats, inc_journal =
+    run_sequential ~mode:UC_direct.Incremental ~procs:1 ~per_proc:20
+  in
+  check_int "solo incremental replays" 0 inc_stats;
+  check_int "solo incremental journal agrees" 0 inc_journal
+
+let test_stats_shape () =
+  (* White-box: a commuting two-process run merges without rebuilding and
+     stays canonical; injecting Reset from a peer forces a rebuild. *)
+  let t = UC_direct.create ~procs:2 in
+  let h0 = UC_direct.attach t (ctx ~procs:2 0) in
+  let h1 = UC_direct.attach t (ctx ~procs:2 1) in
+  let open Spec.Counter_spec in
+  ignore (UC_direct.execute h0 (Inc 1));
+  ignore (UC_direct.execute h1 (Inc 2));
+  ignore (UC_direct.execute h0 Read);
+  let s0 = UC_direct.stats h0 in
+  check_bool "commuting run stays canonical" true s0.canonical;
+  check_int "no rebuilds on commuting run" 0 s0.rebuilds;
+  check_bool "merged the peer's entries" true (s0.merges >= 1);
+  check_int "h0 committed everything it saw" 3 s0.committed;
+  (* Reference handles report their replay count but never merge *)
+  let href = UC_direct.attach ~mode:UC_direct.Reference t (ctx ~procs:2 1) in
+  ignore (UC_direct.execute href Read);
+  let sref = UC_direct.stats href in
+  check_int "reference never merges" 0 sref.merges;
+  check_bool "reference replayed the history" true (sref.spec_replays >= 3)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "explore-diff",
+        [
+          Alcotest.test_case "counter procs 2 (DPOR, all schedules)" `Quick
+            test_explore_diff_counter_p2;
+          Alcotest.test_case "gset procs 3 (DPOR, all schedules)" `Quick
+            test_explore_diff_gset_p3;
+          Alcotest.test_case "gset procs 3, all active (DPOR sample)" `Quick
+            test_explore_diff_gset_p3_sampled;
+          Alcotest.test_case "counter with crash branching" `Quick
+            test_explore_diff_counter_crashes;
+        ] );
+      ( "random-diff",
+        [
+          QCheck_alcotest.to_alcotest qcheck_diff_counter;
+          QCheck_alcotest.to_alcotest qcheck_diff_gset;
+          QCheck_alcotest.to_alcotest qcheck_diff_sticky;
+        ] );
+      ( "o-delta",
+        [
+          Alcotest.test_case "replays O(m) vs m(m-1)/2" `Quick
+            test_odelta_regression;
+          Alcotest.test_case "solo process never replays" `Quick
+            test_odelta_single_process;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        ] );
+    ]

@@ -367,6 +367,22 @@ let test_sink_equals_legacy_paths () =
 (* --- bench JSON round-trip -------------------------------------------------- *)
 
 let test_bench_json_roundtrip () =
+  (* the universal wall-clock family the PR 5 validator requires at the
+     full sweep, for both universal benches *)
+  let universal_rows =
+    List.concat_map
+      (fun bench ->
+        List.concat_map
+          (fun procs ->
+            [
+              Experiments.Bench_json.row ~bench ~procs ~backend:"native"
+                ~metric:"wall_ns" ~value:1e7 ~unit_:"ns";
+              Experiments.Bench_json.row ~bench ~procs ~backend:"native"
+                ~metric:"ops_per_sec" ~value:1e5 ~unit_:"ops/s";
+            ])
+          [ 1; 2; 4; 8 ])
+      [ "universal_counter"; "universal_gset" ]
+  in
   let rows =
     [
       Experiments.Bench_json.row ~bench:"scan_plain_uncontended" ~procs:2
@@ -380,12 +396,13 @@ let test_bench_json_roundtrip () =
       Experiments.Bench_json.row ~bench:"counter_inc" ~procs:8
         ~backend:"native" ~metric:"ops_per_sec" ~value:4e6 ~unit_:"ops/s";
     ]
+    @ universal_rows
   in
   (match
      Experiments.Bench_json.validate_string
        (Experiments.Bench_json.to_json rows)
    with
-  | Ok n -> check_int "row count survives round-trip" 5 n
+  | Ok n -> check_int "row count survives round-trip" (List.length rows) n
   | Error errs -> Alcotest.fail (String.concat "; " errs));
   (* a sim scan row contradicting the formula must be rejected *)
   let bad =
@@ -397,6 +414,54 @@ let test_bench_json_roundtrip () =
        (Experiments.Bench_json.to_json (bad :: List.tl rows))
    with
   | Ok _ -> Alcotest.fail "formula violation must be rejected"
+  | Error _ -> ());
+  (* wall-clock rows are schema-checked: wrong unit or a non-positive
+     span must be rejected (but no magnitude thresholds) *)
+  let wrong_unit =
+    Experiments.Bench_json.row ~bench:"universal_counter" ~procs:1
+      ~backend:"native" ~metric:"wall_ns" ~value:1e7 ~unit_:"ms"
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json (wrong_unit :: rows))
+   with
+  | Ok _ -> Alcotest.fail "wall_ns with unit \"ms\" must be rejected"
+  | Error _ -> ());
+  (* dropping one universal coverage row must be flagged *)
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (List.filter
+             (fun r ->
+               not
+                 (r.Experiments.Bench_json.bench = "universal_gset"
+                 && r.Experiments.Bench_json.procs = 8
+                 && r.Experiments.Bench_json.metric = "wall_ns"))
+             rows))
+   with
+  | Ok _ -> Alcotest.fail "missing universal wall_ns coverage accepted"
+  | Error _ -> ());
+  (* the incremental mode may never replay more than the reference *)
+  let replay_pair v =
+    [
+      Experiments.Bench_json.row ~bench:"universal_counter" ~procs:2
+        ~backend:"sim" ~metric:"spec_replays" ~value:v ~unit_:"calls";
+      Experiments.Bench_json.row ~bench:"universal_counter" ~procs:2
+        ~backend:"sim" ~metric:"spec_replays_reference" ~value:100.0
+        ~unit_:"calls";
+    ]
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json (rows @ replay_pair 40.0))
+   with
+  | Ok _ -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json (rows @ replay_pair 140.0))
+   with
+  | Ok _ -> Alcotest.fail "spec_replays above reference accepted"
   | Error _ -> ());
   (* and broken syntax is a parse error, not a crash *)
   match Experiments.Bench_json.validate_string "[{\"bench\": }]" with

@@ -203,6 +203,72 @@ let test_native_counting_per_domain_totals () =
   in
   check_int "fresh round counts fresh" procs (C.reads ())
 
+let test_native_counting_registration_stress () =
+  (* Registration stampede: every domain registers its cell on its FIRST
+     wrapped access, so spawning many domains that immediately touch the
+     same register makes them all hit the registry CAS at once — the
+     contended path the [Domain.cpu_relax] back-off protects.  Several
+     rounds accumulate cells from already-joined domains; the aggregate
+     must never lose a registration or an increment. *)
+  let module C = Pram.Native.Counting (Pram.Native.Mem) in
+  let procs = 12 and rounds = 5 and per = 50 in
+  C.reset ();
+  let r = C.create 0 in
+  for round = 1 to rounds do
+    let _ =
+      Pram.Native.run_parallel ~procs (fun pid ->
+          for i = 1 to per do
+            C.write r ((round * 1000) + (pid * per) + i);
+            ignore (C.read r)
+          done)
+    in
+    check_int "no write lost across registrations"
+      (round * procs * per) (C.writes ());
+    check_int "no read lost across registrations"
+      (round * procs * per) (C.reads ())
+  done
+
+(* --- cache-line padding ------------------------------------------------------ *)
+
+let test_padding_semantics () =
+  (* padded atomics behave exactly like plain ones *)
+  let a = Pram.Padding.padded_atomic 41 in
+  check_int "initial value" 41 (Atomic.get a);
+  Atomic.set a 7;
+  check_int "set/get" 7 (Atomic.get a);
+  check_bool "compare_and_set" true (Atomic.compare_and_set a 7 8);
+  check_int "after CAS" 8 (Atomic.get a);
+  check_int "fetch_and_add" 8 (Atomic.fetch_and_add a 3);
+  check_int "after faa" 11 (Atomic.get a);
+  (* the padded block really owns [Padding.words] words *)
+  check_int "padded block size" Pram.Padding.words
+    (Obj.size (Obj.repr (Pram.Padding.padded_atomic 0)));
+  (* non-paddable values pass through unchanged (physically) *)
+  check_bool "immediate unchanged" true
+    (Pram.Padding.copy_as_padded 5 == 5);
+  let big = Array.make (Pram.Padding.words + 1) 0.0 in
+  check_bool "already-large block unchanged" true
+    (Pram.Padding.copy_as_padded big == big);
+  (* structured values survive the copy with their fields intact —
+     compared field-wise: whole-value structural equality is exactly the
+     [Obj.size]-sensitive operation the interface warns against *)
+  let x, y, z = Pram.Padding.copy_as_padded (1, "two", 3.0) in
+  check_bool "tuple fields preserved" true
+    (x = 1 && y = "two" && z = 3.0)
+
+let test_padding_under_domains () =
+  (* a padded atomic is still a correct atomic under real contention *)
+  let a = Pram.Padding.padded_atomic 0 in
+  let procs = 4 and per = 5_000 in
+  let _ =
+    Pram.Native.run_parallel ~procs (fun _ ->
+        for _ = 1 to per do
+          ignore (Atomic.fetch_and_add a 1)
+        done)
+  in
+  check_int "no lost increments through the padded copy" (procs * per)
+    (Atomic.get a)
+
 (* --- encoded-schedule parsing ------------------------------------------------ *)
 
 let qcheck_encoded_schedule_roundtrip =
@@ -361,6 +427,11 @@ let suite =
     Alcotest.test_case "native counting wrapper" `Quick test_native_counting;
     Alcotest.test_case "native counting per-domain totals" `Quick
       test_native_counting_per_domain_totals;
+    Alcotest.test_case "native counting registration stress" `Slow
+      test_native_counting_registration_stress;
+    Alcotest.test_case "padding semantics" `Quick test_padding_semantics;
+    Alcotest.test_case "padding under domains" `Quick
+      test_padding_under_domains;
     Alcotest.test_case "parse_encoded_schedule cases" `Quick
       test_parse_encoded_schedule_cases;
     Alcotest.test_case "swapping independent accesses is unobservable" `Quick

@@ -189,6 +189,7 @@ let test_combined_scan_not_atomic () =
 
     let commutes _ _ = false
     let overwrites _ _ = false
+    let reads_only _ = false
     let equal_state = Int.equal
     let equal_response = Int.equal
     let pp_operation = Format.pp_print_int

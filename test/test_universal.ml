@@ -183,10 +183,11 @@ module Runner
     (O : Spec.Object_spec.S)
     (U : sig
       type t
+      type mode
       type handle
 
       val create : procs:int -> t
-      val attach : t -> Runtime.Ctx.t -> handle
+      val attach : ?mode:mode -> t -> Runtime.Ctx.t -> handle
       val execute : handle -> O.operation -> O.response
     end) =
 struct
