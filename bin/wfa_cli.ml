@@ -10,7 +10,7 @@
      explore                     model-check snapshot implementations
      trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
-     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR5.json)
+     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR6.json)
      bench-validate FILE         schema-check a bench JSON file
 
    Exit codes are meaningful on every subcommand — non-zero whenever the
@@ -220,6 +220,98 @@ let explore_cmd =
              collect's) can be missed — states are preserved under \
              commuting, event order is not.")
   in
+  let way_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("systematic", `Systematic);
+                  ("uniform", `Uniform);
+                  ("weighted", `Weighted);
+                ]))
+          None
+      & info [ "way" ] ~docv:"WAY"
+          ~doc:
+            "Search strategy (dejafu-style).  $(b,systematic): parallel \
+             DPOR under the $(b,--bound-*) filters (sound for bug \
+             finding; exhaustive per Mazurkiewicz trace when unbounded).  \
+             $(b,uniform): $(b,--samples) seeded random maximal \
+             schedules.  $(b,weighted): random with $(b,--bias) towards \
+             staying on the current process — near-serial schedules that \
+             catch real-time-order bugs uniform sampling rarely hits.  \
+             Without $(b,--way) the legacy $(b,--naive)/$(b,--dpor) \
+             exhaustive search runs.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "RNG seed for random ways; sample i is a deterministic \
+             function of (seed, i), so counterexamples replay exactly.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Number of random schedules a uniform/weighted way draws.")
+  in
+  let bias_arg =
+    Arg.(
+      value & opt float 16.0
+      & info [ "bias" ] ~docv:"W"
+          ~doc:
+            "Weighted way only: relative weight of not context-switching \
+             (1.0 = uniform; larger = more serial schedules).")
+  in
+  let bound_preempt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound-preempt" ] ~docv:"K"
+          ~doc:
+            "Systematic way: prune schedules with more than K pre-emptive \
+             context switches (a step by p while the previously stepped \
+             process is still runnable).")
+  in
+  let bound_fair =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound-fair" ] ~docv:"K"
+          ~doc:
+            "Systematic way: prune schedules where a process gets more \
+             than K steps ahead of the least-stepped still-runnable \
+             process (aimed at busy-wait loops; rarely useful for the \
+             paper's wait-free algorithms).")
+  in
+  let bound_length =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "bound-length" ] ~docv:"K"
+          ~doc:"Systematic way: prune schedules longer than K steps.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Explore subtree/sample tasks on N domains.  The task \
+             partition is fixed up front, so coverage counts and \
+             counterexamples are identical for any N.")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "procs" ] ~docv:"N"
+          ~doc:
+            "Process count for the naive-collect fixture (N-1 updaters \
+             vs 1 snapshotter, 2..8).  The atomic-snapshot fixture stays \
+             at 2 processes.")
+  in
   let shrink_flag =
     Arg.(
       value
@@ -257,11 +349,26 @@ let explore_cmd =
              crashes N) on the 3-process naive collect, print its \
              timeline and linearizability verdict.")
   in
-  let run naive dpor shrink max_schedules trace_out replay =
+  let run naive dpor way_opt seed samples bias b_pre b_fair b_len jobs procs
+      shrink max_schedules trace_out replay =
     if naive && dpor then `Error (false, "--naive and --dpor are exclusive")
+    else if procs < 2 || procs > 8 then
+      `Error (false, "--procs must be in 2..8")
     else begin
       let mode =
         if dpor then Pram.Explore.Dpor else Pram.Explore.Naive
+      in
+      let way =
+        match way_opt with
+        | None -> None
+        | Some `Systematic ->
+            Some
+              (Pram.Explore.Way.Systematic
+                 (Pram.Explore.Bounds.make ?preempt:b_pre ?fair:b_fair
+                    ?length:b_len ()))
+        | Some `Uniform -> Some (Pram.Explore.Way.Uniform { seed; count = samples })
+        | Some `Weighted ->
+            Some (Pram.Explore.Way.Weighted { seed; count = samples; bias })
       in
       let module V = Snapshot.Slot_value.Int in
       let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim) in
@@ -273,53 +380,68 @@ let explore_cmd =
             let procs = 2
           end)
       in
-      let module Spec3 =
+      let module SpecN =
         Snapshot.Array_spec.Make
           (V)
           (struct
-            let procs = 3
+            let procs = procs
           end)
       in
       let module Check2 = Lincheck.Make (Spec2) in
-      let module Check3 = Lincheck.Make (Spec3) in
+      let module CheckN = Lincheck.Make (SpecN) in
       (* the atomic snapshot: updater vs snapshotter, every interleaving
-         (or one representative of each equivalence class) is clean *)
-      let recorder2 = ref (Spec.History.Recorder.create ()) in
-      let atomic_program () =
-        recorder2 := Spec.History.Recorder.create ();
-        let t = Arr.create ~procs:2 in
-        fun pid ->
-          let h = Arr.attach t (Runtime.Ctx.make ~procs:2 ~pid ()) in
-          if pid = 0 then
-            ignore
-              (Spec.History.Recorder.record !recorder2 ~pid (`Update (0, 10))
-                 (fun () ->
-                   Arr.update h 10;
-                   `Unit))
-          else
-            ignore
-              (Spec.History.Recorder.record !recorder2 ~pid `Snapshot
-                 (fun () -> `View (Arr.snapshot h)))
+         (or one representative of each equivalence class) is clean.
+         Factories mint a fresh (recorder, program) pair per search
+         worker: the recorder-by-reference idiom is domain-local. *)
+      let mk_atomic () =
+        let recorder = ref (Spec.History.Recorder.create ()) in
+        let program () =
+          recorder := Spec.History.Recorder.create ();
+          let t = Arr.create ~procs:2 in
+          fun pid ->
+            let h = Arr.attach t (Runtime.Ctx.make ~procs:2 ~pid ()) in
+            if pid = 0 then
+              ignore
+                (Spec.History.Recorder.record !recorder ~pid (`Update (0, 10))
+                   (fun () ->
+                     Arr.update h 10;
+                     `Unit))
+            else
+              ignore
+                (Spec.History.Recorder.record !recorder ~pid `Snapshot
+                   (fun () -> `View (Arr.snapshot h)))
+        in
+        (recorder, program)
       in
-      (* the naive collect: two updaters vs a snapshotter is NOT
+      (* the naive collect: N-1 updaters vs a snapshotter is NOT
          linearizable; the explorer finds, shrinks and prints a
          counterexample schedule with its history *)
-      let recorder3 = ref (Spec.History.Recorder.create ()) in
-      let collect_program () =
-        recorder3 := Spec.History.Recorder.create ();
-        let t = Naive_c.create ~procs:3 in
-        fun pid ->
-          let h = Naive_c.attach t (Runtime.Ctx.make ~procs:3 ~pid ()) in
-          if pid < 2 then
-            ignore
-              (Spec.History.Recorder.record !recorder3 ~pid
-                 (`Update (pid, pid + 10)) (fun () ->
-                   Naive_c.update h (pid + 10);
-                   `Unit))
-          else
-            ignore
-              (Spec.History.Recorder.record !recorder3 ~pid `Snapshot
-                 (fun () -> `View (Naive_c.snapshot h)))
+      let mk_collect () =
+        let recorder = ref (Spec.History.Recorder.create ()) in
+        let program () =
+          recorder := Spec.History.Recorder.create ();
+          let t = Naive_c.create ~procs in
+          fun pid ->
+            let h = Naive_c.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+            if pid < procs - 1 then
+              ignore
+                (Spec.History.Recorder.record !recorder ~pid
+                   (`Update (pid, pid + 10)) (fun () ->
+                     Naive_c.update h (pid + 10);
+                     `Unit))
+            else
+              ignore
+                (Spec.History.Recorder.record !recorder ~pid `Snapshot
+                   (fun () -> `View (Naive_c.snapshot h)))
+        in
+        (recorder, program)
+      in
+      let recorder2, atomic_program = mk_atomic () in
+      let recorderN, collect_program = mk_collect () in
+      let collect_label =
+        Printf.sprintf "naive collect, %d updaters vs snapshotter (%d \
+                        processes, buggy):"
+          (procs - 1) procs
       in
       match replay with
       | Some sched -> (
@@ -329,15 +451,16 @@ let explore_cmd =
           | Error msg -> `Error (false, "--replay: " ^ msg)
           | Ok enc ->
               let a =
-                Check3.trace_counterexample ~procs:3 ~recorder:recorder3
+                CheckN.trace_counterexample ~procs ~recorder:recorderN
                   collect_program enc
               in
-              print_endline
-                "replay on the naive collect (2 updaters vs snapshotter):";
+              Printf.printf
+                "replay on the naive collect (%d updaters vs snapshotter):\n"
+                (procs - 1);
               print_endline (Tracing.timeline a);
               let linearizable =
-                Check3.is_linearizable
-                  (Spec.History.Recorder.events !recorder3)
+                CheckN.is_linearizable
+                  (Spec.History.Recorder.events !recorderN)
               in
               Printf.printf "history linearizable: %b\n" linearizable;
               (match trace_out with
@@ -350,24 +473,38 @@ let explore_cmd =
           print_endline
             "atomic scan, updater vs snapshotter (2 processes, correct):";
           let atomic_report =
-            Check2.explore_check ~mode ~shrink ~max_schedules ~procs:2
-              ~recorder:recorder2 atomic_program
+            match way with
+            | None ->
+                Check2.explore_check ~mode ~shrink ~max_schedules ~procs:2
+                  ~recorder:recorder2 atomic_program
+            | Some w ->
+                Check2.search_check ~way:w ~jobs ~shrink ~max_schedules
+                  ~procs:2 mk_atomic
           in
           Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report atomic_report;
-          print_endline
-            "naive collect, 2 updaters vs snapshotter (3 processes, buggy):";
+          print_endline collect_label;
           let collect_report =
-            Check3.explore_check ~mode ~shrink ~max_schedules ~procs:3
-              ~recorder:recorder3 collect_program
+            match way with
+            | None ->
+                CheckN.explore_check ~mode ~shrink ~max_schedules ~procs
+                  ~recorder:recorderN collect_program
+            | Some w ->
+                CheckN.search_check ~way:w ~jobs ~shrink ~max_schedules ~procs
+                  mk_collect
           in
           Format.printf "  @[<v>%a@]@." Pram.Explore.pp_report collect_report;
+          (match collect_report.Pram.Explore.r_counterexample with
+          | Some cex ->
+              Printf.printf "counterexample provenance: %s\n"
+                cex.Pram.Explore.cex_way
+          | None -> ());
           (match (trace_out, collect_report.Pram.Explore.r_counterexample) with
           | None, _ -> ()
           | Some _, None ->
               print_endline "no counterexample to trace (search was clean)"
           | Some path, Some cex ->
               let a =
-                Check3.trace_counterexample ~procs:3 ~recorder:recorder3
+                CheckN.trace_counterexample ~procs ~recorder:recorderN
                   collect_program cex.Pram.Explore.cex_shrunk
               in
               print_endline "counterexample timeline:";
@@ -379,19 +516,28 @@ let explore_cmd =
              collect — either failure means a real bug, in the algorithm or
              in the explorer.  Exception: the collect's violation lives
              purely in the real-time order of independent accesses, which
-             DPOR is documented to miss (see --dpor's help), so a clean DPOR
-             collect report is a warning, not a failure. *)
+             DPOR-based searches (legacy --dpor and --way systematic) are
+             documented to miss — a clean report there is a warning, not a
+             failure.  Random ways check real executions and must find it. *)
+          let dpor_based =
+            match way with
+            | None -> mode = Pram.Explore.Dpor
+            | Some (Pram.Explore.Way.Systematic _) -> true
+            | Some (Pram.Explore.Way.Uniform _ | Pram.Explore.Way.Weighted _)
+              ->
+                false
+          in
           if not (Pram.Explore.report_ok atomic_report) then
             `Error
               ( false,
                 "linearizability violation (or truncated search) on the \
                  atomic snapshot" )
           else if Pram.Explore.report_ok collect_report then
-            if mode = Pram.Explore.Dpor then begin
+            if dpor_based then begin
               print_endline
-                "note: DPOR missed the collect's real-time-order violation \
-                 (a documented limitation); rerun with --naive for the \
-                 ground truth";
+                "note: the DPOR-based search missed the collect's \
+                 real-time-order violation (a documented limitation); rerun \
+                 with --naive or a random --way for the ground truth";
               `Ok ()
             end
             else
@@ -405,15 +551,18 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Model-check the atomic snapshot (clean) and the naive collect \
-          (broken) over every schedule; failing schedules are shrunk to \
-          minimal counterexamples.  $(b,--dpor) prunes the search to one \
-          representative per Mazurkiewicz trace.  $(b,--trace-out) exports \
-          the counterexample as a Chrome trace; $(b,--replay) re-executes \
-          a pasted schedule under the tracer.")
+          (broken); failing schedules are shrunk to minimal \
+          counterexamples.  $(b,--dpor) prunes the search to one \
+          representative per Mazurkiewicz trace; $(b,--way) selects \
+          bounded-systematic or seeded-random search, parallelizable with \
+          $(b,--jobs).  $(b,--trace-out) exports the counterexample as a \
+          Chrome trace; $(b,--replay) re-executes a pasted schedule under \
+          the tracer.")
     Term.(
       ret
-        (const run $ naive_flag $ dpor_flag $ shrink_flag $ max_schedules
-       $ trace_out $ replay))
+        (const run $ naive_flag $ dpor_flag $ way_arg $ seed_arg $ samples_arg
+       $ bias_arg $ bound_preempt $ bound_fair $ bound_length $ jobs_arg
+       $ procs_arg $ shrink_flag $ max_schedules $ trace_out $ replay))
 
 (* --- trace -------------------------------------------------------------------- *)
 
@@ -709,7 +858,7 @@ let bench_cmd =
        ~doc:
          "Run the JSON bench pipeline: simulator step counts, native \
           multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
-          and direct timing — the BENCH_PR5.json rows.")
+          and direct timing — the BENCH_PR6.json rows.")
     Term.(ret (const run $ json $ out $ quick))
 
 let bench_validate_cmd =

@@ -1,6 +1,6 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR5.json and uploaded by CI.
+   BENCH_PR6.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
@@ -416,6 +416,81 @@ let semantic_checks rows =
                 (number_to_string r'.value))
           rows)
     rows;
+  (* Schedule-exploration coverage (PR 6): every explore_* row is an
+     exact schedule count (unit "schedules", non-negative integer); each
+     stage must emit the full explored/pruned/sampled/violations family;
+     the clean atomic-scan stage must stay clean, while each
+     injected-bug stage must actually surface its bug — the whole point
+     of committing the counts.  Random stages sample (sampled = explored
+     > 0); systematic stages do not (sampled = 0). *)
+  let explore_stages =
+    [
+      ("explore_scan_dpor", `Systematic, `Clean);
+      ("explore_counter_bounded", `Systematic, `Buggy);
+      ("explore_lost_update_uniform", `Random, `Buggy);
+      ("explore_racy_max_uniform", `Random, `Buggy);
+      ("explore_collect_uniform", `Random, `Buggy);
+    ]
+  in
+  let is_explore bench =
+    String.length bench >= 8 && String.sub bench 0 8 = "explore_"
+  in
+  List.iter
+    (fun r ->
+      if is_explore r.bench then begin
+        if r.backend <> "sim" then
+          err "%s procs=%d: explore rows must have backend \"sim\", got %S"
+            r.bench r.procs r.backend;
+        if r.unit_ <> "schedules" then
+          err "%s procs=%d: explore rows must have unit \"schedules\", got %S"
+            r.bench r.procs r.unit_;
+        if r.value < 0.0 || Float.rem r.value 1.0 <> 0.0 then
+          err "%s procs=%d: %s must be a non-negative integer, got %s"
+            r.bench r.procs r.metric (number_to_string r.value)
+      end)
+    rows;
+  let explore_metric bench metric =
+    List.find_opt
+      (fun r -> r.bench = bench && r.metric = metric)
+      rows
+  in
+  List.iter
+    (fun (bench, kind, verdict) ->
+      let get metric =
+        match explore_metric bench metric with
+        | Some r -> Some r.value
+        | None ->
+            err "no %s row for %s" metric bench;
+            None
+      in
+      let explored = get "explored" in
+      let _pruned = get "pruned" in
+      let sampled = get "sampled" in
+      let violations = get "violations" in
+      Option.iter
+        (fun v ->
+          match verdict with
+          | `Clean ->
+              if v <> 0.0 then
+                err "%s: expected a clean exploration, found %s violation(s)"
+                  bench (number_to_string v)
+          | `Buggy ->
+              if v < 1.0 then
+                err "%s: injected bug not found within the budget" bench)
+        violations;
+      match (kind, explored, sampled) with
+      | `Random, Some e, Some s ->
+          if s <> e || e <= 0.0 then
+            err
+              "%s: random search must have sampled = explored > 0 \
+               (explored=%s, sampled=%s)"
+              bench (number_to_string e) (number_to_string s)
+      | `Systematic, _, Some s ->
+          if s <> 0.0 then
+            err "%s: systematic search must have sampled = 0, got %s" bench
+              (number_to_string s)
+      | _ -> ())
+    explore_stages;
   List.rev !errors
 
 let validate_string contents =
@@ -635,6 +710,172 @@ let sim_agreement_rows ~procs =
       ~unit_:"accesses";
   ]
 
+(* --- measurement: schedule-exploration coverage (PR 6) ---------------------
+
+   The ways search (Pram.Explore.search) emits explored/pruned/sampled
+   counters; committing them makes schedule-coverage regressions
+   diffable across PRs, the same way the step counts pin the cost
+   formulas.  Fixtures are the injected-bug corpus:
+
+   - explore_scan_dpor:          atomic scan, parallel unbounded DPOR —
+                                 must stay clean (violations = 0);
+   - explore_counter_bounded:    lost-update counter under the default
+                                 pre-emption bound — the bug needs one
+                                 pre-emption, so bounded DPOR finds it;
+   - explore_*_uniform (procs 6): seeded uniform sampling on the
+                                 lost-update counter, the racy max
+                                 register, and the naive collect — each
+                                 must surface >= 1 violation within the
+                                 budget (the collect's is a real-time
+                                 -order bug systematic DPOR misses).
+
+   All stages are deterministic (fixed seeds, jobs-independent task
+   partition), so the committed counts are exactly reproducible. *)
+
+(* Every process increments a shared counter non-atomically (read, then
+   write v+1).  The final value is [procs] iff no update was lost; the
+   register is smuggled out of the setup closure by reference, relying
+   on the explorer's leaf-instance invariant. *)
+let lost_update_instance ~procs () =
+  let cell = ref None in
+  let setup () =
+    let r = Pram.Memory.Sim.create 0 in
+    cell := Some r;
+    fun _pid ->
+      let v = Pram.Memory.Sim.read r in
+      Pram.Memory.Sim.write r (v + 1)
+  in
+  Pram.Explore.instance setup ~check:(fun _d _sched ->
+      match !cell with
+      | Some r -> Pram.Register.get r = procs
+      | None -> true)
+
+(* Each process proposes pid+1 with a racy read-test-write maximum: a
+   process holding a stale read can overwrite a larger proposal, so the
+   final value can undershoot the true maximum [procs]. *)
+let racy_max_instance ~procs () =
+  let cell = ref None in
+  let setup () =
+    let r = Pram.Memory.Sim.create 0 in
+    cell := Some r;
+    fun pid ->
+      let v = Pram.Memory.Sim.read r in
+      if v < pid + 1 then Pram.Memory.Sim.write r (pid + 1)
+  in
+  Pram.Explore.instance setup ~check:(fun _d _sched ->
+      match !cell with
+      | Some r -> Pram.Register.get r = procs
+      | None -> true)
+
+module Scan_spec_nm = Snapshot.Scan_spec.Make (Semilattice.Nat_max)
+module Scan_lin = Lincheck.Make (Scan_spec_nm)
+
+(* The 2-process atomic-scan fixture from the exhaustive tests (writer +
+   two scanners' worth of history), checked through the full
+   linearizability oracle. *)
+let scan_mk () =
+  let procs = 2 in
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Scan_sim.create ~procs in
+    fun pid ->
+      let h = Scan_sim.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      if pid = 0 then begin
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid (`Write_l 1) (fun () ->
+               Scan_sim.write_l h 1;
+               `Unit));
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan_sim.read_max h)))
+      end
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+               `Join (Scan_sim.read_max h)))
+  in
+  (recorder, program)
+
+module Collect_sim =
+  Snapshot.Collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+module Collect_spec6 =
+  Snapshot.Array_spec.Make
+    (Snapshot.Slot_value.Int)
+    (struct
+      let procs = 6
+    end)
+module Collect_check6 = Lincheck.Make (Collect_spec6)
+
+let collect6_mk () =
+  let procs = 6 in
+  let recorder = ref (Spec.History.Recorder.create ()) in
+  let program () =
+    recorder := Spec.History.Recorder.create ();
+    let t = Collect_sim.create ~procs in
+    fun pid ->
+      let h = Collect_sim.attach t (Runtime.Ctx.make ~procs ~pid ()) in
+      if pid < procs - 1 then
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid
+             (`Update (pid, pid + 10)) (fun () ->
+               Collect_sim.update h (pid + 10);
+               `Unit))
+      else
+        ignore
+          (Spec.History.Recorder.record !recorder ~pid `Snapshot (fun () ->
+               `View (Collect_sim.snapshot h)))
+  in
+  (recorder, program)
+
+let coverage_rows ~bench ~procs (o : Pram.Explore.outcome) =
+  let mk metric value =
+    row ~bench ~procs ~backend:"sim" ~metric ~value:(float_of_int value)
+      ~unit_:"schedules"
+  in
+  [
+    mk "explored" o.coverage.Pram.Explore.cov_explored;
+    mk "pruned" o.coverage.Pram.Explore.cov_pruned;
+    mk "sampled" o.coverage.Pram.Explore.cov_sampled;
+    mk "violations" (List.length o.failures);
+  ]
+
+let explore_rows ~quick =
+  let samples = if quick then 400 else 1_200 in
+  let seed = 2026 in
+  let uniform = Pram.Explore.Way.Uniform { seed; count = samples } in
+  let scan_dpor =
+    (Scan_lin.search_check ~way:Pram.Explore.Way.systematic ~jobs:2 ~procs:2
+       scan_mk)
+      .Pram.Explore.r_outcome
+  in
+  let counter_bounded =
+    Pram.Explore.search
+      ~way:(Pram.Explore.Way.Systematic Pram.Explore.Bounds.default)
+      ~jobs:2 ~procs:3 (lost_update_instance ~procs:3)
+  in
+  let lost_uniform =
+    Pram.Explore.search ~way:uniform ~jobs:2 ~procs:6
+      (lost_update_instance ~procs:6)
+  in
+  let racy_uniform =
+    Pram.Explore.search ~way:uniform ~jobs:2 ~procs:6
+      (racy_max_instance ~procs:6)
+  in
+  let collect_uniform =
+    (Collect_check6.search_check ~way:uniform ~jobs:2 ~shrink:false ~procs:6
+       collect6_mk)
+      .Pram.Explore.r_outcome
+  in
+  List.concat
+    [
+      coverage_rows ~bench:"explore_scan_dpor" ~procs:2 scan_dpor;
+      coverage_rows ~bench:"explore_counter_bounded" ~procs:3 counter_bounded;
+      coverage_rows ~bench:"explore_lost_update_uniform" ~procs:6 lost_uniform;
+      coverage_rows ~bench:"explore_racy_max_uniform" ~procs:6 racy_uniform;
+      coverage_rows ~bench:"explore_collect_uniform" ~procs:6 collect_uniform;
+    ]
+
 let sim_rows ~quick =
   let sweep = procs_sweep in
   List.concat
@@ -657,6 +898,10 @@ let sim_rows ~quick =
       List.concat_map (fun procs -> sim_universal_mode_rows ~quick ~procs)
         sweep;
       List.concat_map (fun procs -> sim_agreement_rows ~procs) sweep;
+      (* schedule-exploration coverage keeps its full stage list under
+         --quick too (smaller sample budgets): the validator gates on
+         stage presence and on each seeded stage finding its bug *)
+      explore_rows ~quick;
     ]
 
 (* --- measurement: native wall-clock ---------------------------------------- *)
@@ -902,7 +1147,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR5.json"
+let default_path = "BENCH_PR6.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

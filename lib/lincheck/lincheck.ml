@@ -122,16 +122,37 @@ module Make (O : Spec.Object_spec.S) = struct
      by every instantiation of [program] — the recorder-by-reference
      idiom the exhaustive tests already use — so that at every leaf the
      ref holds exactly the just-completed execution's history. *)
-  let explore_check ?mode ?shrink ?max_schedules ?max_crashes ~procs ~recorder
-      program =
-    Pram.Explore.check_linearizable ?mode ?shrink ?max_schedules ?max_crashes
-      ~procs program
+  let explore_check ?mode ?way ?shrink ?max_schedules ?max_crashes ~procs
+      ~recorder program =
+    Pram.Explore.check_linearizable ?mode ?way ?shrink ?max_schedules
+      ?max_crashes ~procs program
       ~linearizable:(fun () ->
         is_linearizable (Spec.History.Recorder.events !recorder))
       ~pp_history:(fun ppf () ->
         Spec.History.pp O.pp_operation O.pp_response ppf
           (Spec.History.Recorder.events !recorder))
       ()
+
+  (* Parallel-capable variant: [mk] mints a FRESH (recorder, program)
+     pair per search worker, so by-reference history state never
+     crosses domains.  The returned instance's check ignores the driver
+     and consults that worker's recorder — the per-worker leaf-instance
+     invariant of [Pram.Explore.search] makes this sound. *)
+  let search_check ?way ?jobs ?shrink ?max_schedules ?max_crashes ~procs mk =
+    Pram.Explore.search_check ?way ?jobs ?shrink ?max_schedules ?max_crashes
+      ~procs (fun () ->
+        let recorder, program = mk () in
+        {
+          Pram.Explore.i_setup = program;
+          i_check =
+            (fun _d _sched ->
+              is_linearizable (Spec.History.Recorder.events !recorder));
+          i_pp_history =
+            Some
+              (fun ppf () ->
+                Spec.History.pp O.pp_operation O.pp_response ppf
+                  (Spec.History.Recorder.events !recorder));
+        })
 
   (* Replay an encoded (counterexample) schedule with a tracing journal
      attached: the driver observer streams accesses, a recorder sink

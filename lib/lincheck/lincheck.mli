@@ -39,15 +39,37 @@ module Make (O : Spec.Object_spec.S) : sig
       {!Pram.Explore.check_linearizable}) and checks the history in
       [!recorder] at each completed execution.  [program] must re-create
       [recorder] on each instantiation.  On failure the counterexample
-      schedule is shrunk and rendered along with its history. *)
+      schedule is shrunk and rendered along with its history.  Passing
+      [?way] selects bounded/random search (see {!Pram.Explore.Way});
+      it runs single-worker here because [recorder] is shared — use
+      {!search_check} for parallel search. *)
   val explore_check :
     ?mode:Pram.Explore.mode ->
+    ?way:Pram.Explore.Way.t ->
     ?shrink:bool ->
     ?max_schedules:int ->
     ?max_crashes:int ->
     procs:int ->
     recorder:(O.operation, O.response) Spec.History.Recorder.t ref ->
     (unit -> int -> 'x) ->
+    Pram.Explore.report
+
+  (** [search_check ~procs mk] is the parallel-capable counterpart of
+      {!explore_check}: [mk] must mint a {e fresh} (recorder, program)
+      pair on every call — {!Pram.Explore.search} calls it once per
+      worker domain, keeping the by-reference recorder domain-local.
+      Results (coverage counts, failures, counterexample) are
+      deterministic and independent of [jobs]. *)
+  val search_check :
+    ?way:Pram.Explore.Way.t ->
+    ?jobs:int ->
+    ?shrink:bool ->
+    ?max_schedules:int ->
+    ?max_crashes:int ->
+    procs:int ->
+    (unit ->
+      (O.operation, O.response) Spec.History.Recorder.t ref
+      * (unit -> int -> 'x)) ->
     Pram.Explore.report
 
   (** [trace_counterexample ~procs ~recorder program enc] replays the

@@ -1,4 +1,5 @@
-(* Schedule exploration (bounded model checking), naive and DPOR-pruned.
+(* Schedule exploration (bounded model checking), naive, DPOR-pruned,
+   bounded, and randomized.
 
    Because executions are deterministic functions of their schedules
    ([Driver.replay]), the set of all behaviours of a program up to a step
@@ -28,6 +29,32 @@
      paper's algorithms this cuts schedule counts by orders of
      magnitude, making 3-4 process configurations checkable.
 
+   On top of these, [search] provides WAYS in the style of dejafu's SCT
+   layer: a [Way.t] selects systematic exploration under composable
+   schedule bounds ([Bounds.t]: pre-emption, fairness, length), or
+   uniform / weighted random sampling of maximal schedules.  Bounded
+   systematic search keeps the DPOR machinery (backtrack sets, sleep
+   sets) and filters branches by a prefix-invariant bound predicate;
+   it is sound for BUG FINDING (every execution it visits is a real
+   execution) but NOT exhaustive — a violation needing more pre-emptions
+   than the bound will be missed.  Random ways check real, complete
+   executions, so unlike DPOR they can also catch violations living
+   purely in the real-time order of independent accesses.
+
+   [search] additionally parallelizes systematic exploration across
+   domains: the schedule tree is partitioned into a deterministic
+   frontier of prefixes (naive full branching with sleep-set seeding —
+   each frontier node inherits the sleep entries of its already-covered
+   left siblings, the standard Godefroid argument), and each subtree is
+   explored by an independent DPOR instance whose backtrack points are
+   clamped to the subtree (races reaching into the frozen prefix are
+   ignored: the frontier already enumerates every enabled, non-slept
+   choice at those depths).  The frontier shape is independent of
+   [jobs], so coverage counts and failures are identical for any job
+   count.  Random ways shard their sample indices the same way; each
+   sample's RNG is seeded by (seed, index), so the set of sampled
+   schedules is also independent of the sharding.
+
    Soundness caveat (inherent to any POR): DPOR preserves properties
    that are invariant under commuting independent accesses.  Final
    states and operation results are; the *real-time order* of recorded
@@ -44,23 +71,107 @@
    current driver, so the leftmost spine is never replayed.  At every
    leaf the most recently created program instance is the one whose
    execution just completed — an invariant user checks may rely on
-   (e.g. history recorders captured by reference); both modes preserve
-   it. *)
+   (e.g. history recorders captured by reference); all modes preserve
+   it, and parallel [search] preserves it PER WORKER DOMAIN, which is
+   why it takes an instance factory rather than closures over shared
+   state. *)
+
+(* --- ways and bounds -------------------------------------------------------- *)
+
+module Bounds = struct
+  (* Schedule bounds in the style of dejafu's SCT layer.  Every bound is
+     a PREFIX-INVARIANT predicate: if a schedule is within bounds, so is
+     each of its prefixes.  That lets the explorer apply the bound as a
+     branch filter at every node — once a prefix is out of bounds, the
+     whole subtree is pruned (and counted in [cov_pruned]). *)
+  type t = {
+    bd_preempt : int option;
+        (* max pre-emptive context switches: steps by p while the
+           previously stepped process is still runnable *)
+    bd_fair : int option;
+        (* max difference between a process's step count and the
+           minimum step count among the other still-runnable processes;
+           aimed at busy-wait loops — the paper's algorithms are
+           wait-free, so this is off by default *)
+    bd_length : int option;  (* max schedule length *)
+  }
+
+  let none = { bd_preempt = None; bd_fair = None; bd_length = None }
+
+  (* dejafu's defaultBounds: a small pre-emption bound catches almost
+     all bugs in practice (Musuvathi & Qadeer); fairness off (wait-free
+     programs have no busy-wait loops to cut), length off (the simulator
+     already requires terminating programs). *)
+  let default = { bd_preempt = Some 3; bd_fair = None; bd_length = None }
+  let make ?preempt ?fair ?length () =
+    { bd_preempt = preempt; bd_fair = fair; bd_length = length }
+
+  let is_none b =
+    b.bd_preempt = None && b.bd_fair = None && b.bd_length = None
+
+  let to_string b =
+    if is_none b then "unbounded"
+    else
+      String.concat ","
+        (List.filter_map Fun.id
+           [
+             Option.map (Printf.sprintf "preempt<=%d") b.bd_preempt;
+             Option.map (Printf.sprintf "fair<=%d") b.bd_fair;
+             Option.map (Printf.sprintf "length<=%d") b.bd_length;
+           ])
+end
+
+module Way = struct
+  (* How to explore the schedule space (dejafu's [Way]): systematically
+     under bounds, or by seeded random sampling.  [Weighted] biases
+     each decision towards staying on the previously stepped process
+     ([bias] >= 1 is the relative weight of not switching), producing
+     near-serial schedules that catch real-time-order bugs uniform
+     sampling almost never hits. *)
+  type t =
+    | Systematic of Bounds.t
+    | Uniform of { seed : int; count : int }
+    | Weighted of { seed : int; count : int; bias : float }
+
+  let systematic = Systematic Bounds.none
+
+  let to_string = function
+    | Systematic b -> Printf.sprintf "systematic(%s)" (Bounds.to_string b)
+    | Uniform { seed; count } ->
+        Printf.sprintf "uniform(seed=%d,count=%d)" seed count
+    | Weighted { seed; count; bias } ->
+        Printf.sprintf "weighted(seed=%d,count=%d,bias=%g)" seed count bias
+end
 
 type mode =
   | Naive
   | Dpor
+  | Way_search of Way.t
+
+type coverage = {
+  cov_explored : int;  (** completed executions visited (incl. samples) *)
+  cov_pruned : int;
+      (** branches cut by bounds or sleep sets (a lower bound on skipped
+          subtrees, not on skipped schedules) *)
+  cov_sampled : int;  (** random samples drawn (0 for systematic modes) *)
+  cov_tasks : int;  (** parallel subtree/shard tasks the search ran *)
+}
 
 type outcome = {
   explored : int;  (** completed executions visited *)
   failures : int list list;
       (** schedules whose completed execution failed the check *)
+  failure_tags : string list;
+      (** provenance tag per failure, aligned with [failures]
+          (e.g. ["sample=137"]); empty when untagged *)
   truncated : bool;  (** true if [max_schedules] stopped the search early *)
   pending : int;
       (** branch points abandoned because of [max_schedules]; a lower
           bound on the number of unexplored schedules (0 iff the search
           completed) *)
   mode : mode;  (** the mode that produced this outcome *)
+  coverage : coverage;
+  way_desc : string;  (** human-readable way description, e.g. "dpor" *)
 }
 
 let ok outcome = outcome.failures = [] && not outcome.truncated
@@ -177,9 +288,18 @@ let naive ~max_schedules ~max_crashes ~procs setup check =
   {
     explored = !explored;
     failures = List.rev !failures;
+    failure_tags = [];
     truncated = !pending > 0;
     pending = !pending;
     mode = Naive;
+    coverage =
+      {
+        cov_explored = !explored;
+        cov_pruned = 0;
+        cov_sampled = 0;
+        cov_tasks = 1;
+      };
+    way_desc = "naive";
   }
 
 (* --- DPOR with sleep sets --------------------------------------------------
@@ -215,53 +335,88 @@ type pend =
   | P_done  (* process will complete without another access *)
   | P_acc of Trace.kind * int
 
-let dpor ~max_schedules ~procs setup check =
+type frame = {
+  f_pid : int;
+  f_kind : Trace.kind option;  (* None: free completion step *)
+  f_reg : int;
+  f_clock : int array;
+  f_pidx : int;  (* 1-based index among f_pid's accesses *)
+}
+
+let lookahead_pend d p =
+  match Driver.lookahead d p with
+  | Driver.Lk_unknown -> P_unknown
+  | Driver.Lk_done -> P_done
+  | Driver.Lk_access pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
+
+(* Forces the process to start if needed; only used on the process
+   about to be stepped (or, in frontier expansion, on a throwaway
+   replica driver), so prologues of the checked execution still run at
+   step time. *)
+let pend_exact d p =
+  match Driver.pending d p with
+  | Some pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
+  | None -> P_done
+
+let dependent_fp f pe =
+  match (f.f_kind, pe) with
+  | None, _ -> false
+  | Some _, P_unknown -> true
+  | Some _, P_done -> false
+  | Some fk, P_acc (pk, preg) ->
+      f.f_reg = preg && (fk = Trace.Write || pk = Trace.Write)
+
+let dependent_pp a b =
+  match (a, b) with
+  | P_unknown, _ | _, P_unknown -> true
+  | P_done, _ | _, P_done -> false
+  | P_acc (ka, ra), P_acc (kb, rb) ->
+      ra = rb && (ka = Trace.Write || kb = Trace.Write)
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let lowest_bit m =
+  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0
+
+(* Per-task result of a (possibly bounded, possibly prefix-rooted)
+   DPOR exploration. *)
+type task_result = {
+  t_explored : int;
+  t_pruned : int;
+  t_pending : int;
+  t_failures : int list list;  (* in discovery order *)
+}
+
+(* One DPOR exploration rooted at [prefix] with initial sleep set
+   [init_sleep], filtered by [bounds].
+
+   - [prefix] is replayed first (building its happens-before frames);
+     backtrack points that race detection would place INSIDE the prefix
+     are ignored — sound only because the caller (the frontier
+     expansion in [search], or the trivial empty prefix) guarantees
+     every enabled, non-slept choice at those depths is covered by a
+     sibling task.
+
+   - [bounds] is applied as a branch filter: at each node the set of
+     in-bounds continuations is computed from the node state; branches
+     outside it are counted in [t_pruned] and NOT added to sibling
+     sleep sets (they were cut, not covered).
+
+   Bounded mode is therefore sound for bug finding (every visited
+   execution is real) but not exhaustive. *)
+let dpor_task ~bounds ~max_schedules ~procs ~setup ~check ~prefix ~init_sleep =
   if procs >= Sys.int_size - 1 then
     invalid_arg "Explore: too many processes for DPOR bitmask";
   let explored = ref 0 in
+  let pruned = ref 0 in
   let pending_ctr = ref 0 in
   let failures = ref [] in
   (* backtrack set (bitmask of pids) of the node at each depth of the
-     current DFS path *)
+     current DFS path; depths inside the frozen prefix have no entry *)
   let bt : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
-  let module F = struct
-    type frame = {
-      f_pid : int;
-      f_kind : Trace.kind option;  (* None: free completion step *)
-      f_reg : int;
-      f_clock : int array;
-      f_pidx : int;  (* 1-based index among f_pid's accesses *)
-    }
-  end in
-  let open F in
-  let lookahead_pend d p =
-    match Driver.lookahead d p with
-    | Driver.Lk_unknown -> P_unknown
-    | Driver.Lk_done -> P_done
-    | Driver.Lk_access pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
-  in
-  (* Forces the process to start if needed; only used on the process
-     about to be stepped, so prologues still run at step time. *)
-  let pend_exact d p =
-    match Driver.pending d p with
-    | Some pv -> P_acc (pv.Driver.v_kind, pv.Driver.v_reg_id)
-    | None -> P_done
-  in
-  let dependent_fp f pe =
-    match (f.f_kind, pe) with
-    | None, _ -> false
-    | Some _, P_unknown -> true
-    | Some _, P_done -> false
-    | Some fk, P_acc (pk, preg) ->
-        f.f_reg = preg && (fk = Trace.Write || pk = Trace.Write)
-  in
-  let dependent_pp a b =
-    match (a, b) with
-    | P_unknown, _ | _, P_unknown -> true
-    | P_done, _ | _, P_done -> false
-    | P_acc (ka, ra), P_acc (kb, rb) ->
-        ra = rb && (ka = Trace.Write || kb = Trace.Write)
-  in
   let zero = Array.make procs 0 in
   let clock_of_proc frames_rev p =
     match List.find_opt (fun f -> f.f_pid = p) frames_rev with
@@ -303,7 +458,8 @@ let dpor ~max_schedules ~procs setup check =
   (* Race detection: for each enabled p, the most recent prefix event
      that is dependent with p's next access, by a different process, and
      not ordered before it by happens-before, marks a backtrack point at
-     its pre-state. *)
+     its pre-state.  Races whose pre-state lies in the frozen prefix
+     (no bt entry) are ignored: sibling frontier tasks cover them. *)
   let add_backtracks frames_rev pendings =
     List.iter
       (fun (p, pe) ->
@@ -320,23 +476,50 @@ let dpor ~max_schedules ~procs setup check =
                   then (
                     match Hashtbl.find_opt bt i with
                     | Some r -> r := !r lor (1 lsl p)
-                    | None -> assert false)
+                    | None -> ())
                   else scan (i - 1) rest
             in
             scan (List.length frames_rev - 1) frames_rev)
       pendings
   in
-  let popcount m =
-    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-    go m 0
-  in
-  let lowest_bit m =
-    let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
-    go 0
+  (* Bitmask of processes whose step from this node keeps the schedule
+     within [bounds].  [last] is the previously stepped pid (-1 at the
+     root), [preempts] the pre-emption count so far. *)
+  let allowed_mask d ~depth ~last ~preempts runnable =
+    let step_allowed p =
+      (match bounds.Bounds.bd_length with
+      | Some l -> depth < l
+      | None -> true)
+      && (match bounds.Bounds.bd_preempt with
+         | Some k ->
+             let is_pre = last >= 0 && last <> p && Driver.runnable d last in
+             (not is_pre) || preempts < k
+         | None -> true)
+      &&
+      match bounds.Bounds.bd_fair with
+      | Some k ->
+          let others_min =
+            List.fold_left
+              (fun acc q ->
+                if q = p then acc
+                else
+                  match acc with
+                  | None -> Some (Driver.steps d q)
+                  | Some m -> Some (min m (Driver.steps d q)))
+              None runnable
+          in
+          (match others_min with
+          | None -> true
+          | Some m -> Driver.steps d p + 1 - m <= k)
+      | None -> true
+    in
+    List.fold_left
+      (fun m p -> if step_allowed p then m lor (1 lsl p) else m)
+      0 runnable
   in
   (* sleep: assoc list (pid, its sleeping transition); pends of sleeping
      processes cannot change while they sleep (they never step). *)
-  let rec explore depth frames_rev d sleep =
+  let rec explore depth frames_rev d sleep ~last ~preempts =
     if !explored >= max_schedules then incr pending_ctr
     else
       match Driver.runnable_list d with
@@ -363,8 +546,14 @@ let dpor ~max_schedules ~procs setup check =
           if enabled_mask land lnot sleep_mask = 0 then
             (* sleep-blocked: every continuation reorders independent
                accesses of an execution already explored — prune *)
-            ()
+            incr pruned
           else begin
+            (* bound filter, computed once from the node state (before
+               the first child consumes [d]) *)
+            let am =
+              if Bounds.is_none bounds then enabled_mask
+              else allowed_mask d ~depth ~last ~preempts runnable
+            in
             let my_bt = ref 0 in
             Hashtbl.replace bt depth my_bt;
             let p0 =
@@ -381,62 +570,142 @@ let dpor ~max_schedules ~procs setup check =
                   pending_ctr := !pending_ctr + popcount avail
                 else begin
                   let p = lowest_bit avail in
-                  let d' =
-                    if not !consumed then begin
-                      consumed := true;
-                      d
-                    end
-                    else begin
-                      let d' = Driver.create ~procs setup in
-                      List.iter
-                        (fun f -> Driver.step d' f.f_pid)
-                        (List.rev frames_rev);
-                      d'
-                    end
-                  in
-                  (* exact lookahead for the chosen process only: if it
-                     was unstarted this runs its prologue, immediately
-                     before its first step fires — the same instant the
-                     naive explorer would *)
-                  let pe = pend_exact d' p in
-                  let child_sleep =
-                    List.filter
-                      (fun (_, pq) -> not (dependent_pp pq pe))
-                      !slept
-                  in
-                  let frame =
-                    {
-                      f_pid = p;
-                      f_kind =
-                        (match pe with
-                        | P_acc (k, _) -> Some k
-                        | P_unknown | P_done -> None);
-                      f_reg =
-                        (match pe with
-                        | P_acc (_, r) -> r
-                        | P_unknown | P_done -> -1);
-                      f_clock = event_clock frames_rev p pe;
-                      f_pidx = count_proc frames_rev p + 1;
-                    }
-                  in
-                  Driver.step d' p;
-                  explore (depth + 1) (frame :: frames_rev) d' child_sleep;
-                  slept := (p, pe) :: !slept;
-                  slept_mask := !slept_mask lor (1 lsl p);
-                  loop ()
+                  if am land (1 lsl p) = 0 then begin
+                    (* out of bounds: cut the branch.  Masked out of
+                       this node's loop but NOT added to the sleep
+                       list — sleeping means "already covered", and a
+                       bound-pruned branch was not. *)
+                    incr pruned;
+                    slept_mask := !slept_mask lor (1 lsl p);
+                    loop ()
+                  end
+                  else begin
+                    let d' =
+                      if not !consumed then begin
+                        consumed := true;
+                        d
+                      end
+                      else begin
+                        let d' = Driver.create ~procs setup in
+                        List.iter
+                          (fun f -> Driver.step d' f.f_pid)
+                          (List.rev frames_rev);
+                        d'
+                      end
+                    in
+                    (* exact lookahead for the chosen process only: if it
+                       was unstarted this runs its prologue, immediately
+                       before its first step fires — the same instant the
+                       naive explorer would *)
+                    let pe = pend_exact d' p in
+                    let child_sleep =
+                      List.filter
+                        (fun (_, pq) -> not (dependent_pp pq pe))
+                        !slept
+                    in
+                    let frame =
+                      {
+                        f_pid = p;
+                        f_kind =
+                          (match pe with
+                          | P_acc (k, _) -> Some k
+                          | P_unknown | P_done -> None);
+                        f_reg =
+                          (match pe with
+                          | P_acc (_, r) -> r
+                          | P_unknown | P_done -> -1);
+                        f_clock = event_clock frames_rev p pe;
+                        f_pidx = count_proc frames_rev p + 1;
+                      }
+                    in
+                    let is_pre =
+                      last >= 0 && last <> p && Driver.runnable d' last
+                    in
+                    Driver.step d' p;
+                    explore (depth + 1) (frame :: frames_rev) d' child_sleep
+                      ~last:p
+                      ~preempts:(preempts + if is_pre then 1 else 0);
+                    slept := (p, pe) :: !slept;
+                    slept_mask := !slept_mask lor (1 lsl p);
+                    loop ()
+                  end
                 end
             in
             loop ();
             Hashtbl.remove bt depth
           end
   in
-  explore 0 [] (Driver.create ~procs setup) [];
+  (* Replay the frozen prefix, building its frames and bound state.
+     A prefix that itself violates the bounds makes the whole task one
+     pruned branch. *)
+  let d0 = Driver.create ~procs setup in
+  let rec replay_prefix frames_rev last preempts = function
+    | [] -> Some (frames_rev, last, preempts)
+    | p :: rest ->
+        let runnable = Driver.runnable_list d0 in
+        let in_bounds =
+          Bounds.is_none bounds
+          || allowed_mask d0 ~depth:(List.length frames_rev) ~last ~preempts
+               runnable
+             land (1 lsl p)
+             <> 0
+        in
+        if (not (Driver.runnable d0 p)) || not in_bounds then None
+        else begin
+          let pe = pend_exact d0 p in
+          let frame =
+            {
+              f_pid = p;
+              f_kind =
+                (match pe with
+                | P_acc (k, _) -> Some k
+                | P_unknown | P_done -> None);
+              f_reg =
+                (match pe with
+                | P_acc (_, r) -> r
+                | P_unknown | P_done -> -1);
+              f_clock = event_clock frames_rev p pe;
+              f_pidx = count_proc frames_rev p + 1;
+            }
+          in
+          let is_pre = last >= 0 && last <> p && Driver.runnable d0 last in
+          Driver.step d0 p;
+          replay_prefix (frame :: frames_rev) p
+            (preempts + if is_pre then 1 else 0)
+            rest
+        end
+  in
+  (match replay_prefix [] (-1) 0 prefix with
+  | None -> incr pruned
+  | Some (frames_rev, last, preempts) ->
+      explore (List.length prefix) frames_rev d0 init_sleep ~last ~preempts);
   {
-    explored = !explored;
-    failures = List.rev !failures;
-    truncated = !pending_ctr > 0;
-    pending = !pending_ctr;
+    t_explored = !explored;
+    t_pruned = !pruned;
+    t_pending = !pending_ctr;
+    t_failures = List.rev !failures;
+  }
+
+let dpor ~max_schedules ~procs setup check =
+  let r =
+    dpor_task ~bounds:Bounds.none ~max_schedules ~procs ~setup ~check
+      ~prefix:[] ~init_sleep:[]
+  in
+  {
+    explored = r.t_explored;
+    failures = r.t_failures;
+    failure_tags = [];
+    truncated = r.t_pending > 0;
+    pending = r.t_pending;
     mode = Dpor;
+    coverage =
+      {
+        cov_explored = r.t_explored;
+        cov_pruned = r.t_pruned;
+        cov_sampled = 0;
+        cov_tasks = 1;
+      };
+    way_desc = "dpor";
   }
 
 (* --- unified front door ---------------------------------------------------- *)
@@ -451,12 +720,293 @@ let exhaustive ?(mode = Naive) ?(max_schedules = 1_000_000) ?(max_crashes = 0)
           "Explore.exhaustive: DPOR does not support crash injection; use \
            ~mode:Naive for crash exploration";
       dpor ~max_schedules ~procs setup check
+  | Way_search _ ->
+      invalid_arg "Explore.exhaustive: use Explore.search for way-based search"
 
 (* Count the executions without checking anything — useful to size a
    configuration before committing to it in a test, and to measure the
    DPOR reduction factor. *)
 let count ?mode ?(max_schedules = 1_000_000) ~procs setup =
   (exhaustive ?mode ~max_schedules ~procs setup (fun _ _ -> true)).explored
+
+(* --- random schedule sampling ----------------------------------------------
+
+   One sample = one maximal schedule drawn decision-by-decision.  The
+   RNG is seeded by (way seed, sample index), so sample [i] is the same
+   schedule no matter how samples are sharded across tasks or domains —
+   and a recorded (seed, index) pair replays byte-identically. *)
+
+let weighted_pick rng ~bias ~last runnable =
+  match runnable with
+  | [ p ] -> p
+  | _ ->
+      let weight p = if p = last then bias else 1.0 in
+      let total = List.fold_left (fun a p -> a +. weight p) 0.0 runnable in
+      let r = Random.State.float rng total in
+      let rec pick acc = function
+        | [] -> List.hd (List.rev runnable)
+        | p :: rest ->
+            let acc = acc +. weight p in
+            if r < acc then p else pick acc rest
+      in
+      pick 0.0 runnable
+
+let sample_crash_prob = 0.03
+
+let sample_schedule ?(max_crashes = 0) ~way ~index ~procs setup =
+  let bias =
+    match way with
+    | Way.Uniform _ -> 1.0
+    | Way.Weighted { bias; _ } -> Float.max 1e-6 bias
+    | Way.Systematic _ ->
+        invalid_arg "Explore.sample_schedule: systematic way has no sampler"
+  in
+  let seed =
+    match way with
+    | Way.Uniform { seed; _ } | Way.Weighted { seed; _ } -> seed
+    | Way.Systematic _ -> assert false
+  in
+  let rng = Random.State.make [| 0x5eed; seed; index |] in
+  let d = Driver.create ~procs setup in
+  let enc_rev = ref [] in
+  let crashes = ref 0 in
+  let last = ref (-1) in
+  let fuel = ref 1_000_000 in
+  let rec go () =
+    match Driver.runnable_list d with
+    | [] -> ()
+    | runnable ->
+        if !fuel = 0 then
+          failwith
+            "Explore.sample_schedule: step budget exhausted (program not \
+             wait-free?)";
+        decr fuel;
+        if
+          !crashes < max_crashes
+          && Random.State.float rng 1.0 < sample_crash_prob
+        then begin
+          let victim =
+            List.nth runnable (Random.State.int rng (List.length runnable))
+          in
+          Driver.crash d victim;
+          incr crashes;
+          enc_rev := (-1 - victim) :: !enc_rev
+        end
+        else begin
+          let p = weighted_pick rng ~bias ~last:!last runnable in
+          Driver.step d p;
+          last := p;
+          enc_rev := p :: !enc_rev
+        end;
+        go ()
+  in
+  go ();
+  (List.rev !enc_rev, d)
+
+(* --- parallel search -------------------------------------------------------- *)
+
+(* A program instance: everything a worker needs to explore on its own
+   domain.  [search] calls the factory once per worker, so checks that
+   capture state by reference (history recorders re-created by the
+   setup) stay domain-local — sharing one recorder across domains would
+   race. *)
+type 'r instance = {
+  i_setup : unit -> int -> 'r;
+  i_check : 'r Driver.t -> int list -> bool;
+  i_pp_history : (Format.formatter -> unit -> unit) option;
+}
+
+let instance ?pp_history ~check setup =
+  { i_setup = setup; i_check = check; i_pp_history = pp_history }
+
+(* Deterministic work-sharing pool: a fixed task array and an atomic
+   next-task counter.  Idle workers grab the next unclaimed index, so
+   load balances like a work-stealing deque with a single shared tail;
+   results land in per-task slots (disjoint writes, publication via
+   Domain.join).  Task ORDER in the array is fixed before any worker
+   starts, which is what makes merged results independent of [jobs]. *)
+let run_tasks ~jobs ~mk tasks f =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let inst = mk () in
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f inst tasks.(i));
+        go ()
+      end
+    in
+    go ()
+  in
+  let extra = min (jobs - 1) (max 0 (n - 1)) in
+  if extra <= 0 then worker ()
+  else begin
+    let domains = List.init extra (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.map (function Some r -> r | None -> assert false) results
+
+(* Partition the schedule tree into a frontier of independent subtree
+   roots: naive full branching (all enabled, non-slept children of each
+   node, left to right) down to roughly [frontier_target] nodes.  Each
+   child's sleep set inherits the node's sleep plus its already-listed
+   left siblings — exactly the sequential sleep-set discipline, so a
+   subtree task may prune continuations whose traces a left-sibling
+   task covers.  Soundness does not require sibling tasks to run in
+   order: it only requires that the covering task exists in the same
+   search, which it does by construction (sleep-blocked nodes are the
+   only ones dropped, and their traces are covered by the siblings that
+   put their entries to sleep).
+
+   The expansion itself is pure partitioning — no checks run here; the
+   replica drivers it creates are throwaways (forcing prologues on them
+   perturbs nothing observable). *)
+let frontier_target = 48
+let frontier_depth_cap = 64
+
+let expand_frontier ~procs setup =
+  let pruned = ref 0 in
+  let expand (prefix, sleep) =
+    let d = Driver.create ~procs setup in
+    List.iter (fun p -> Driver.step d p) prefix;
+    match Driver.runnable_list d with
+    | [] -> `Leaf
+    | runnable -> (
+        let non_slept =
+          List.filter (fun p -> not (List.mem_assoc p sleep)) runnable
+        in
+        match non_slept with
+        | [] ->
+            incr pruned;
+            `Blocked
+        | _ ->
+            let rec children acc earlier = function
+              | [] -> List.rev acc
+              | q :: rest ->
+                  let pe = pend_exact d q in
+                  let child_sleep =
+                    List.filter
+                      (fun (_, pq) -> not (dependent_pp pq pe))
+                      (sleep @ List.rev earlier)
+                  in
+                  children
+                    ((prefix @ [ q ], child_sleep) :: acc)
+                    ((q, pe) :: earlier) rest
+            in
+            `Children (children [] [] non_slept))
+  in
+  let rec grow rounds actives leaves =
+    if
+      actives = []
+      || rounds >= frontier_depth_cap
+      || List.length actives + List.length leaves >= frontier_target
+    then (actives, leaves)
+    else begin
+      let actives', leaves' =
+        List.fold_left
+          (fun (acts, lvs) node ->
+            match expand node with
+            | `Leaf -> (acts, node :: lvs)
+            | `Blocked -> (acts, lvs)
+            | `Children cs -> (List.rev_append cs acts, lvs))
+          ([], []) actives
+      in
+      grow (rounds + 1) (List.rev actives') (List.rev_append leaves leaves')
+    end
+  in
+  let actives, leaves = grow 0 [ ([], []) ] [] in
+  (Array.of_list (List.rev leaves @ actives), !pruned)
+
+let search ?(way = Way.Systematic Bounds.none) ?(jobs = 1)
+    ?(max_schedules = 1_000_000) ?(max_crashes = 0) ~procs mk_instance =
+  if procs >= Sys.int_size - 1 then
+    invalid_arg "Explore.search: too many processes for the DPOR bitmask";
+  let jobs = max 1 jobs in
+  match way with
+  | Way.Systematic bounds ->
+      if max_crashes > 0 then
+        invalid_arg
+          "Explore.search: systematic ways do not support crash injection; \
+           use a random way or exhaustive ~mode:Naive";
+      let inst0 = mk_instance () in
+      let tasks, expansion_pruned = expand_frontier ~procs inst0.i_setup in
+      let results =
+        run_tasks ~jobs ~mk:mk_instance tasks (fun inst (prefix, sleep) ->
+            (* each subtree gets the full budget: a shared countdown
+               would make results depend on worker timing *)
+            dpor_task ~bounds ~max_schedules ~procs ~setup:inst.i_setup
+              ~check:inst.i_check ~prefix ~init_sleep:sleep)
+      in
+      let explored = Array.fold_left (fun a r -> a + r.t_explored) 0 results in
+      let pending = Array.fold_left (fun a r -> a + r.t_pending) 0 results in
+      let pruned =
+        expansion_pruned
+        + Array.fold_left (fun a r -> a + r.t_pruned) 0 results
+      in
+      let failures, failure_tags =
+        let pairs =
+          Array.to_list results
+          |> List.mapi (fun i r ->
+                 List.map (fun s -> (s, Printf.sprintf "task=%d" i)) r.t_failures)
+          |> List.concat
+        in
+        (List.map fst pairs, List.map snd pairs)
+      in
+      {
+        explored;
+        failures;
+        failure_tags;
+        truncated = pending > 0;
+        pending;
+        mode = Way_search way;
+        coverage =
+          {
+            cov_explored = explored;
+            cov_pruned = pruned;
+            cov_sampled = 0;
+            cov_tasks = Array.length tasks;
+          };
+        way_desc = Way.to_string way;
+      }
+  | Way.Uniform { count; _ } | Way.Weighted { count; _ } ->
+      let count = max 0 count in
+      let chunk = max 1 ((count + 63) / 64) in
+      let ntasks = if count = 0 then 0 else (count + chunk - 1) / chunk in
+      let tasks =
+        Array.init ntasks (fun j -> (j * chunk, min count ((j + 1) * chunk)))
+      in
+      let results =
+        run_tasks ~jobs ~mk:mk_instance tasks (fun inst (lo, hi) ->
+            let fails = ref [] in
+            for index = lo to hi - 1 do
+              let enc, d =
+                sample_schedule ~max_crashes ~way ~index ~procs inst.i_setup
+              in
+              if not (inst.i_check d enc) then fails := (index, enc) :: !fails
+            done;
+            List.rev !fails)
+      in
+      let fails = Array.to_list results |> List.concat in
+      {
+        explored = count;
+        failures = List.map snd fails;
+        failure_tags =
+          List.map (fun (i, _) -> Printf.sprintf "sample=%d" i) fails;
+        truncated = false;
+        pending = 0;
+        mode = Way_search way;
+        coverage =
+          {
+            cov_explored = count;
+            cov_pruned = 0;
+            cov_sampled = count;
+            cov_tasks = ntasks;
+          };
+        way_desc = Way.to_string way;
+      }
 
 (* --- counterexample shrinking ----------------------------------------------
 
@@ -525,6 +1075,9 @@ let shrink ?(max_rounds = 10_000) ~procs setup check enc0 =
 type counterexample = {
   cex_schedule : int list;  (** the first failing schedule found *)
   cex_shrunk : int list;  (** its deletion-minimal shrink (still failing) *)
+  cex_way : string;
+      (** provenance: way description plus sample/task tag, enough to
+          re-derive the failing schedule deterministically *)
   cex_message : string;  (** rendered schedule + failing history *)
 }
 
@@ -537,50 +1090,89 @@ let report_ok r = ok r.r_outcome && r.r_counterexample = None
 
 let shrink_fn = shrink
 
-let check_linearizable ?(mode = Naive) ?(shrink = true) ?max_schedules
-    ?(max_crashes = 0) ?pp_history ~procs setup ~linearizable () =
-  let check _d _sched = linearizable () in
-  let outcome =
-    exhaustive ~mode ?max_schedules ~max_crashes ~procs setup check
+(* Shrink + replay a failing schedule and render the counterexample.
+   The final replay leaves the caller's by-reference history (if any)
+   holding the SHRUNK execution, which [pp_history] then renders. *)
+let build_counterexample ~procs ~setup ~check ~pp_history ~do_shrink ~way_line
+    first =
+  let shrunk = if do_shrink then shrink_fn ~procs setup check first else first in
+  let d, norm = replay_encoded ~procs setup shrunk in
+  let still_fails = not (check d norm) in
+  let message =
+    Format.asprintf
+      "@[<v>%s execution, %d action(s) (shrunk from %d):@,\
+       way: %s@,\
+       schedule: @[<hov>%a@]%a%s@]"
+      (if still_fails then "non-linearizable" else "UNSTABLE counterexample")
+      (List.length norm) (List.length first) way_line
+      Trace.pp_encoded_schedule norm
+      (fun ppf () ->
+        match pp_history with
+        | None -> ()
+        | Some pp -> Format.fprintf ppf "@,history:@,  @[<v>%a@]" pp ())
+      ()
+      (if still_fails then ""
+       else
+         "\n(replaying the shrunk schedule no longer fails — \
+          non-deterministic check?)")
+  in
+  { cex_schedule = first; cex_shrunk = shrunk; cex_way = way_line;
+    cex_message = message }
+
+let search_check ?way ?jobs ?(shrink = true) ?max_schedules ?max_crashes
+    ~procs mk_instance =
+  let outcome = search ?way ?jobs ?max_schedules ?max_crashes ~procs
+      mk_instance
   in
   match outcome.failures with
   | [] -> { r_outcome = outcome; r_counterexample = None }
   | first :: _ ->
-      let shrunk =
-        if shrink then shrink_fn ~procs setup check first else first
+      let inst = mk_instance () in
+      let way_line =
+        match outcome.failure_tags with
+        | tag :: _ -> outcome.way_desc ^ " " ^ tag
+        | [] -> outcome.way_desc
       in
-      (* replay so the caller's history (recorder captured by reference)
-         is the one produced by the shrunk schedule *)
-      let _d, norm = replay_encoded ~procs setup shrunk in
-      let still_fails = not (linearizable ()) in
-      let message =
-        Format.asprintf "@[<v>%s execution, %d action(s) (shrunk from %d):@,\
-                         schedule: @[<hov>%a@]%a%s@]"
-          (if still_fails then "non-linearizable" else "UNSTABLE counterexample")
-          (List.length norm) (List.length first) Trace.pp_encoded_schedule norm
-          (fun ppf () ->
-            match pp_history with
-            | None -> ()
-            | Some pp ->
-                Format.fprintf ppf "@,history:@,  @[<v>%a@]" pp ())
-          ()
-          (if still_fails then ""
-           else "\n(replaying the shrunk schedule no longer fails — \
-                 non-deterministic check?)")
+      let cex =
+        build_counterexample ~procs ~setup:inst.i_setup ~check:inst.i_check
+          ~pp_history:inst.i_pp_history ~do_shrink:shrink ~way_line first
       in
-      {
-        r_outcome = outcome;
-        r_counterexample =
-          Some { cex_schedule = first; cex_shrunk = shrunk; cex_message = message };
-      }
+      { r_outcome = outcome; r_counterexample = Some cex }
+
+let check_linearizable ?(mode = Naive) ?way ?(shrink = true) ?max_schedules
+    ?(max_crashes = 0) ?pp_history ~procs setup ~linearizable () =
+  let check _d _sched = linearizable () in
+  match way with
+  | Some w ->
+      (* way-based searches are routed through [search_check] with a
+         single worker: the caller's closures share state (recorder by
+         reference), which is only safe sequentially *)
+      search_check ~way:w ~jobs:1 ~shrink ?max_schedules ~max_crashes ~procs
+        (fun () -> { i_setup = setup; i_check = check; i_pp_history = pp_history })
+  | None -> (
+      let outcome =
+        exhaustive ~mode ?max_schedules ~max_crashes ~procs setup check
+      in
+      match outcome.failures with
+      | [] -> { r_outcome = outcome; r_counterexample = None }
+      | first :: _ ->
+          let cex =
+            build_counterexample ~procs ~setup ~check ~pp_history
+              ~do_shrink:shrink ~way_line:outcome.way_desc first
+          in
+          { r_outcome = outcome; r_counterexample = Some cex })
 
 let pp_report ppf r =
-  let mode_name = match r.r_outcome.mode with Naive -> "naive" | Dpor -> "dpor" in
-  Format.fprintf ppf "@[<v>%d schedule(s) explored (%s)%s%s@]" r.r_outcome.explored
-    mode_name
-    (if r.r_outcome.truncated then
-       Printf.sprintf ", TRUNCATED with >=%d branch(es) pending"
-         r.r_outcome.pending
+  let o = r.r_outcome in
+  let cov = o.coverage in
+  Format.fprintf ppf "@[<v>%d schedule(s) explored (%s%s)%s%s@]" o.explored
+    o.way_desc
+    (if cov.cov_pruned > 0 || cov.cov_sampled > 0 || cov.cov_tasks > 1 then
+       Printf.sprintf "; %d pruned, %d sampled, %d task(s)" cov.cov_pruned
+         cov.cov_sampled cov.cov_tasks
+     else "")
+    (if o.truncated then
+       Printf.sprintf ", TRUNCATED with >=%d branch(es) pending" o.pending
      else "")
     (match r.r_counterexample with
     | None -> ", no violation"

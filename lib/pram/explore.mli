@@ -1,4 +1,5 @@
-(** Schedule exploration (bounded model checking), naive and DPOR-pruned.
+(** Schedule exploration (bounded model checking): naive, DPOR-pruned,
+    bounded, and randomized.
 
     Executions are deterministic functions of their schedules, so all
     behaviours of a small program can be enumerated by DFS over maximal
@@ -11,23 +12,101 @@
     the same register and at least one is a write, and only schedules
     that flip a dependent pair are revisited.  It explores at least one
     representative of every Mazurkiewicz trace, typically orders of
-    magnitude fewer schedules than {!Naive}. *)
+    magnitude fewer schedules than {!Naive}.
+
+    {!search} layers dejafu-style {e ways} on top: systematic
+    exploration under composable {!Bounds} (sound for bug finding, not
+    exhaustive) or seeded uniform/weighted random sampling, optionally
+    parallelized across domains with deterministic, jobs-independent
+    results. *)
+
+(** Composable schedule bounds (dejafu's SCT bounds).  Every bound is
+    prefix-invariant, so the explorer prunes a subtree as soon as its
+    root prefix is out of bounds; pruned branches are counted in
+    {!type-coverage}. *)
+module Bounds : sig
+  type t = {
+    bd_preempt : int option;
+        (** max pre-emptive context switches — steps by [p] while the
+            previously stepped process is still runnable *)
+    bd_fair : int option;
+        (** max excess of a process's step count over the minimum step
+            count among the other still-runnable processes (aimed at
+            busy-wait loops; the paper's algorithms are wait-free, so
+            off by default) *)
+    bd_length : int option;  (** max schedule length *)
+  }
+
+  val none : t
+  (** No bounds: plain DPOR. *)
+
+  val default : t
+  (** [preempt <= 3], fairness and length off — a small pre-emption
+      bound catches almost all bugs in practice (Musuvathi-Qadeer). *)
+
+  val make : ?preempt:int -> ?fair:int -> ?length:int -> unit -> t
+  val is_none : t -> bool
+  val to_string : t -> string
+end
+
+(** How to explore the schedule space (dejafu's [Way]). *)
+module Way : sig
+  type t =
+    | Systematic of Bounds.t
+        (** DPOR with sleep sets, filtered by the bounds.  With
+            {!Bounds.none} this is exhaustive (per Mazurkiewicz trace);
+            with real bounds it is sound for bug finding only. *)
+    | Uniform of { seed : int; count : int }
+        (** [count] maximal schedules, each decision uniform over the
+            runnable processes; sample [i] is a deterministic function
+            of [(seed, i)]. *)
+    | Weighted of { seed : int; count : int; bias : float }
+        (** like [Uniform], but each decision favours staying on the
+            previously stepped process with relative weight [bias] —
+            near-serial schedules that catch real-time-order bugs
+            uniform sampling almost never hits. *)
+
+  val systematic : t
+  (** [Systematic Bounds.none]. *)
+
+  val to_string : t -> string
+end
 
 type mode =
   | Naive  (** enumerate every maximal schedule *)
   | Dpor  (** dynamic partial-order reduction with sleep sets *)
+  | Way_search of Way.t  (** produced by {!search} outcomes *)
+
+(** Merged exploration counters, one per {!search} (or exhaustive)
+    run; flows into the bench JSON so coverage regressions show up in
+    the committed trajectory. *)
+type coverage = {
+  cov_explored : int;  (** completed executions visited (incl. samples) *)
+  cov_pruned : int;
+      (** branches cut by bounds or sleep sets — a lower bound on the
+          number of skipped subtrees *)
+  cov_sampled : int;  (** random samples drawn (0 for systematic modes) *)
+  cov_tasks : int;  (** parallel subtree/shard tasks the search ran *)
+}
 
 type outcome = {
   explored : int;  (** completed executions visited *)
   failures : int list list;
       (** schedules of executions that failed the check; crash actions
           are encoded as [-1 - pid] *)
+  failure_tags : string list;
+      (** provenance tag per failure, aligned with [failures] (e.g.
+          ["sample=137"] or ["task=3"]); empty when untagged *)
   truncated : bool;  (** [max_schedules] stopped the search early *)
   pending : int;
       (** branch points abandoned because of [max_schedules]; a lower
           bound on the number of unexplored schedules (0 iff the search
           ran to completion) *)
   mode : mode;  (** the mode that produced this outcome *)
+  coverage : coverage;
+  way_desc : string;
+      (** human-readable search description: ["naive"], ["dpor"], or
+          [Way.to_string] *)
 }
 
 (** [exhaustive ~procs setup check] runs [check driver schedule] on every
@@ -36,7 +115,8 @@ type outcome = {
     crashing each runnable process at every prefix, up to that many
     crashes per execution (Naive mode only).  The program must be finite
     (every schedule terminates).
-    @raise Invalid_argument for [Dpor] with [max_crashes > 0]. *)
+    @raise Invalid_argument for [Dpor] with [max_crashes > 0], and for
+    [Way_search] (use {!search}). *)
 val exhaustive :
   ?mode:mode ->
   ?max_schedules:int ->
@@ -53,6 +133,71 @@ val ok : outcome -> bool
     [~mode:Dpor], the number of representatives DPOR explores. *)
 val count :
   ?mode:mode -> ?max_schedules:int -> procs:int -> (unit -> int -> 'r) -> int
+
+(** A program instance: everything one search worker needs on its own
+    domain.  {!search} calls the factory once per worker, keeping
+    by-reference state (e.g. a history recorder re-created by
+    [i_setup]) domain-local.  [i_check] receives the driver of the
+    completed execution and its schedule; the leaf-instance invariant
+    holds per worker (the most recently created instance on that domain
+    is the one whose execution just completed). *)
+type 'r instance = {
+  i_setup : unit -> int -> 'r;
+  i_check : 'r Driver.t -> int list -> bool;
+  i_pp_history : (Format.formatter -> unit -> unit) option;
+}
+
+val instance :
+  ?pp_history:(Format.formatter -> unit -> unit) ->
+  check:('r Driver.t -> int list -> bool) ->
+  (unit -> int -> 'r) ->
+  'r instance
+
+(** [sample_schedule ~way ~index ~procs setup] draws the [index]-th
+    random schedule of a {!Way.Uniform}/{!Way.Weighted} way, runs it to
+    quiescence on a fresh driver, and returns the encoded schedule plus
+    the driver.  Deterministic in [(way, index)] regardless of how
+    {!search} shards samples.  With [max_crashes > 0] each decision may
+    crash a runnable process with small probability until the budget is
+    spent.
+    @raise Invalid_argument on a [Systematic] way. *)
+val sample_schedule :
+  ?max_crashes:int ->
+  way:Way.t ->
+  index:int ->
+  procs:int ->
+  (unit -> int -> 'r) ->
+  int list * 'r Driver.t
+
+(** [search ~way ~jobs ~procs mk_instance] explores the program's
+    schedule space according to [way], in parallel on up to [jobs]
+    domains.
+
+    Systematic ways partition the schedule tree into a deterministic
+    frontier of subtree roots (with sleep-set seeding from left
+    siblings, so cross-subtree duplication is pruned) and run an
+    independent bounded DPOR per subtree; [max_schedules] is a
+    PER-SUBTREE budget.  Random ways shard [count] sample indices
+    across tasks.  Either way the task partition — and therefore every
+    counter and the failure list — is independent of [jobs].
+
+    Soundness: [Systematic Bounds.none] is exhaustive per Mazurkiewicz
+    trace (same caveat as {!Dpor}: violations living purely in the
+    real-time order of independent accesses can be missed).  Bounded
+    systematic search and random ways are sound for bug finding only —
+    every reported failure is a real execution, but absence of failures
+    proves nothing outside the bounds / sample set.  Random ways check
+    complete concrete executions and so CAN catch real-time-order
+    violations DPOR misses.
+    @raise Invalid_argument for a systematic way with [max_crashes > 0]. *)
+val search :
+  ?way:Way.t ->
+  ?jobs:int ->
+  ?max_schedules:int ->
+  ?max_crashes:int ->
+  procs:int ->
+  (unit -> 'r instance) ->
+  outcome
 
 (** [apply_encoded d enc] applies an encoded schedule ([p >= 0] steps
     process [p], [-1 - p] crashes it) tolerantly to an existing driver —
@@ -106,6 +251,10 @@ val context_switches : int list -> int
 type counterexample = {
   cex_schedule : int list;  (** the first failing schedule found *)
   cex_shrunk : int list;  (** its deletion-minimal shrink (still failing) *)
+  cex_way : string;
+      (** provenance: the way description plus a sample/task tag (e.g.
+          ["uniform(seed=42,count=2000) sample=137"]) — enough to
+          re-derive the failing schedule deterministically *)
   cex_message : string;  (** rendered schedule + failing history *)
 }
 
@@ -113,6 +262,21 @@ type report = {
   r_outcome : outcome;
   r_counterexample : counterexample option;
 }
+
+(** [search_check ~procs mk_instance] is {!search} plus counterexample
+    handling: the first failing schedule is ddmin-shrunk (against a
+    fresh main-domain instance) and replayed, so the final instance's
+    history is the minimal failing one and [i_pp_history] renders it
+    into the message.  [cex_way] records the search provenance. *)
+val search_check :
+  ?way:Way.t ->
+  ?jobs:int ->
+  ?shrink:bool ->
+  ?max_schedules:int ->
+  ?max_crashes:int ->
+  procs:int ->
+  (unit -> 'r instance) ->
+  report
 
 (** [check_linearizable ~procs setup ~linearizable ()] explores every
     schedule and calls [linearizable ()] at each completed execution —
@@ -134,11 +298,17 @@ type report = {
     naive search cannot finish, and keep a naive run (possibly truncated)
     alongside it.
 
+    Passing [?way] overrides [mode] and routes through {!search_check}
+    with a single worker (the closures here share state, which is only
+    safe sequentially); use {!search_check} directly for parallel
+    search.
+
     [Lincheck.Make] provides a convenience wrapper that fills in
     [linearizable] and [pp_history] from a recorder and an object
     specification. *)
 val check_linearizable :
   ?mode:mode ->
+  ?way:Way.t ->
   ?shrink:bool ->
   ?max_schedules:int ->
   ?max_crashes:int ->

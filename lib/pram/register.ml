@@ -20,12 +20,19 @@ type 'a t = {
    across program INSTANCES: replay-based explorers ([Pram.Explore])
    compare register ids recorded from one instance against ids observed
    in a fresh instance replaying the same schedule prefix, which is only
-   sound when allocation depends solely on the applied step sequence. *)
-let next_id = ref 0
+   sound when allocation depends solely on the applied step sequence.
 
-let reset_ids () = next_id := 0
+   The counter is domain-local: [Explore.search ~jobs] replays
+   independent schedule subtrees on separate domains, each creating its
+   own drivers, and a shared counter would interleave allocations across
+   domains and destroy replay determinism.  Each domain's drivers see a
+   private counter, reset by their own [Driver.create] calls. *)
+let next_id_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_id_key := 0
 
 let make ?name init =
+  let next_id = Domain.DLS.get next_id_key in
   incr next_id;
   let id = !next_id in
   let name = match name with Some n -> n | None -> Printf.sprintf "r%d" id in

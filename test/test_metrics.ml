@@ -366,6 +366,37 @@ let test_sink_equals_legacy_paths () =
 
 (* --- bench JSON round-trip -------------------------------------------------- *)
 
+(* the schedule-exploration coverage family the PR 6 validator requires:
+   all five stages, each with the full four-metric family, the clean
+   stage clean, the buggy stages finding their bug, random stages with
+   sampled = explored > 0 and systematic stages with sampled = 0 *)
+let explore_stage_rows ~bench ~procs ~explored ~pruned ~sampled ~violations =
+  List.map
+    (fun (metric, value) ->
+      Experiments.Bench_json.row ~bench ~procs ~backend:"sim" ~metric ~value
+        ~unit_:"schedules")
+    [
+      ("explored", explored);
+      ("pruned", pruned);
+      ("sampled", sampled);
+      ("violations", violations);
+    ]
+
+let explore_rows =
+  List.concat
+    [
+      explore_stage_rows ~bench:"explore_scan_dpor" ~procs:2 ~explored:108.0
+        ~pruned:38.0 ~sampled:0.0 ~violations:0.0;
+      explore_stage_rows ~bench:"explore_counter_bounded" ~procs:3
+        ~explored:36.0 ~pruned:0.0 ~sampled:0.0 ~violations:30.0;
+      explore_stage_rows ~bench:"explore_lost_update_uniform" ~procs:6
+        ~explored:400.0 ~pruned:0.0 ~sampled:400.0 ~violations:400.0;
+      explore_stage_rows ~bench:"explore_racy_max_uniform" ~procs:6
+        ~explored:400.0 ~pruned:0.0 ~sampled:400.0 ~violations:234.0;
+      explore_stage_rows ~bench:"explore_collect_uniform" ~procs:6
+        ~explored:400.0 ~pruned:0.0 ~sampled:400.0 ~violations:110.0;
+    ]
+
 let test_bench_json_roundtrip () =
   (* the universal wall-clock family the PR 5 validator requires at the
      full sweep, for both universal benches *)
@@ -396,7 +427,7 @@ let test_bench_json_roundtrip () =
       Experiments.Bench_json.row ~bench:"counter_inc" ~procs:8
         ~backend:"native" ~metric:"ops_per_sec" ~value:4e6 ~unit_:"ops/s";
     ]
-    @ universal_rows
+    @ universal_rows @ explore_rows
   in
   (match
      Experiments.Bench_json.validate_string
@@ -462,6 +493,52 @@ let test_bench_json_roundtrip () =
        (Experiments.Bench_json.to_json (rows @ replay_pair 140.0))
    with
   | Ok _ -> Alcotest.fail "spec_replays above reference accepted"
+  | Error _ -> ());
+  (* explore coverage gates: a clean stage reporting a violation, a
+     random stage whose sampled count disagrees with explored, a buggy
+     stage that failed to find its bug, and a dropped metric row must
+     all be flagged *)
+  let swap_stage bench stage =
+    List.filter (fun r -> r.Experiments.Bench_json.bench <> bench) rows @ stage
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (swap_stage "explore_scan_dpor"
+             (explore_stage_rows ~bench:"explore_scan_dpor" ~procs:2
+                ~explored:108.0 ~pruned:38.0 ~sampled:0.0 ~violations:1.0)))
+   with
+  | Ok _ -> Alcotest.fail "violation in the clean explore stage accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (swap_stage "explore_racy_max_uniform"
+             (explore_stage_rows ~bench:"explore_racy_max_uniform" ~procs:6
+                ~explored:400.0 ~pruned:0.0 ~sampled:250.0 ~violations:234.0)))
+   with
+  | Ok _ -> Alcotest.fail "random stage with sampled <> explored accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (swap_stage "explore_collect_uniform"
+             (explore_stage_rows ~bench:"explore_collect_uniform" ~procs:6
+                ~explored:400.0 ~pruned:0.0 ~sampled:400.0 ~violations:0.0)))
+   with
+  | Ok _ -> Alcotest.fail "injected bug not found but accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (List.filter
+             (fun r ->
+               not
+                 (r.Experiments.Bench_json.bench = "explore_counter_bounded"
+                 && r.Experiments.Bench_json.metric = "pruned"))
+             rows))
+   with
+  | Ok _ -> Alcotest.fail "missing explore metric row accepted"
   | Error _ -> ());
   (* and broken syntax is a parse error, not a crash *)
   match Experiments.Bench_json.validate_string "[{\"bench\": }]" with
