@@ -18,7 +18,7 @@
    Timing only:        dune exec bench/main.exe -- --timing
    Quick versions:     dune exec bench/main.exe -- --quick
    JSON pipeline:      dune exec bench/main.exe -- --json [--quick]
-                       (writes BENCH_PR6.json; see Experiments.Bench_json
+                       (writes BENCH_PR7.json; see Experiments.Bench_json
                        for the row schema and EXPERIMENTS.md for the
                        recorded results) *)
 
@@ -311,7 +311,7 @@ let run_json ~quick =
   let path = Experiments.Bench_json.default_path in
   let rows = Experiments.Bench_json.run ~path ~quick () in
   Printf.printf "wrote %d rows to %s\n" (List.length rows) path;
-  match Experiments.Bench_json.validate_file ~path with
+  match Experiments.Bench_json.validate_file ~path () with
   | Ok n -> Printf.printf "schema check: ok (%d rows)\n" n
   | Error errs ->
       List.iter (Printf.eprintf "schema check FAILED: %s\n") errs;

@@ -624,6 +624,31 @@ let trace_cmd =
             "Simulator only: drive with a seeded random scheduler instead \
              of round-robin.")
   in
+  let sched_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("round-robin", `Rr); ("random", `Random); ("pct", `Pct) ]))
+          None
+      & info [ "sched" ] ~docv:"S"
+          ~doc:
+            "Simulator only: the scheduling policy — $(b,round-robin) (the \
+             default), seeded $(b,random), or $(b,pct) (probabilistic \
+             concurrency testing: random priorities, highest runnable \
+             first, with $(b,--depth) distinct demotion points; uses \
+             $(b,--seed), default 42).  Without $(b,--sched), giving \
+             $(b,--seed) selects $(b,random).")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "PCT only: number of distinct priority-demotion points — the d \
+             in the 1/(n k^(d-1)) detection bound.")
+  in
   let check =
     Arg.(
       value & flag
@@ -635,8 +660,9 @@ let trace_cmd =
              the simulator additionally parse -> replay the recorded \
              schedule -> re-export and require byte-identical output.")
   in
-  let run workload kind procs fmt out seed check =
+  let run workload kind procs fmt out seed sched depth check =
     if procs <= 0 then `Error (false, "procs must be positive")
+    else if depth < 1 then `Error (false, "depth must be at least 1")
     else begin
       (* One workload program over any backend from the registry: the
          context carries the journal, so the same code paths are traced
@@ -680,9 +706,21 @@ let trace_cmd =
       let run_once () =
         let j = fresh_journal () in
         let scheduler =
-          match (kind, seed) with
-          | Runtime.Backend.Sim, Some seed ->
-              Some (Pram.Scheduler.random ~seed ())
+          match kind with
+          | Runtime.Backend.Sim -> (
+              match (sched, seed) with
+              | Some `Rr, _ -> Some (Pram.Scheduler.round_robin ())
+              | Some `Random, _ | None, Some _ ->
+                  Some
+                    (Pram.Scheduler.random
+                       ~seed:(Option.value seed ~default:42)
+                       ())
+              | Some `Pct, _ ->
+                  Some
+                    (Pram.Scheduler.pct
+                       ~seed:(Option.value seed ~default:42)
+                       ~depth ~max_steps:1_000 ())
+              | None, None -> None)
           | _ -> None
         in
         let outcome =
@@ -763,7 +801,7 @@ let trace_cmd =
     Term.(
       ret
         (const run $ workload $ backend $ procs $ format_arg $ out $ seed
-       $ check))
+       $ sched_arg $ depth_arg $ check))
 
 (* --- lincheck-demo ----------------------------------------------------------- *)
 
@@ -848,7 +886,7 @@ let bench_cmd =
     ignore json;
     let rows = Experiments.Bench_json.run ~path:out ~quick () in
     Printf.printf "wrote %d rows to %s\n" (List.length rows) out;
-    match Experiments.Bench_json.validate_file ~path:out with
+    match Experiments.Bench_json.validate_file ~path:out () with
     | Ok _ -> `Ok ()
     | Error errs ->
         `Error (false, "schema check failed: " ^ String.concat "; " errs)
@@ -858,7 +896,52 @@ let bench_cmd =
        ~doc:
          "Run the JSON bench pipeline: simulator step counts, native \
           multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
-          and direct timing — the BENCH_PR6.json rows.")
+          and direct timing — the BENCH_PR7.json rows.")
+    Term.(ret (const run $ json $ out $ quick))
+
+let store_bench_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Write the rows as JSON to $(b,--out) and validate them.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "STORE_BENCH.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path for the JSON rows.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps, faster run.")
+  in
+  let run json out quick =
+    let rows = Experiments.Bench_json.store_rows ~quick in
+    if not json then begin
+      Format.printf "%a" Experiments.Bench_json.pp_rows rows;
+      `Ok ()
+    end
+    else begin
+      Experiments.Bench_json.write_file ~path:out rows;
+      Printf.printf "wrote %d rows to %s\n" (List.length rows) out;
+      match
+        Experiments.Bench_json.validate_file
+          ~scope:Experiments.Bench_json.Store ~path:out ()
+      with
+      | Ok _ -> `Ok ()
+      | Error errs ->
+          `Error (false, "store gate failed: " ^ String.concat "; " errs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "store-bench"
+       ~doc:
+         "Run only the keyed-store stages (Wfa.Store): exact sim \
+          counters (ops, graph entries, fallbacks, spec replays) and \
+          native batched-vs-unbatched throughput with latency \
+          percentiles, procs 1,2,4,8.  With $(b,--json) the rows are \
+          written and checked against the store_* gates — including \
+          batched >= unbatched throughput at procs >= 4.")
     Term.(ret (const run $ json $ out $ quick))
 
 let bench_validate_cmd =
@@ -868,8 +951,23 @@ let bench_validate_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Bench JSON file to validate.")
   in
-  let run file =
-    match Experiments.Bench_json.validate_file ~path:file with
+  let only =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("store", Experiments.Bench_json.Store) ]))
+          None
+      & info [ "only" ] ~docv:"FAMILY"
+          ~doc:
+            "Restrict the semantic pass to one bench family's gates \
+             ($(b,store)): what a partial file like store-bench output \
+             can satisfy.  Without it the file must carry every family.")
+  in
+  let run file only =
+    let scope =
+      Option.value only ~default:Experiments.Bench_json.All
+    in
+    match Experiments.Bench_json.validate_file ~scope ~path:file () with
     | Ok n ->
         Printf.printf "%s: ok (%d rows)\n" file n;
         `Ok ()
@@ -881,9 +979,10 @@ let bench_validate_cmd =
     (Cmd.info "bench-validate"
        ~doc:
          "Validate a bench JSON file: syntax, the 6-field row schema, \
-          scan rows against Scan.cost_formula, procs coverage, and zero \
-          lost updates.  Non-zero exit on any failure (the CI gate).")
-    Term.(ret (const run $ file))
+          scan rows against Scan.cost_formula, procs coverage, zero \
+          lost updates, and the store batching gates.  Non-zero exit on \
+          any failure (the CI gate).")
+    Term.(ret (const run $ file $ only))
 
 let () =
   let default =
@@ -905,5 +1004,6 @@ let () =
             trace_cmd;
             lincheck_demo_cmd;
             bench_cmd;
+            store_bench_cmd;
             bench_validate_cmd;
           ]))

@@ -38,9 +38,11 @@ module Tracing = Tracing
 module Runtime = Runtime
 
 (* The context and backend registry, re-exported unprefixed: [Wfa.Ctx]
-   and [Wfa.Backend] are the intended spellings. *)
+   and [Wfa.Backend] are the intended spellings — as is [Wfa.Store],
+   the sharded keyed store of universal-construction instances. *)
 module Ctx = Runtime.Ctx
 module Backend = Runtime.Backend
+module Store = Universal.Store
 
 (* Convenience aliases for the most common instantiations: simulator and
    native variants of the flagship objects. *)

@@ -1,6 +1,6 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR6.json and uploaded by CI.
+   BENCH_PR7.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
@@ -304,6 +304,117 @@ let row_of_json = function
         | _, _, _, _, _, Error e -> Error e)
   | _ -> Error "row is not an object"
 
+(* Wall-clock rows are schema-checked but not threshold-gated: the span
+   and throughput must merely be positive and carry the right unit —
+   actual magnitudes are machine-dependent.  Shared by the full
+   validator and the store-scoped one. *)
+let wallclock_checks rows =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  List.iter
+    (fun r ->
+      match r.metric with
+      | "wall_ns" ->
+          if r.unit_ <> "ns" then
+            err "%s procs=%d: wall_ns rows must have unit \"ns\", got %S"
+              r.bench r.procs r.unit_;
+          if r.value <= 0.0 then
+            err "%s procs=%d: wall_ns must be positive, got %s" r.bench
+              r.procs (number_to_string r.value)
+      | "ops_per_sec" ->
+          if r.value <= 0.0 then
+            err "%s procs=%d: ops_per_sec must be positive, got %s" r.bench
+              r.procs (number_to_string r.value)
+      | _ -> ())
+    rows;
+  List.rev !errors
+
+(* The PR 7 keyed-store gates.  Both store benches must cover the full
+   sweep on both measuring backends; the sim counters are exact, so
+   entries never exceed ops (batching only merges) and the batched
+   handle never publishes more entries than the unbatched baseline; on
+   native, folding runs of commuting operations must actually pay off
+   once there is real contention (procs >= 4). *)
+let store_benches = [ "store_batched"; "store_unbatched" ]
+
+let store_checks rows =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let find ~backend ~bench ~procs ~metric =
+    List.find_opt
+      (fun r ->
+        r.backend = backend && r.bench = bench && r.procs = procs
+        && r.metric = metric)
+      rows
+  in
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (backend, metric) ->
+              if find ~backend ~bench ~procs:p ~metric = None then
+                err "no %s %s row for %s procs=%d" backend metric bench p)
+            [
+              ("native", "wall_ns");
+              ("native", "ops_per_sec");
+              ("sim", "ops");
+              ("sim", "entries");
+            ])
+        [ 1; 2; 4; 8 ])
+    store_benches;
+  List.iter
+    (fun r ->
+      if r.backend = "sim" && List.mem r.bench store_benches then
+        if r.value < 0.0 || Float.rem r.value 1.0 <> 0.0 then
+          err "sim %s procs=%d: %s must be a non-negative integer, got %s"
+            r.bench r.procs r.metric (number_to_string r.value))
+    rows;
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun p ->
+          match
+            ( find ~backend:"sim" ~bench ~procs:p ~metric:"entries",
+              find ~backend:"sim" ~bench ~procs:p ~metric:"ops" )
+          with
+          | Some e, Some o when e.value > o.value ->
+              err "sim %s procs=%d: %s entries exceed %s ops" bench p
+                (number_to_string e.value) (number_to_string o.value)
+          | _ -> ())
+        [ 1; 2; 4; 8 ])
+    store_benches;
+  List.iter
+    (fun p ->
+      match
+        ( find ~backend:"sim" ~bench:"store_batched" ~procs:p ~metric:"entries",
+          find ~backend:"sim" ~bench:"store_unbatched" ~procs:p
+            ~metric:"entries" )
+      with
+      | Some b, Some u when b.value > u.value ->
+          err
+            "sim procs=%d: batched store published %s entries, more than \
+             the unbatched baseline's %s"
+            p (number_to_string b.value) (number_to_string u.value)
+      | _ -> ())
+    [ 1; 2; 4; 8 ];
+  List.iter
+    (fun p ->
+      match
+        ( find ~backend:"native" ~bench:"store_batched" ~procs:p
+            ~metric:"ops_per_sec",
+          find ~backend:"native" ~bench:"store_unbatched" ~procs:p
+            ~metric:"ops_per_sec" )
+      with
+      | Some b, Some u when b.value < u.value ->
+          err
+            "native procs=%d: batched store throughput (%s ops/s) below \
+             unbatched (%s ops/s) — batching must pay off under contention"
+            p (number_to_string b.value) (number_to_string u.value)
+      | _ -> ())
+    [ 4; 8 ];
+  List.rev !errors
+
 (* Cross-checks beyond well-formedness: the simulator scan rows must
    equal the Section 6.2 formulas (they are exact counts, not
    measurements), native throughput must cover the full procs sweep, and
@@ -356,25 +467,6 @@ let semantic_checks rows =
       if r.metric = "lost_updates" && r.value <> 0.0 then
         err "%s procs=%d lost %s updates" r.bench r.procs
           (number_to_string r.value))
-    rows;
-  (* Wall-clock rows (PR 5) are schema-checked but not threshold-gated:
-     the span and throughput must merely be positive and carry the right
-     unit — actual magnitudes are machine-dependent. *)
-  List.iter
-    (fun r ->
-      match r.metric with
-      | "wall_ns" ->
-          if r.unit_ <> "ns" then
-            err "%s procs=%d: wall_ns rows must have unit \"ns\", got %S"
-              r.bench r.procs r.unit_;
-          if r.value <= 0.0 then
-            err "%s procs=%d: wall_ns must be positive, got %s" r.bench
-              r.procs (number_to_string r.value)
-      | "ops_per_sec" ->
-          if r.value <= 0.0 then
-            err "%s procs=%d: ops_per_sec must be positive, got %s" r.bench
-              r.procs (number_to_string r.value)
-      | _ -> ())
     rows;
   (* The PR 5 universal benches must cover the full sweep with the
      wall-clock family. *)
@@ -491,9 +583,20 @@ let semantic_checks rows =
               (number_to_string s)
       | _ -> ())
     explore_stages;
-  List.rev !errors
+  List.rev !errors @ wallclock_checks rows @ store_checks rows
 
-let validate_string contents =
+(* [Store] restricts the semantic pass to the checks a store-only file
+   can satisfy (per-row wall-clock sanity plus the store_* gates), so
+   `wfa store-bench --json` output is CI-gateable without carrying every
+   other bench family. *)
+type scope = All | Store
+
+let checks_for scope rows =
+  match scope with
+  | All -> semantic_checks rows
+  | Store -> wallclock_checks rows @ store_checks rows
+
+let validate_string ?(scope = All) contents =
   match Json.parse contents with
   | Error e -> Error [ Printf.sprintf "invalid JSON: %s" e ]
   | Ok (Json.Arr items) when items <> [] -> (
@@ -510,13 +613,13 @@ let validate_string contents =
       match List.rev errs with
       | _ :: _ as errs -> Error errs
       | [] -> (
-          match semantic_checks (List.rev rows) with
+          match checks_for scope (List.rev rows) with
           | [] -> Ok (List.length rows)
           | errs -> Error errs))
   | Ok (Json.Arr []) -> Error [ "empty bench file: no rows" ]
   | Ok _ -> Error [ "top-level JSON value must be an array of rows" ]
 
-let validate_file ~path =
+let validate_file ?(scope = All) ~path () =
   match
     let ic = open_in_bin path in
     Fun.protect
@@ -524,7 +627,7 @@ let validate_file ~path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error e -> Error [ e ]
-  | contents -> validate_string contents
+  | contents -> validate_string ~scope contents
 
 (* --- measurement: simulator step counts ----------------------------------- *)
 
@@ -709,6 +812,73 @@ let sim_agreement_rows ~procs =
       ~value:(float_of_int (Pram.Driver.steps d 0))
       ~unit_:"accesses";
   ]
+
+(* --- measurement: keyed store, batched vs unbatched (PR 7) -----------------
+
+   The same zipfian keyed script through Wfa.Store under both batching
+   policies.  On the simulator the counters are exact and deterministic:
+   ops committed, graph entries published for them (the quantity
+   batching shrinks — unbatched publishes exactly one entry per op),
+   operations that landed in multi-op entries, chunks closed early by
+   the Property 1 check, and sequential-spec replays.  The native rows
+   are the wall-clock counterpart, measured through the Workload.Traffic
+   front-end so latency percentiles ride along. *)
+
+module Store_sim = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+module Store_native =
+  Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Mem)
+
+let store_bench_name = function
+  | Universal.Store.Unbatched -> "store_unbatched"
+  | Universal.Store.Batched _ -> "store_batched"
+
+let sim_store_rows ~quick ~procs =
+  let ops_per_proc = if quick then 6 else 12 in
+  let script =
+    Workload.keyed_counter_script ~seed:13 ~keys:8 ~theta:0.9
+      ~read_fraction:0.0 ~ops_per_proc
+  in
+  let run batching =
+    let stats = Array.make procs None in
+    let program () =
+      let t = Store_sim.create ~shards:4 ~procs () in
+      fun pid ->
+        let h =
+          Store_sim.attach ~batching t (Runtime.Ctx.make ~procs ~pid ())
+        in
+        List.iter (fun (key, op) -> Store_sim.submit h ~key op) (script pid);
+        ignore (Store_sim.flush h);
+        stats.(pid) <- Some (Store_sim.stats h)
+    in
+    let d = Pram.Driver.create ~procs program in
+    Pram.Scheduler.run ~max_steps:50_000_000 (Pram.Scheduler.round_robin ()) d;
+    Array.fold_left
+      (fun (ops, entries, batched, fallbacks, replays) -> function
+        | None -> (ops, entries, batched, fallbacks, replays)
+        | Some s ->
+            ( ops + s.Store_sim.ops,
+              entries + s.Store_sim.entries,
+              batched + s.Store_sim.batched_ops,
+              fallbacks + s.Store_sim.fallbacks,
+              replays + s.Store_sim.spec_replays ))
+      (0, 0, 0, 0, 0) stats
+  in
+  List.concat_map
+    (fun batching ->
+      let ops, entries, batched_ops, fallbacks, spec_replays = run batching in
+      let bench = store_bench_name batching in
+      let mk metric value unit_ =
+        row ~bench ~procs ~backend:"sim" ~metric
+          ~value:(float_of_int value) ~unit_
+      in
+      [
+        mk "ops" ops "ops";
+        mk "entries" entries "entries";
+        mk "batched_ops" batched_ops "ops";
+        mk "fallbacks" fallbacks "chunks";
+        mk "spec_replays" spec_replays "calls";
+      ])
+    [ Universal.Store.Batched 8; Universal.Store.Unbatched ]
 
 (* --- measurement: schedule-exploration coverage (PR 6) ---------------------
 
@@ -898,6 +1068,9 @@ let sim_rows ~quick =
       List.concat_map (fun procs -> sim_universal_mode_rows ~quick ~procs)
         sweep;
       List.concat_map (fun procs -> sim_agreement_rows ~procs) sweep;
+      (* the store counters keep the full sweep under --quick too: the
+         validator requires store coverage at procs 1/2/4/8 *)
+      List.concat_map (fun procs -> sim_store_rows ~quick ~procs) sweep;
       (* schedule-exploration coverage keeps its full stage list under
          --quick too (smaller sample budgets): the validator gates on
          stage presence and on each seeded stage finding its bug *)
@@ -967,6 +1140,65 @@ let native_universal_counter_rows ~quick ~procs =
   in
   throughput_rows ~bench:"universal_counter" ~procs
     ~total_ops:(procs * ops_per_proc) ~elapsed []
+
+(* The native store stage: every domain drives its keyed zipfian script
+   through the Workload.Traffic front-end (closed loop, flush at the
+   batch ceiling), so wall-clock throughput and per-op latency
+   percentiles come out of the same run.  Batched vs unbatched on the
+   same script is the amortization claim of DESIGN.md §12 in wall-clock
+   form; the validator requires batched >= unbatched at procs >= 4. *)
+let native_store_rows ~quick ~procs =
+  (* quick stays at several hundred ops per domain: shorter runs are
+     dominated by domain spawn/flush jitter and the batched-vs-unbatched
+     ordering the validator gates on becomes noise on small hosts *)
+  let ops_per_proc = if quick then 500 else 1_000 in
+  let script =
+    Workload.keyed_counter_script ~seed:17 ~keys:32 ~theta:0.9
+      ~read_fraction:0.0 ~ops_per_proc
+  in
+  List.concat_map
+    (fun batching ->
+      let t = Store_native.create ~shards:8 ~procs () in
+      let flush_every =
+        match batching with
+        | Universal.Store.Batched n -> n
+        | Universal.Store.Unbatched -> 64
+      in
+      let results, elapsed =
+        Pram.Native.run_parallel_timed ~procs (fun pid ->
+            let h =
+              Store_native.attach ~batching t
+                (Runtime.Ctx.make ~procs ~pid ())
+            in
+            let report =
+              Workload.Traffic.drive ~flush_every ~ops:(script pid)
+                ~submit:(fun key op -> Store_native.submit h ~key op)
+                ~flush:(fun () -> ignore (Store_native.flush h))
+                ()
+            in
+            (report, Store_native.stats h))
+      in
+      let entries =
+        List.fold_left (fun a (_, s) -> a + s.Store_native.entries) 0 results
+      in
+      let merged = Workload.Traffic.merge (List.map fst results) in
+      let bench = store_bench_name batching in
+      let latency_rows =
+        match merged.Workload.Traffic.latency with
+        | None -> []
+        | Some s ->
+            [
+              row ~bench ~procs ~backend:"native" ~metric:"latency_p99"
+                ~value:(float_of_int s.Metrics.Stats.p99) ~unit_:"ns";
+              row ~bench ~procs ~backend:"native" ~metric:"latency_mean"
+                ~value:s.Metrics.Stats.mean ~unit_:"ns";
+            ]
+      in
+      throughput_rows ~bench ~procs ~total_ops:(procs * ops_per_proc) ~elapsed
+        (row ~bench ~procs ~backend:"native" ~metric:"entries"
+           ~value:(float_of_int entries) ~unit_:"entries"
+         :: latency_rows))
+    [ Universal.Store.Batched 64; Universal.Store.Unbatched ]
 
 let native_universal_gset_rows ~quick ~procs =
   let ops_per_proc = if quick then 100 else 400 in
@@ -1077,7 +1309,20 @@ let native_rows ~quick =
       List.concat_map
         (fun procs -> native_universal_gset_rows ~quick ~procs)
         procs_sweep;
+      List.concat_map (fun procs -> native_store_rows ~quick ~procs)
+        procs_sweep;
       native_scan_rows ~quick;
+    ]
+
+(* The store stages alone (sim counters + native throughput, full
+   sweep): what `wfa store-bench` runs and validates under [Store]
+   scope. *)
+let store_rows ~quick =
+  List.concat
+    [
+      List.concat_map (fun procs -> sim_store_rows ~quick ~procs) procs_sweep;
+      List.concat_map (fun procs -> native_store_rows ~quick ~procs)
+        procs_sweep;
     ]
 
 (* --- measurement: single-threaded direct timing (B4-B6) -------------------- *)
@@ -1147,7 +1392,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR6.json"
+let default_path = "BENCH_PR7.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

@@ -22,12 +22,16 @@ let run ?(max_steps = 1_000_000) ?on_action sched driver =
                 scheduler against a non-wait-free implementation?)"
     else if Driver.all_quiescent driver then ()
     else
+      (* every action charges fuel: [Driver.crash] of an already-crashed
+         (or finished) process is a no-op that leaves the execution
+         unchanged, so a scheduler stuck on such a crash would otherwise
+         spin this loop forever without touching the step budget *)
       match sched driver with
       | Stop -> notify Stop
       | Crash p ->
           notify (Crash p);
           Driver.crash driver p;
-          loop fuel
+          loop (fuel - 1)
       | Step p ->
           notify (Step p);
           Driver.step driver p;
@@ -141,13 +145,40 @@ let prefer_register ~reg_id fallback =
    constraints, PCT finds them with probability >= 1/(n * k^(d-1)) — a
    far better bug-finder per schedule than uniform random for small
    depth.  [max_steps] is the assumed bound k on the execution length. *)
+(* Change points must be distinct: each one demotes the current leader,
+   and colliding indices silently collapse to fewer than [depth]
+   demotions — exactly the d-1 priority changes the PCT guarantee needs.
+   Rejection sampling is fine (depth << max_steps in any sensible use);
+   when depth >= max_steps every step is a change point. *)
+let draw_change_points rng ~depth ~max_steps =
+  let bound = max 1 max_steps in
+  let depth = min depth bound in
+  let seen = Hashtbl.create 8 in
+  let rec draw acc k =
+    if k = 0 then List.rev acc
+    else
+      let i = Random.State.int rng bound in
+      if Hashtbl.mem seen i then draw acc k
+      else begin
+        Hashtbl.add seen i ();
+        draw (i :: acc) (k - 1)
+      end
+  in
+  draw [] depth
+
+let pct_rng ~seed ~depth = Random.State.make [| seed; depth |]
+
+let pct_change_points ~seed ~depth ~max_steps =
+  draw_change_points (pct_rng ~seed ~depth) ~depth ~max_steps
+
 let pct ~seed ~depth ~max_steps () =
-  let rng = Random.State.make [| seed; depth |] in
+  let rng = pct_rng ~seed ~depth in
   let priorities = Hashtbl.create 8 in
   let floor_priority = ref 0.0 in
-  let change_points =
-    List.init depth (fun _ -> Random.State.int rng (max 1 max_steps))
-  in
+  let change_points = Hashtbl.create 8 in
+  List.iter
+    (fun i -> Hashtbl.replace change_points i ())
+    (draw_change_points rng ~depth ~max_steps);
   let steps_taken = ref 0 in
   fun driver ->
     let n = Driver.procs driver in
@@ -158,22 +189,31 @@ let pct ~seed ~depth ~max_steps () =
     match Driver.runnable_list driver with
     | [] -> Stop
     | runnable ->
-        let best =
-          List.fold_left
-            (fun acc p ->
-              match acc with
-              | None -> Some p
-              | Some q ->
-                  if Hashtbl.find priorities p > Hashtbl.find priorities q
-                  then Some p
-                  else acc)
-            None runnable
+        let best () =
+          Option.get
+            (List.fold_left
+               (fun acc p ->
+                 match acc with
+                 | None -> Some p
+                 | Some q ->
+                     if Hashtbl.find priorities p > Hashtbl.find priorities q
+                     then Some p
+                     else acc)
+               None runnable)
         in
-        let p = Option.get best in
-        if List.mem !steps_taken change_points then begin
-          (* demote below everything seen so far *)
-          floor_priority := !floor_priority -. 1.0;
-          Hashtbl.replace priorities p !floor_priority
-        end;
+        let p = best () in
+        let p =
+          if Hashtbl.mem change_points !steps_taken then begin
+            (* demote below everything seen so far, and let the demotion
+               take effect NOW: re-pick the leader before stepping, so
+               the change point actually flips the order at this step
+               (stepping the demoted process anyway delays the flip by
+               one step and breaks the d-constraint guarantee) *)
+            floor_priority := !floor_priority -. 1.0;
+            Hashtbl.replace priorities p !floor_priority;
+            best ()
+          end
+          else p
+        in
         incr steps_taken;
         Step p

@@ -14,10 +14,12 @@ type action =
 type 'r t = 'r Driver.t -> action
 
 (** Drive [driver] with [sched] until quiescence, [Stop], or [max_steps]
-    fired accesses (a watchdog against non-wait-free implementations).
-    [on_action] observes each decision just before it is applied (the
-    metrics layer uses it to attribute scheduler decisions, e.g. crash
-    counts, without wrapping the policy).
+    scheduled actions (a watchdog against non-wait-free implementations).
+    Every action — [Step] {e and} [Crash] — consumes one unit of budget,
+    so a scheduler stuck re-crashing a dead process fails loudly instead
+    of spinning.  [on_action] observes each decision just before it is
+    applied (the metrics layer uses it to attribute scheduler decisions,
+    e.g. crash counts, without wrapping the policy).
     @raise Failure if the budget is exhausted. *)
 val run :
   ?max_steps:int -> ?on_action:(action -> unit) -> 'r t -> 'r Driver.t -> unit
@@ -47,7 +49,18 @@ val sequential : unit -> 'r t
 val prefer_register : reg_id:int -> 'r t -> 'r t
 
 (** Probabilistic Concurrency Testing (PCT): random priorities, highest
-    runnable first, with [depth] random priority-demotion points over an
-    assumed execution length of [max_steps].  A strong bug-finder for
-    ordering bugs of small depth. *)
+    runnable first, with [depth] {e distinct} random priority-demotion
+    points over an assumed execution length of [max_steps]; at a change
+    point the current leader is demoted below every priority seen so far
+    and the demotion takes effect immediately (the new leader is stepped,
+    not the demoted process).  For a bug requiring [d] ordering
+    constraints, PCT finds it with probability [>= 1/(n * k^(d-1))] — a
+    far better bug-finder per schedule than uniform random for small
+    depth. *)
 val pct : seed:int -> depth:int -> max_steps:int -> unit -> 'r t
+
+(** The demotion points the [pct] scheduler derives from
+    [(seed, depth, max_steps)]: [min depth (max 1 max_steps)] distinct
+    step indices in [0, max 1 max_steps), in draw order.  Exposed for
+    tests and introspection. *)
+val pct_change_points : seed:int -> depth:int -> max_steps:int -> int list

@@ -159,6 +159,11 @@ module Ctx = struct
     | None -> Printf.ikfprintf (fun () -> ()) () fmt
     | Some j ->
         Printf.ksprintf (fun s -> Tracing.Journal.annotate j ~pid:t.pid s) fmt
+
+  (* Reversed application, so multi-object session setup reads
+     context-first:
+       let counters = Ctx.attach ctx (Store.attach store) in ... *)
+  let attach t mint = mint t
 end
 
 module Backend = struct

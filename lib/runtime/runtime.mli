@@ -153,6 +153,13 @@ module Ctx : sig
       an explicit [match] on {!journal} instead (see [Snapshot.Scan]'s
       pass loop). *)
   val annotatef : t -> ('a, unit, string, unit) format4 -> 'a
+
+  (** [attach t mint] is [mint t] — reversed application, so that
+      sessions attaching a process to several objects read
+      context-first: [Ctx.attach ctx (Store.attach store)].  Partial
+      applications of any algorithm's [attach obj] (optional arguments
+      included) fit the [mint] slot directly. *)
+  val attach : t -> (t -> 'h) -> 'h
 end
 
 (** {1 The backend registry} *)

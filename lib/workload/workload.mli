@@ -14,6 +14,92 @@ val counter_script :
 val gset_script :
   seed:int -> ops_per_proc:int -> Spec.Gset_spec.operation script
 
+(** Zipfian key popularity: rank [i] (1-based) has weight [1/i^theta];
+    [theta = 0] is uniform, [~0.99] the YCSB-style hot-key skew.
+    Sampling is O(log keys) binary search over a precomputed CDF. *)
+module Zipf : sig
+  type t
+
+  (** @raise Invalid_argument if [keys <= 0] or [theta < 0]. *)
+  val make : keys:int -> theta:float -> t
+
+  val keys : t -> int
+
+  (** A rank in [0, keys), drawn from the given state. *)
+  val sample : t -> Random.State.t -> int
+end
+
+(** The stable name of key rank [i] (["k0007"] style), shared by every
+    keyed script so harnesses can reconstruct per-key expectations. *)
+val key_name : int -> string
+
+(** Keyed traffic scripts: each operation targets a zipfian-drawn key;
+    reads appear with probability [read_fraction], the rest are
+    commuting mutators (counter: [Inc]/[Dec]; gset: [Add]) — the class
+    the store's batching folds.  Pure in [(seed, pid)] like the flat
+    scripts.
+    @raise Invalid_argument if [read_fraction] is outside [0, 1]. *)
+val keyed_counter_script :
+  seed:int ->
+  keys:int ->
+  theta:float ->
+  read_fraction:float ->
+  ops_per_proc:int ->
+  (string * Spec.Counter_spec.operation) script
+
+val keyed_gset_script :
+  seed:int ->
+  keys:int ->
+  theta:float ->
+  read_fraction:float ->
+  ops_per_proc:int ->
+  (string * Spec.Gset_spec.operation) script
+
+(** The traffic front-end: drives one process's keyed operation stream
+    against a store-like consumer through [submit]/[flush] closures
+    (keeping this module independent of the object layer), measuring
+    throughput and per-operation latency. *)
+module Traffic : sig
+  (** [Closed] issues the next operation as soon as the previous flush
+      returns; [Open {rate}] schedules arrivals at [rate] operations per
+      second and measures latency from the {e scheduled} arrival, so
+      backlog when the system falls behind is charged to the system
+      (the coordinated-omission correction). *)
+  type loop = Closed | Open of { rate : float }
+
+  type report = {
+    ops : int;  (** operations completed *)
+    elapsed : float;  (** wall-clock seconds for the whole stream *)
+    throughput : float;  (** ops / elapsed *)
+    latency : Metrics.Stats.t option;
+        (** per-operation latency in nanoseconds, measured at flush
+            granularity (an operation completes when the flush containing
+            it returns); [None] when no operation ran *)
+  }
+
+  (** [drive ~ops ~submit ~flush ()] pushes each [(key, op)] through
+      [submit] and calls [flush] every [flush_every] submissions
+      (default 64 — the effective batch-size ceiling) and once at the
+      end.  Wall-clock based: meaningful on the native/direct backends.
+      @raise Invalid_argument
+        if [flush_every <= 0] or an open-loop rate is not positive. *)
+  val drive :
+    ?loop:loop ->
+    ?flush_every:int ->
+    ops:(string * 'op) list ->
+    submit:(string -> 'op -> unit) ->
+    flush:(unit -> unit) ->
+    unit ->
+    report
+
+  (** Merge per-process reports: ops summed, elapsed = the slowest
+      process (the parallel span), throughput over that span; latency
+      keeps the representative with the worst p99 (histograms are not
+      reconstructible from [Stats]).
+      @raise Invalid_argument on an empty list. *)
+  val merge : report list -> report
+end
+
 (** Inputs for approximate agreement: [procs] values spanning exactly
     [0, delta]. *)
 val agreement_inputs : seed:int -> procs:int -> delta:float -> float array

@@ -397,6 +397,29 @@ let explore_rows =
         ~explored:400.0 ~pruned:0.0 ~sampled:400.0 ~violations:110.0;
     ]
 
+(* the store family the PR 7 validator requires: native wall-clock +
+   throughput and exact sim ops/entries counters at the full sweep for
+   both batching policies, with batched >= unbatched throughput at
+   procs >= 4 and entries <= ops *)
+let store_stage_rows ~bench ~ops_per_sec ~entries =
+  List.concat_map
+    (fun procs ->
+      [
+        Experiments.Bench_json.row ~bench ~procs ~backend:"native"
+          ~metric:"wall_ns" ~value:2e7 ~unit_:"ns";
+        Experiments.Bench_json.row ~bench ~procs ~backend:"native"
+          ~metric:"ops_per_sec" ~value:ops_per_sec ~unit_:"ops/s";
+        Experiments.Bench_json.row ~bench ~procs ~backend:"sim" ~metric:"ops"
+          ~value:96.0 ~unit_:"ops";
+        Experiments.Bench_json.row ~bench ~procs ~backend:"sim"
+          ~metric:"entries" ~value:entries ~unit_:"entries";
+      ])
+    [ 1; 2; 4; 8 ]
+
+let store_rows =
+  store_stage_rows ~bench:"store_batched" ~ops_per_sec:4e5 ~entries:24.0
+  @ store_stage_rows ~bench:"store_unbatched" ~ops_per_sec:2e5 ~entries:96.0
+
 let test_bench_json_roundtrip () =
   (* the universal wall-clock family the PR 5 validator requires at the
      full sweep, for both universal benches *)
@@ -427,7 +450,7 @@ let test_bench_json_roundtrip () =
       Experiments.Bench_json.row ~bench:"counter_inc" ~procs:8
         ~backend:"native" ~metric:"ops_per_sec" ~value:4e6 ~unit_:"ops/s";
     ]
-    @ universal_rows @ explore_rows
+    @ universal_rows @ explore_rows @ store_rows
   in
   (match
      Experiments.Bench_json.validate_string
@@ -539,6 +562,73 @@ let test_bench_json_roundtrip () =
              rows))
    with
   | Ok _ -> Alcotest.fail "missing explore metric row accepted"
+  | Error _ -> ());
+  (* store gates (PR 7): batched throughput below unbatched at procs >= 4,
+     sim entries exceeding ops, batched entries above the unbatched
+     baseline, and dropped store coverage must all be flagged; the same
+     store-only rows must pass under the Store scope but fail the full
+     validator (which demands every other family too) *)
+  let replace_store bench stage =
+    List.filter (fun r -> r.Experiments.Bench_json.bench <> bench) rows @ stage
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (replace_store "store_batched"
+             (store_stage_rows ~bench:"store_batched" ~ops_per_sec:1e5
+                ~entries:24.0)))
+   with
+  | Ok _ -> Alcotest.fail "batched slower than unbatched at procs >= 4 accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (replace_store "store_unbatched"
+             (store_stage_rows ~bench:"store_unbatched" ~ops_per_sec:2e5
+                ~entries:97.0)))
+   with
+  | Ok _ -> Alcotest.fail "sim store entries above ops accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (replace_store "store_batched"
+             (store_stage_rows ~bench:"store_batched" ~ops_per_sec:4e5
+                ~entries:96.0
+             |> List.map (fun r ->
+                    if r.Experiments.Bench_json.metric = "entries" then
+                      Experiments.Bench_json.row ~bench:"store_batched"
+                        ~procs:r.Experiments.Bench_json.procs ~backend:"sim"
+                        ~metric:"entries" ~value:96.5 ~unit_:"entries"
+                    else r))))
+   with
+  | Ok _ -> Alcotest.fail "non-integer sim store counter accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (List.filter
+             (fun r ->
+               not
+                 (r.Experiments.Bench_json.bench = "store_unbatched"
+                 && r.Experiments.Bench_json.procs = 4
+                 && r.Experiments.Bench_json.metric = "ops_per_sec"))
+             rows))
+   with
+  | Ok _ -> Alcotest.fail "missing store throughput coverage accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       ~scope:Experiments.Bench_json.Store
+       (Experiments.Bench_json.to_json store_rows)
+   with
+  | Ok n -> check_int "store scope passes store-only rows" (List.length store_rows) n
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json store_rows)
+   with
+  | Ok _ -> Alcotest.fail "store-only rows passed the full validator"
   | Error _ -> ());
   (* and broken syntax is a parse error, not a crash *)
   match Experiments.Bench_json.validate_string "[{\"bench\": }]" with

@@ -408,6 +408,133 @@ let qcheck_crashes_never_block_others =
           | Pram.Driver.Running -> Pram.Driver.run_solo d p)
         [ 0; 1; 2; 3 ])
 
+(* --- scheduler fuel accounting --------------------------------------------- *)
+
+(* [Driver.crash] of an already-crashed (or finished) process is a
+   tolerant no-op, so a scheduler stuck emitting such crashes makes no
+   progress at all.  [Scheduler.run] must charge EVERY action against
+   the step budget — when only [Step] was charged, this test spun
+   forever instead of raising. *)
+let test_crash_charges_fuel () =
+  let d = Pram.Driver.create ~procs:2 (incr_program ~rounds:1) in
+  let always_crash_p0 = fun _ -> Pram.Scheduler.Crash 0 in
+  (match Pram.Scheduler.run ~max_steps:50 always_crash_p0 d with
+  | () -> Alcotest.fail "expected the step budget to run out"
+  | exception Failure _ -> ());
+  check_bool "p0 crashed by the first action" true
+    (Pram.Driver.status d 0 = Pram.Driver.Halted);
+  check_bool "p1 untouched and still runnable" true (Pram.Driver.runnable d 1)
+
+(* --- PCT change points ------------------------------------------------------ *)
+
+(* Change points must be distinct (each colliding draw silently loses a
+   priority change, i.e. one of the d-1 constraints) and clamped to the
+   assumed execution bound. *)
+let test_pct_change_points_distinct () =
+  List.iter
+    (fun (seed, depth, max_steps) ->
+      let cps = Pram.Scheduler.pct_change_points ~seed ~depth ~max_steps in
+      let bound = max 1 max_steps in
+      let expected = min depth bound in
+      check_int
+        (Printf.sprintf "seed=%d depth=%d max_steps=%d: count" seed depth
+           max_steps)
+        expected (List.length cps);
+      check_int "all distinct" expected
+        (List.length (List.sort_uniq compare cps));
+      List.iter
+        (fun i -> check_bool "in range" true (i >= 0 && i < bound))
+        cps;
+      check_bool "deterministic in the seed" true
+        (cps = Pram.Scheduler.pct_change_points ~seed ~depth ~max_steps))
+    [ (0, 2, 10); (1, 3, 3); (7, 5, 64); (42, 4, 2); (9, 1, 1); (3, 2, 0) ]
+
+(* --- PCT regression ---------------------------------------------------------- *)
+
+(* A 2-constraint ordering bug: process 1's read must land strictly
+   between process 0's two writes.  p1's result is the value it read;
+   the bug is reading 1.  With depth 2 and the true bound max_steps = 3,
+   a correct PCT finds it exactly when p0 starts with the higher
+   priority and the change-point set is {1, 2}: the demotion at global
+   step 1 must flip the leader BEFORE that step runs.  The pre-fix
+   scheduler demoted only after stepping the old leader (shifting the
+   window by one step, so it needs 0 as a change point — demoting at
+   index 0 before p0 has written anything) and drew change points with
+   replacement. *)
+let order_bug_program () =
+  let r = Pram.Memory.Sim.create ~name:"cell" 0 in
+  fun pid ->
+    if pid = 0 then begin
+      Pram.Memory.Sim.write r 1;
+      Pram.Memory.Sim.write r 2;
+      0
+    end
+    else Pram.Memory.Sim.read r
+
+let finds_order_bug sched =
+  let d = Pram.Driver.create ~procs:2 order_bug_program in
+  Pram.Scheduler.run ~max_steps:1_000 sched d;
+  Pram.Driver.result d 1 = Some 1
+
+(* A faithful replica of the pre-fix [Scheduler.pct]: change points
+   drawn WITH replacement, and the change-point demotion applied only
+   after the current leader takes its step — the two bugs this PR
+   fixes. *)
+let buggy_pct ~seed ~depth ~max_steps () =
+  let rng = Random.State.make [| seed; depth |] in
+  let change_points =
+    List.init depth (fun _ -> Random.State.int rng (max 1 max_steps))
+  in
+  let priorities = Hashtbl.create 8 in
+  let floor_priority = ref 0.0 in
+  let steps_taken = ref 0 in
+  fun driver ->
+    let n = Pram.Driver.procs driver in
+    for p = 0 to n - 1 do
+      if not (Hashtbl.mem priorities p) then
+        Hashtbl.add priorities p (1.0 +. Random.State.float rng 1.0)
+    done;
+    match Pram.Driver.runnable_list driver with
+    | [] -> Pram.Scheduler.Stop
+    | runnable ->
+        let p =
+          Option.get
+            (List.fold_left
+               (fun acc q ->
+                 match acc with
+                 | None -> Some q
+                 | Some b ->
+                     if Hashtbl.find priorities q > Hashtbl.find priorities b
+                     then Some q
+                     else acc)
+               None runnable)
+        in
+        if List.mem !steps_taken change_points then begin
+          floor_priority := !floor_priority -. 1.0;
+          Hashtbl.replace priorities p !floor_priority
+        end;
+        incr steps_taken;
+        Pram.Scheduler.Step p
+
+let test_pct_regression () =
+  let depth = 2 and max_steps = 3 in
+  let seeds = List.init 200 Fun.id in
+  let fixed_finds seed =
+    finds_order_bug (Pram.Scheduler.pct ~seed ~depth ~max_steps ())
+  in
+  let buggy_finds seed = finds_order_bug (buggy_pct ~seed ~depth ~max_steps ()) in
+  check_bool "fixed pct finds the 2-constraint bug on some seed" true
+    (List.exists fixed_finds seeds);
+  (* the actual regression pin: seeds where the fixed scheduler finds
+     the bug and the pre-fix replica misses it — if either fix is
+     reverted the two behave identically per seed and this set empties *)
+  check_bool "some seed separates fixed pct from the pre-fix replica" true
+    (List.exists (fun s -> fixed_finds s && not (buggy_finds s)) seeds);
+  (* the detection rate should be in the ballpark of the PCT bound
+     1/(n k^(d-1)) = 1/6 — demand at least half of that over 200 seeds *)
+  let hits = List.length (List.filter fixed_finds seeds) in
+  check_bool "fixed pct detection rate is not degenerate" true (hits >= 16)
+
 let suite =
   [
     Alcotest.test_case "solo run" `Quick test_solo_run;
@@ -440,6 +567,10 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_dependent_symmetric;
     QCheck_alcotest.to_alcotest qcheck_replay_determinism;
     QCheck_alcotest.to_alcotest qcheck_crashes_never_block_others;
+    Alcotest.test_case "crash charges fuel" `Quick test_crash_charges_fuel;
+    Alcotest.test_case "pct change points distinct" `Quick
+      test_pct_change_points_distinct;
+    Alcotest.test_case "pct order-bug regression" `Quick test_pct_regression;
   ]
 
 let () = Alcotest.run "pram" [ ("pram", suite) ]
