@@ -10,7 +10,8 @@
      explore                     model-check snapshot implementations
      trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
-     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR6.json)
+     top [--once]                live per-shard telemetry view of the store
+     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR8.json)
      bench-validate FILE         schema-check a bench JSON file
 
    Exit codes are meaningful on every subcommand — non-zero whenever the
@@ -862,6 +863,221 @@ let lincheck_demo_cmd =
          "Find and print a non-linearizable history of the naive collect.")
     Term.(ret (const run $ const ()))
 
+(* --- top ---------------------------------------------------------------------- *)
+
+(* A live terminal view over a telemetry-instrumented store run: worker
+   domains drive keyed zipfian traffic through Wfa.Store while the main
+   domain refreshes a per-shard table (throughput, queue depth,
+   fallbacks, rebuilds) from the shared Telemetry.Counters grid.  The
+   same renderer prints one final snapshot in --once mode, which is what
+   CI smokes. *)
+let top_cmd =
+  let procs =
+    Arg.(value & opt int 4 & info [ "procs" ] ~docv:"N" ~doc:"Driving domains.")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"S" ~doc:"Store shards.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 20_000
+      & info [ "ops" ] ~docv:"M" ~doc:"Operations per domain.")
+  in
+  let refresh =
+    Arg.(
+      value & opt float 0.5
+      & info [ "refresh" ] ~docv:"SEC"
+          ~doc:"Refresh (and sampling-window) interval in seconds.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Run the workload to completion and print a single snapshot \
+             instead of live-refreshing (the CI smoke mode).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write the OpenMetrics exposition (counters \
+             plus the windowed series) to FILE; the text is linted with \
+             the in-repo parser first.")
+  in
+  let read_fraction =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-fraction" ] ~docv:"F"
+          ~doc:"Fraction of read operations in the keyed script.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop aggregate arrival rate in ops/s (split evenly \
+             across domains, coordinated-omission corrected); without \
+             it the loop is closed.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+  in
+  let render ~live ~procs ~t0 ~counters ~sampler () =
+    let module T = Telemetry in
+    let elapsed = Float.max (Unix.gettimeofday () -. t0) 1e-9 in
+    let total_ops = T.Sampler.total_ops sampler in
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    line "wfa top — procs %d, shards %d, elapsed %.1fs" procs
+      (T.Counters.families counters) elapsed;
+    line "ops %d (%.0f ops/s overall)  windows %d  dropped %d" total_ops
+      (float_of_int total_ops /. elapsed)
+      (List.length (T.Sampler.windows sampler))
+      (T.Sampler.dropped sampler);
+    (match List.rev (T.Sampler.windows sampler) with
+    | [] -> ()
+    | w :: _ ->
+        let lat =
+          match w.T.Window.latency with
+          | None -> "latency -"
+          | Some s ->
+              Printf.sprintf "p50 %dns p99 %dns" s.Metrics.Stats.p50
+                s.Metrics.Stats.p99
+        in
+        line "last window: %d ops (%.0f ops/s)  %s" w.T.Window.ops
+          (float_of_int w.T.Window.ops /. T.Sampler.interval sampler)
+          lat);
+    line "%-6s %12s %10s %10s %9s" "shard" "queue_depth" "ops/s" "fallback"
+      "rebuild";
+    for s = 0 to T.Counters.families counters - 1 do
+      let f e = T.Counters.family_total counters ~family:s e in
+      line "%-6d %12d %10.0f %10d %9d" s
+        (f T.Event.Shard_queue_depth)
+        (float_of_int (f T.Event.Shard_queue_depth) /. elapsed)
+        (f T.Event.Store_batch_fallback)
+        (f T.Event.Store_rebuild)
+    done;
+    line "%s"
+      (String.concat "  "
+         (List.map
+            (fun e ->
+              Printf.sprintf "%s=%d" (T.Event.name e)
+                (T.Counters.total counters e))
+            T.Event.all));
+    if live then print_string "\027[2J\027[H";
+    print_string (Buffer.contents buf);
+    flush stdout
+  in
+  let run procs shards ops refresh once prom read_fraction rate seed =
+    if procs <= 0 then `Error (false, "--procs must be positive")
+    else if shards <= 0 then `Error (false, "--shards must be positive")
+    else if refresh <= 0.0 then `Error (false, "--refresh must be positive")
+    else if read_fraction < 0.0 || read_fraction > 1.0 then
+      `Error (false, "--read-fraction must be in [0,1]")
+    else begin
+      let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Mem)
+      in
+      let script =
+        Workload.keyed_counter_script ~seed ~keys:32 ~theta:0.9 ~read_fraction
+          ~ops_per_proc:ops
+      in
+      let counters = Telemetry.Counters.create ~families:shards ~procs () in
+      let sampler =
+        Telemetry.Sampler.create ~interval:refresh ~counters ()
+      in
+      let sink = Runtime.Sink.make ~telemetry:counters () in
+      let t = S.create ~shards ~procs () in
+      let loop =
+        Option.map
+          (fun r -> Workload.Traffic.Open { rate = r /. float_of_int procs })
+          rate
+      in
+      let t0 = Unix.gettimeofday () in
+      let drive () =
+        Pram.Native.run_parallel ~procs (fun pid ->
+            let h = S.attach t (Runtime.Ctx.make ~sink ~procs ~pid ()) in
+            Workload.Traffic.drive ~telemetry:sampler ?loop ~flush_every:64
+              ~ops:(script pid)
+              ~submit:(fun key op -> S.submit h ~key op)
+              ~flush:(fun () -> ignore (S.flush h))
+              ())
+      in
+      let reports =
+        if once then drive ()
+        else begin
+          (* workers on their own domain tree; the main domain renders
+             off the shared (atomic) counter grid until they finish *)
+          let done_ = Atomic.make false in
+          let runner =
+            Domain.spawn (fun () ->
+                Fun.protect ~finally:(fun () -> Atomic.set done_ true) drive)
+          in
+          while not (Atomic.get done_) do
+            Unix.sleepf refresh;
+            Telemetry.Sampler.tick sampler;
+            render ~live:true ~procs ~t0 ~counters ~sampler ()
+          done;
+          Domain.join runner
+        end
+      in
+      Telemetry.Sampler.finish sampler;
+      render ~live:false ~procs ~t0 ~counters ~sampler ();
+      let completed =
+        List.fold_left (fun a r -> a + r.Workload.Traffic.ops) 0 reports
+      in
+      let prom_result =
+        match prom with
+        | None -> Ok ()
+        | Some path -> (
+            let text =
+              Telemetry.Openmetrics.render
+                ~series:(Telemetry.Series.of_sampler sampler)
+                counters
+            in
+            match Telemetry.Openmetrics.lint text with
+            | Error e -> Error ("OpenMetrics lint failed: " ^ e)
+            | Ok _ ->
+                let oc = open_out path in
+                output_string oc text;
+                close_out oc;
+                Printf.printf "wrote OpenMetrics exposition to %s\n" path;
+                Ok ())
+      in
+      match prom_result with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+          if completed <> procs * ops then
+            `Error
+              ( false,
+                Printf.sprintf "drove %d ops but expected %d" completed
+                  (procs * ops) )
+          else if Telemetry.Sampler.dropped sampler > 0 then
+            `Error
+              ( false,
+                Printf.sprintf "sampler dropped %d windows (ring overflow)"
+                  (Telemetry.Sampler.dropped sampler) )
+          else `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Drive keyed zipfian traffic through the sharded store on real \
+          domains and watch it live: a refreshing per-shard table of \
+          throughput, queue depth, batch fallbacks and rebuilds from the \
+          telemetry counter grid, with per-window ops/sec and latency \
+          quantiles from the sampler.  $(b,--once) prints a single \
+          snapshot after the run (the CI smoke); $(b,--prom) exports the \
+          OpenMetrics text.")
+    Term.(
+      ret
+        (const run $ procs $ shards $ ops $ refresh $ once $ prom
+       $ read_fraction $ rate $ seed))
+
 (* --- bench / bench-validate -------------------------------------------------- *)
 
 let bench_cmd =
@@ -896,7 +1112,8 @@ let bench_cmd =
        ~doc:
          "Run the JSON bench pipeline: simulator step counts, native \
           multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
-          and direct timing — the BENCH_PR7.json rows.")
+          direct timing, and the windowed telemetry series — the \
+          BENCH_PR8.json rows.")
     Term.(ret (const run $ json $ out $ quick))
 
 let store_bench_cmd =
@@ -955,13 +1172,21 @@ let bench_validate_cmd =
     Arg.(
       value
       & opt
-          (some (enum [ ("store", Experiments.Bench_json.Store) ]))
+          (some
+             (enum
+                [
+                  ("store", Experiments.Bench_json.Store);
+                  ("series", Experiments.Bench_json.Series);
+                ]))
           None
       & info [ "only" ] ~docv:"FAMILY"
           ~doc:
-            "Restrict the semantic pass to one bench family's gates \
-             ($(b,store)): what a partial file like store-bench output \
-             can satisfy.  Without it the file must carry every family.")
+            "Restrict the semantic pass to one bench family's gates: \
+             $(b,store) (what a partial file like store-bench output can \
+             satisfy) or $(b,series) (only the windowed time-series \
+             invariants — contiguous windows, monotone timestamps, \
+             ops reconciliation).  Without it the file must carry every \
+             family.")
   in
   let run file only =
     let scope =
@@ -1003,6 +1228,7 @@ let () =
             explore_cmd;
             trace_cmd;
             lincheck_demo_cmd;
+            top_cmd;
             bench_cmd;
             store_bench_cmd;
             bench_validate_cmd;

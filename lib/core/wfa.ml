@@ -17,6 +17,8 @@
      machinery, the direct (type-optimized) objects and pseudo-RMW;
    - {!Metrics}: the observability layer — per-process/per-register
      access counters, span histograms, one schema over both backends;
+   - {!Telemetry}: production-style contention counters, the windowed
+     sampler, and the OpenMetrics/JSON exporters (DESIGN.md §13);
    - {!Tracing}: the structured event journal — per-execution causal
      traces with timeline, Chrome-trace and round-trippable text
      renderers;
@@ -34,6 +36,7 @@ module Universal = Universal
 module Workload = Workload
 module Consensus = Consensus
 module Metrics = Metrics
+module Telemetry = Telemetry
 module Tracing = Tracing
 module Runtime = Runtime
 

@@ -1,9 +1,15 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR7.json and uploaded by CI.
+   BENCH_PR8.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
+
+   Rows carrying an optional 7th field "window" are time-series samples
+   (PR 8): the value of a w_-prefixed metric during one fixed-width
+   telemetry sampling window of the stage's run, validated by their own
+   series gates (monotone window timestamps, non-negative deltas, ops
+   reconciliation against the run total).
 
    Three backends feed rows:
 
@@ -35,6 +41,11 @@ type row = {
   metric : string;
   value : float;
   unit_ : string;
+  window : int option;
+      (* PR 8: [Some i] marks a windowed time-series sample — the value
+         of a [w_]-prefixed metric in the i-th sampling window of the
+         stage's run.  [None] rows are the flat schema unchanged, so
+         every pre-series consumer keeps parsing committed files. *)
 }
 
 let row ~bench ~procs ~backend ~metric ~value ~unit_ =
@@ -43,7 +54,14 @@ let row ~bench ~procs ~backend ~metric ~value ~unit_ =
   if not (Float.is_finite value) then
     failwith
       (Printf.sprintf "Bench_json: non-finite value for %s/%s" bench metric);
-  { bench; procs; backend; metric; value; unit_ }
+  { bench; procs; backend; metric; value; unit_; window = None }
+
+let wrow ~window ~bench ~procs ~backend ~metric ~value ~unit_ =
+  if window < 0 then
+    failwith
+      (Printf.sprintf "Bench_json: negative window for %s/%s" bench metric);
+  { (row ~bench ~procs ~backend ~metric ~value ~unit_) with
+    window = Some window }
 
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in
@@ -66,12 +84,17 @@ let number_to_string v =
   else Printf.sprintf "%.6g" v
 
 let row_to_json r =
+  let window =
+    match r.window with
+    | None -> ""
+    | Some w -> Printf.sprintf ", \"window\": %d" w
+  in
   Printf.sprintf
     "{\"bench\": \"%s\", \"procs\": %d, \"backend\": \"%s\", \"metric\": \
-     \"%s\", \"value\": %s, \"unit\": \"%s\"}"
+     \"%s\", \"value\": %s, \"unit\": \"%s\"%s}"
     (escape_string r.bench) r.procs (escape_string r.backend)
     (escape_string r.metric) (number_to_string r.value)
-    (escape_string r.unit_)
+    (escape_string r.unit_) window
 
 let to_json rows =
   let buf = Buffer.create 4096 in
@@ -92,8 +115,11 @@ let write_file ~path rows =
     (fun () -> output_string oc (to_json rows))
 
 let pp_row ppf r =
-  Format.fprintf ppf "%-36s procs=%d %-7s %-24s %14s %s" r.bench r.procs
+  Format.fprintf ppf "%-36s procs=%d %-7s %-24s %14s %s%s" r.bench r.procs
     r.backend r.metric (number_to_string r.value) r.unit_
+    (match r.window with
+    | None -> ""
+    | Some w -> Printf.sprintf " [w%d]" w)
 
 let pp_rows ppf rows =
   List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) rows
@@ -274,13 +300,27 @@ let row_of_json = function
         | Some (Json.Num f) -> Ok f
         | _ -> Error (Printf.sprintf "field %S missing or not a number" k)
       in
-      if List.length fields <> 6 then
-        Error "row must have exactly the 6 schema fields"
+      let has_window = find "window" <> None in
+      let expected_fields = if has_window then 7 else 6 in
+      if List.length fields <> expected_fields then
+        Error
+          "row must have exactly the 6 schema fields (plus an optional \
+           \"window\")"
       else
+        let window =
+          if not has_window then Ok None
+          else
+            match num "window" with
+            | Error e -> Error e
+            | Ok w when not (Float.is_integer w) || w < 0.0 ->
+                Error "\"window\" must be a non-negative integer"
+            | Ok w -> Ok (Some (int_of_float w))
+        in
         match (str "bench", num "procs", str "backend", str "metric",
-               num "value", str "unit")
+               num "value", str "unit", window)
         with
-        | Ok bench, Ok procs, Ok backend, Ok metric, Ok value, Ok unit_ ->
+        | Ok bench, Ok procs, Ok backend, Ok metric, Ok value, Ok unit_,
+          Ok window ->
             if not (Float.is_integer procs) || procs < 0.0 then
               Error "\"procs\" must be a non-negative integer"
             else if backend <> "sim" && backend <> "native"
@@ -295,13 +335,15 @@ let row_of_json = function
                   metric;
                   value;
                   unit_;
+                  window;
                 }
-        | Error e, _, _, _, _, _
-        | _, Error e, _, _, _, _
-        | _, _, Error e, _, _, _
-        | _, _, _, Error e, _, _
-        | _, _, _, _, Error e, _
-        | _, _, _, _, _, Error e -> Error e)
+        | Error e, _, _, _, _, _, _
+        | _, Error e, _, _, _, _, _
+        | _, _, Error e, _, _, _, _
+        | _, _, _, Error e, _, _, _
+        | _, _, _, _, Error e, _, _
+        | _, _, _, _, _, Error e, _
+        | _, _, _, _, _, _, Error e -> Error e)
   | _ -> Error "row is not an object"
 
 (* Wall-clock rows are schema-checked but not threshold-gated: the span
@@ -413,6 +455,195 @@ let store_checks rows =
             p (number_to_string b.value) (number_to_string u.value)
       | _ -> ())
     [ 4; 8 ];
+  List.rev !errors
+
+(* The PR 8 windowed-series gates.  Series rows ([window = Some i],
+   metric prefixed [w_]) are per-sampling-window samples from a
+   Telemetry.Sampler attached to a stage's run.  Checked per
+   (bench, procs, backend) group:
+
+   - the windowed vocabulary is closed ([w_ops], [w_end_ns],
+     [w_ops_per_sec], [w_latency_p50]/[w_latency_p99], and
+     [w_delta_<event>] over the telemetry event classes);
+   - [w_ops] and [w_end_ns] cover contiguous windows 0..k-1 and the
+     end timestamps are strictly increasing (the monotone-clock grid);
+   - ops and deltas are non-negative integers (counters are monotone);
+   - the sum of per-window ops equals the stage's non-windowed "ops"
+     total — so a sampler that dropped windows (ring overflow) cannot
+     masquerade as full coverage. *)
+let w_delta_prefix = "w_delta_"
+
+let is_windowed_metric m =
+  String.length m >= 2 && String.sub m 0 2 = "w_"
+
+let known_windowed_metric m =
+  List.mem m [ "w_ops"; "w_end_ns"; "w_ops_per_sec"; "w_latency_p50";
+               "w_latency_p99" ]
+  ||
+  let lp = String.length w_delta_prefix in
+  String.length m > lp
+  && String.sub m 0 lp = w_delta_prefix
+  && Telemetry.Event.of_name (String.sub m lp (String.length m - lp)) <> None
+
+let series_checks rows =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  List.iter
+    (fun r ->
+      match r.window with
+      | Some _ ->
+          if not (known_windowed_metric r.metric) then
+            err "%s procs=%d: unknown windowed metric %S" r.bench r.procs
+              r.metric
+      | None ->
+          if is_windowed_metric r.metric then
+            err "%s procs=%d: metric %S is w_-prefixed but has no window"
+              r.bench r.procs r.metric)
+    rows;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.window with
+      | None -> ()
+      | Some w ->
+          let key = (r.bench, r.procs, r.backend) in
+          let prev =
+            Option.value (Hashtbl.find_opt groups key) ~default:[]
+          in
+          Hashtbl.replace groups key ((w, r) :: prev))
+    rows;
+  let sorted_metric wrows m =
+    List.filter (fun (_, r) -> r.metric = m) wrows
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let check_contiguous bench procs m indexed =
+    List.iteri
+      (fun i (w, _) ->
+        if w <> i then
+          err "%s procs=%d: %s windows are not contiguous from 0 (saw %d \
+               at position %d)"
+            bench procs m w i)
+      indexed
+  in
+  let non_negative_integer v = v >= 0.0 && Float.is_integer v in
+  Hashtbl.iter
+    (fun (bench, procs, backend) wrows ->
+      let w_ops = sorted_metric wrows "w_ops" in
+      let w_end = sorted_metric wrows "w_end_ns" in
+      if w_ops = [] then
+        err "%s procs=%d: windowed rows without a w_ops series" bench procs;
+      check_contiguous bench procs "w_ops" w_ops;
+      check_contiguous bench procs "w_end_ns" w_end;
+      if List.length w_end <> List.length w_ops then
+        err "%s procs=%d: w_end_ns covers %d windows but w_ops covers %d"
+          bench procs (List.length w_end) (List.length w_ops);
+      let rec strictly_increasing = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            if b.value <= a.value then
+              err "%s procs=%d: w_end_ns not strictly increasing at window \
+                   %d (%s then %s)"
+                bench procs
+                (Option.value b.window ~default:(-1))
+                (number_to_string a.value) (number_to_string b.value);
+            strictly_increasing rest
+        | _ -> ()
+      in
+      strictly_increasing w_end;
+      List.iter
+        (fun (w, r) ->
+          let lp = String.length w_delta_prefix in
+          let is_delta =
+            String.length r.metric > lp && String.sub r.metric 0 lp
+                                           = w_delta_prefix
+          in
+          if
+            (r.metric = "w_ops" || is_delta)
+            && not (non_negative_integer r.value)
+          then
+            err "%s procs=%d window %d: %s must be a non-negative integer, \
+                 got %s"
+              bench procs w r.metric (number_to_string r.value);
+          if
+            (r.metric = "w_latency_p50" || r.metric = "w_latency_p99"
+            || r.metric = "w_ops_per_sec")
+            && r.value < 0.0
+          then
+            err "%s procs=%d window %d: %s must be non-negative, got %s"
+              bench procs w r.metric (number_to_string r.value))
+        wrows;
+      let sum =
+        List.fold_left (fun acc (_, r) -> acc +. r.value) 0.0 w_ops
+      in
+      match
+        List.find_opt
+          (fun r ->
+            r.window = None && r.bench = bench && r.procs = procs
+            && r.backend = backend && r.metric = "ops")
+          rows
+      with
+      | None ->
+          err "%s procs=%d: windowed series has no %s \"ops\" total row to \
+               reconcile against"
+            bench procs backend
+      | Some total ->
+          if sum <> total.value then
+            err "%s procs=%d: per-window ops sum to %s but the run total is \
+                 %s (windows dropped?)"
+              bench procs (number_to_string sum)
+              (number_to_string total.value))
+    groups;
+  List.rev !errors
+
+(* The PR 8 windowed store stages: the open-loop arrival-rate sweep and
+   the 50% read mix, procs 4 native, each with a full windowed series.
+   Gated on presence so the committed trajectory keeps them. *)
+let openloop_rates = [ 2_000.0; 5_000.0; 10_000.0 ]
+
+let openloop_bench_name rate =
+  Printf.sprintf "store_openloop_r%d" (int_of_float rate)
+
+let readmix_bench = "store_batched_readmix"
+
+let windowed_stage_checks rows =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let stages =
+    List.map (fun r -> (openloop_bench_name r, Some r)) openloop_rates
+    @ [ (readmix_bench, None) ]
+  in
+  List.iter
+    (fun (bench, rate) ->
+      let has metric windowed =
+        List.exists
+          (fun r ->
+            r.bench = bench && r.procs = 4 && r.backend = "native"
+            && r.metric = metric
+            && (r.window <> None) = windowed)
+          rows
+      in
+      List.iter
+        (fun metric ->
+          if not (has metric false) then
+            err "no native %s row for %s procs=4" metric bench)
+        [ "wall_ns"; "ops_per_sec"; "ops" ];
+      if not (has "w_ops" true) then
+        err "no windowed w_ops series for %s procs=4" bench;
+      match rate with
+      | None -> ()
+      | Some rate -> (
+          match
+            List.find_opt
+              (fun r ->
+                r.bench = bench && r.procs = 4 && r.backend = "native"
+                && r.metric = "target_rate")
+              rows
+          with
+          | None -> err "no target_rate row for %s procs=4" bench
+          | Some r ->
+              if r.value <> rate then
+                err "%s: target_rate row says %s, stage name says %s" bench
+                  (number_to_string r.value) (number_to_string rate)))
+    stages;
   List.rev !errors
 
 (* Cross-checks beyond well-formedness: the simulator scan rows must
@@ -584,17 +815,23 @@ let semantic_checks rows =
       | _ -> ())
     explore_stages;
   List.rev !errors @ wallclock_checks rows @ store_checks rows
+  @ series_checks rows @ windowed_stage_checks rows
 
 (* [Store] restricts the semantic pass to the checks a store-only file
-   can satisfy (per-row wall-clock sanity plus the store_* gates), so
-   `wfa store-bench --json` output is CI-gateable without carrying every
-   other bench family. *)
-type scope = All | Store
+   can satisfy (per-row wall-clock sanity plus the store_* and windowed
+   gates), so `wfa store-bench --json` output is CI-gateable without
+   carrying every other bench family.  [Series] is the structural
+   series pass alone — it gates any file containing windowed rows
+   (`bench-validate --only series`) without requiring stage coverage. *)
+type scope = All | Store | Series
 
 let checks_for scope rows =
   match scope with
   | All -> semantic_checks rows
-  | Store -> wallclock_checks rows @ store_checks rows
+  | Store ->
+      wallclock_checks rows @ store_checks rows @ series_checks rows
+      @ windowed_stage_checks rows
+  | Series -> series_checks rows
 
 let validate_string ?(scope = All) contents =
   match Json.parse contents with
@@ -1141,6 +1378,112 @@ let native_universal_counter_rows ~quick ~procs =
   throughput_rows ~bench:"universal_counter" ~procs
     ~total_ops:(procs * ops_per_proc) ~elapsed []
 
+(* Serialize a finished telemetry series as windowed rows: per window
+   the op count, the end-of-window timestamp on the sampler's interval
+   grid, the derived window throughput, latency quantiles when the
+   window saw operations, and the non-zero counter deltas.  The shape
+   the [series_checks] validator gates. *)
+let series_rows ~bench ~procs ~backend (s : Telemetry.Series.t) =
+  List.concat_map
+    (fun (w : Telemetry.Window.t) ->
+      let mk metric value unit_ =
+        wrow ~window:w.Telemetry.Window.index ~bench ~procs ~backend ~metric
+          ~value ~unit_
+      in
+      List.concat
+        [
+          [
+            mk "w_ops" (float_of_int w.Telemetry.Window.ops) "ops";
+            mk "w_end_ns" (w.Telemetry.Window.t_end *. 1e9) "ns";
+            mk "w_ops_per_sec"
+              (float_of_int w.Telemetry.Window.ops /. s.Telemetry.Series.interval)
+              "ops/s";
+          ];
+          (match w.Telemetry.Window.latency with
+          | None -> []
+          | Some st ->
+              [
+                mk "w_latency_p50" (float_of_int st.Metrics.Stats.p50) "ns";
+                mk "w_latency_p99" (float_of_int st.Metrics.Stats.p99) "ns";
+              ]);
+          List.filter_map
+            (fun e ->
+              let d =
+                w.Telemetry.Window.deltas.(Telemetry.Event.index e)
+              in
+              if d = 0 then None
+              else
+                Some
+                  (mk
+                     (w_delta_prefix ^ Telemetry.Event.name e)
+                     (float_of_int d) "events"))
+            Telemetry.Event.all;
+        ])
+    s.Telemetry.Series.windows
+
+(* One native store stage with full telemetry: a counter grid sized to
+   the shard count rides in the sink (so the handles attribute
+   fallbacks/queue-depth/rebuilds per shard), and one shared sampler
+   windows the run.  Returns the classic wall-clock family plus the
+   "ops" reconciliation total and the windowed series. *)
+let native_store_stage ~bench ~procs ~batching ~read_fraction ~seed ~loop
+    ~ops_per_proc ~interval extra =
+  let shards = 8 in
+  let script =
+    Workload.keyed_counter_script ~seed ~keys:32 ~theta:0.9 ~read_fraction
+      ~ops_per_proc
+  in
+  let counters = Telemetry.Counters.create ~families:shards ~procs () in
+  let sampler = Telemetry.Sampler.create ~interval ~counters () in
+  let sink = Runtime.Sink.make ~telemetry:counters () in
+  let t = Store_native.create ~shards ~procs () in
+  let flush_every =
+    match batching with
+    | Universal.Store.Batched n -> n
+    | Universal.Store.Unbatched -> 64
+  in
+  let results, elapsed =
+    Pram.Native.run_parallel_timed ~procs (fun pid ->
+        let h =
+          Store_native.attach ~batching t
+            (Runtime.Ctx.make ~sink ~procs ~pid ())
+        in
+        let report =
+          Workload.Traffic.drive ~telemetry:sampler ?loop ~flush_every
+            ~ops:(script pid)
+            ~submit:(fun key op -> Store_native.submit h ~key op)
+            ~flush:(fun () -> ignore (Store_native.flush h))
+            ()
+        in
+        (report, Store_native.stats h))
+  in
+  Telemetry.Sampler.finish sampler;
+  let series = Telemetry.Series.of_sampler sampler in
+  let entries =
+    List.fold_left (fun a (_, s) -> a + s.Store_native.entries) 0 results
+  in
+  let merged = Workload.Traffic.merge (List.map fst results) in
+  let latency_rows =
+    match merged.Workload.Traffic.latency with
+    | None -> []
+    | Some s ->
+        [
+          row ~bench ~procs ~backend:"native" ~metric:"latency_p99"
+            ~value:(float_of_int s.Metrics.Stats.p99) ~unit_:"ns";
+          row ~bench ~procs ~backend:"native" ~metric:"latency_mean"
+            ~value:s.Metrics.Stats.mean ~unit_:"ns";
+        ]
+  in
+  throughput_rows ~bench ~procs ~total_ops:merged.Workload.Traffic.ops
+    ~elapsed
+    (row ~bench ~procs ~backend:"native" ~metric:"ops"
+       ~value:(float_of_int merged.Workload.Traffic.ops)
+       ~unit_:"ops"
+     :: row ~bench ~procs ~backend:"native" ~metric:"entries"
+          ~value:(float_of_int entries) ~unit_:"entries"
+     :: (latency_rows @ extra))
+  @ series_rows ~bench ~procs ~backend:"native" series
+
 (* The native store stage: every domain drives its keyed zipfian script
    through the Workload.Traffic front-end (closed loop, flush at the
    batch ceiling), so wall-clock throughput and per-op latency
@@ -1152,53 +1495,48 @@ let native_store_rows ~quick ~procs =
      dominated by domain spawn/flush jitter and the batched-vs-unbatched
      ordering the validator gates on becomes noise on small hosts *)
   let ops_per_proc = if quick then 500 else 1_000 in
-  let script =
-    Workload.keyed_counter_script ~seed:17 ~keys:32 ~theta:0.9
-      ~read_fraction:0.0 ~ops_per_proc
-  in
   List.concat_map
     (fun batching ->
-      let t = Store_native.create ~shards:8 ~procs () in
-      let flush_every =
-        match batching with
-        | Universal.Store.Batched n -> n
-        | Universal.Store.Unbatched -> 64
-      in
-      let results, elapsed =
-        Pram.Native.run_parallel_timed ~procs (fun pid ->
-            let h =
-              Store_native.attach ~batching t
-                (Runtime.Ctx.make ~procs ~pid ())
-            in
-            let report =
-              Workload.Traffic.drive ~flush_every ~ops:(script pid)
-                ~submit:(fun key op -> Store_native.submit h ~key op)
-                ~flush:(fun () -> ignore (Store_native.flush h))
-                ()
-            in
-            (report, Store_native.stats h))
-      in
-      let entries =
-        List.fold_left (fun a (_, s) -> a + s.Store_native.entries) 0 results
-      in
-      let merged = Workload.Traffic.merge (List.map fst results) in
-      let bench = store_bench_name batching in
-      let latency_rows =
-        match merged.Workload.Traffic.latency with
-        | None -> []
-        | Some s ->
-            [
-              row ~bench ~procs ~backend:"native" ~metric:"latency_p99"
-                ~value:(float_of_int s.Metrics.Stats.p99) ~unit_:"ns";
-              row ~bench ~procs ~backend:"native" ~metric:"latency_mean"
-                ~value:s.Metrics.Stats.mean ~unit_:"ns";
-            ]
-      in
-      throughput_rows ~bench ~procs ~total_ops:(procs * ops_per_proc) ~elapsed
-        (row ~bench ~procs ~backend:"native" ~metric:"entries"
-           ~value:(float_of_int entries) ~unit_:"entries"
-         :: latency_rows))
+      native_store_stage
+        ~bench:(store_bench_name batching)
+        ~procs ~batching ~read_fraction:0.0 ~seed:17 ~loop:None ~ops_per_proc
+        ~interval:0.005 [])
     [ Universal.Store.Batched 64; Universal.Store.Unbatched ]
+
+(* The PR 8 windowed stages the validator gates on by name:
+
+   - an open-loop arrival-rate sweep (the ROADMAP item Traffic has
+     supported since PR 7 but no bench exercised): each of the 4
+     domains offers rate/4 op/s, so the stage's aggregate offered load
+     is the advertised rate, and latency is charged from the scheduled
+     arrival (coordinated-omission corrected);
+   - the 50% read mix, so the read path finally shows in a windowed
+     series (every prior store bench ran read_fraction 0.0). *)
+let native_store_openloop_rows ~quick ~rate =
+  let procs = 4 in
+  let ops_per_proc = if quick then 100 else 250 in
+  let per_proc_rate = rate /. float_of_int procs in
+  native_store_stage
+    ~bench:(openloop_bench_name rate)
+    ~procs ~batching:(Universal.Store.Batched 64) ~read_fraction:0.0 ~seed:17
+    ~loop:(Some (Workload.Traffic.Open { rate = per_proc_rate }))
+    ~ops_per_proc ~interval:0.01
+    [
+      row ~bench:(openloop_bench_name rate) ~procs ~backend:"native"
+        ~metric:"target_rate" ~value:rate ~unit_:"ops/s";
+    ]
+
+let native_store_readmix_rows ~quick =
+  let procs = 4 in
+  let ops_per_proc = if quick then 500 else 1_000 in
+  native_store_stage ~bench:readmix_bench ~procs
+    ~batching:(Universal.Store.Batched 64) ~read_fraction:0.5 ~seed:19
+    ~loop:None ~ops_per_proc ~interval:0.005 []
+
+let windowed_store_rows ~quick =
+  List.concat_map (fun rate -> native_store_openloop_rows ~quick ~rate)
+    openloop_rates
+  @ native_store_readmix_rows ~quick
 
 let native_universal_gset_rows ~quick ~procs =
   let ops_per_proc = if quick then 100 else 400 in
@@ -1311,6 +1649,7 @@ let native_rows ~quick =
         procs_sweep;
       List.concat_map (fun procs -> native_store_rows ~quick ~procs)
         procs_sweep;
+      windowed_store_rows ~quick;
       native_scan_rows ~quick;
     ]
 
@@ -1323,6 +1662,7 @@ let store_rows ~quick =
       List.concat_map (fun procs -> sim_store_rows ~quick ~procs) procs_sweep;
       List.concat_map (fun procs -> native_store_rows ~quick ~procs)
         procs_sweep;
+      windowed_store_rows ~quick;
     ]
 
 (* --- measurement: single-threaded direct timing (B4-B6) -------------------- *)
@@ -1392,7 +1732,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR7.json"
+let default_path = "BENCH_PR8.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

@@ -19,12 +19,13 @@ module Stats = struct
     min : int;
     max : int;
     mean : float;
+    p50 : int;
     p99 : int;
   }
 
   let pp ppf s =
-    Format.fprintf ppf "n=%d min=%d mean=%.1f p99=%d max=%d" s.count s.min
-      s.mean s.p99 s.max
+    Format.fprintf ppf "n=%d min=%d mean=%.1f p50=%d p99=%d max=%d" s.count
+      s.min s.mean s.p50 s.p99 s.max
 end
 
 module Histogram = struct
@@ -55,10 +56,10 @@ module Histogram = struct
       let sorted = Array.sub t.data 0 t.len in
       Array.sort compare sorted;
       let total = Array.fold_left ( + ) 0 sorted in
-      (* nearest-rank p99: the smallest value with at least 99% of the
-         sample at or below it *)
-      let rank =
-        max 1 (int_of_float (ceil (0.99 *. float_of_int t.len)))
+      (* nearest-rank quantiles: the smallest value with at least the
+         requested fraction of the sample at or below it *)
+      let rank q =
+        max 1 (int_of_float (ceil (q *. float_of_int t.len)))
       in
       Some
         {
@@ -66,7 +67,8 @@ module Histogram = struct
           min = sorted.(0);
           max = sorted.(t.len - 1);
           mean = float_of_int total /. float_of_int t.len;
-          p99 = sorted.(rank - 1);
+          p50 = sorted.(rank 0.50 - 1);
+          p99 = sorted.(rank 0.99 - 1);
         }
     end
 end

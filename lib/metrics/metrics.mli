@@ -42,6 +42,7 @@ module Stats : sig
     min : int;
     max : int;
     mean : float;
+    p50 : int;  (** value at rank [max 1 (ceil 0.50*count)] (nearest-rank) *)
     p99 : int;  (** value at rank [max 1 (ceil 0.99*count)] (nearest-rank) *)
   }
 

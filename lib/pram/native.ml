@@ -27,6 +27,15 @@ module Mem : Memory.S with type 'a reg = 'a Atomic.t = struct
   let write = Atomic.set
 end
 
+(* Observation hook for registration CAS retries, shared by every
+   [Counting] instantiation.  This layer cannot see the telemetry
+   library (pram sits below it), so contention attribution is injected:
+   [Runtime.Backend.run] installs a closure that bumps the sink's
+   [registration_cas_retry] counter for the duration of a native run.
+   Only the CAS-failure slow path dereferences it; the uncontended
+   register never touches the ref. *)
+let on_registration_retry : (unit -> unit) ref = ref (fun () -> ())
+
 (* Wraps a backend with read/write counters.  The hot path bumps a
    per-domain cell (domain-local storage, so increments are uncontended
    and counting no longer perturbs the timing of the code it wraps);
@@ -58,6 +67,7 @@ end = struct
   let rec register c =
     let old = Atomic.get registry in
     if not (Atomic.compare_and_set registry old (c :: old)) then begin
+      !on_registration_retry ();
       Domain.cpu_relax ();
       register c
     end

@@ -13,6 +13,15 @@
     false-share lines across domains. *)
 module Mem : Memory.S with type 'a reg = 'a Atomic.t
 
+(** Called once per failed registration CAS in any {!Counting}
+    instantiation, just before the [cpu_relax] back-off.  Defaults to a
+    no-op; [Runtime.Backend.run] points it at the telemetry sink's
+    [registration_cas_retry] counter for the duration of a native run
+    (this layer sits below the telemetry library, so attribution is
+    injected rather than imported).  Only the CAS-failure slow path
+    dereferences it. *)
+val on_registration_retry : (unit -> unit) ref
+
 (** Wrap any backend with read/write counters for cost accounting under
     domains.  Each domain increments its own domain-local cell
     (uncontended and cache-line padded, so counting does not perturb

@@ -27,16 +27,20 @@ module Sink = struct
   type t = {
     metrics : Metrics.Recorder.t option;
     journal : Tracing.Journal.t option;
+    telemetry : Telemetry.Counters.t option;
   }
 
-  let none = { metrics = None; journal = None }
-  let make ?metrics ?journal () = { metrics; journal }
+  let none = { metrics = None; journal = None; telemetry = None }
+  let make ?metrics ?journal ?telemetry () = { metrics; journal; telemetry }
 
   let is_none t =
-    match (t.metrics, t.journal) with None, None -> true | _ -> false
+    match (t.metrics, t.journal, t.telemetry) with
+    | None, None, None -> true
+    | _ -> false
 
   let metrics t = t.metrics
   let journal t = t.journal
+  let telemetry t = t.telemetry
 
   let observer t =
     match (t.metrics, t.journal) with
@@ -112,6 +116,7 @@ module Ctx = struct
   let seed t = t.seed
   let journal t = t.sink.Sink.journal
   let metrics t = t.sink.Sink.metrics
+  let telemetry t = t.sink.Sink.telemetry
 
   let rng t =
     match t.rng with
@@ -165,6 +170,27 @@ module Ctx = struct
        let counters = Ctx.attach ctx (Store.attach store) in ... *)
   let attach t mint = mint t
 end
+
+(* Point the pram-layer observation hooks at a sink's telemetry
+   counters.  [Pram.Native] sits below the telemetry library, so it
+   exposes mutable no-op hooks instead of importing it; this is the one
+   place that closes the loop.  Registration retries are attributed to
+   the calling domain's pid (family 0 — the registry is a single global
+   object).  With no telemetry half the hooks are reset to no-ops. *)
+let install_native_hooks (sink : Sink.t) =
+  match sink.Sink.telemetry with
+  | None -> Pram.Native.on_registration_retry := fun () -> ()
+  | Some c ->
+      let procs = Telemetry.Counters.procs c in
+      Pram.Native.on_registration_retry :=
+        fun () ->
+          let pid = current_pid () in
+          if pid >= 0 && pid < procs then
+            Telemetry.Counters.record c ~pid ~family:0
+              Telemetry.Event.Registration_cas_retry
+
+let uninstall_native_hooks () =
+  Pram.Native.on_registration_retry := fun () -> ()
 
 module Backend = struct
   type kind =
@@ -247,10 +273,14 @@ module Backend = struct
     | Native ->
         let mem = instrumented Native sink in
         let body = program mem () in
+        install_native_hooks sink;
         let results =
-          Pram.Native.run_parallel ~procs (fun p ->
-              set_pid p;
-              body p)
+          Fun.protect
+            ~finally:(fun () -> uninstall_native_hooks ())
+            (fun () ->
+              Pram.Native.run_parallel ~procs (fun p ->
+                  set_pid p;
+                  body p))
         in
         { results = Array.of_list (List.map Option.some results); schedule = [] }
 end

@@ -60,11 +60,21 @@ module Sink : sig
   val none : t
 
   val make :
-    ?metrics:Metrics.Recorder.t -> ?journal:Tracing.Journal.t -> unit -> t
+    ?metrics:Metrics.Recorder.t ->
+    ?journal:Tracing.Journal.t ->
+    ?telemetry:Telemetry.Counters.t ->
+    unit ->
+    t
 
   val is_none : t -> bool
   val metrics : t -> Metrics.Recorder.t option
   val journal : t -> Tracing.Journal.t option
+
+  (** The contention-counter grid carried alongside the access stream:
+      instrumented algorithms cache it at attach time and bump event
+      cells ([double_collect_restart], [store_batch_fallback], ...)
+      through the free {!Telemetry.record_opt} guard. *)
+  val telemetry : t -> Telemetry.Counters.t option
 
   (** The streaming hook for [Pram.Driver.create ?observer]: [None] when
       the sink is empty (so an observer-less driver stays on its free
@@ -118,6 +128,7 @@ module Ctx : sig
   val journal : t -> Tracing.Journal.t option
 
   val metrics : t -> Metrics.Recorder.t option
+  val telemetry : t -> Telemetry.Counters.t option
 
   (** This process's deterministic random state: {!Rng.state} on
       [(seed, pid)], built lazily and cached, so contexts that never
@@ -161,6 +172,20 @@ module Ctx : sig
       included) fit the [mint] slot directly. *)
   val attach : t -> (t -> 'h) -> 'h
 end
+
+(** {1 Native observation hooks} *)
+
+(** Point [Pram.Native]'s observation hooks (currently
+    [on_registration_retry]) at [sink]'s telemetry counters, attributing
+    each event to the calling domain's {!current_pid} at family 0.
+    [Pram] sits below the telemetry library, so the wiring is injected
+    here rather than imported there.  {!Backend.run} installs/uninstalls
+    around every [Native] run; call it directly only when driving
+    [Pram.Native.run_parallel] by hand.  A sink without a telemetry half
+    resets the hooks to no-ops. *)
+val install_native_hooks : Sink.t -> unit
+
+val uninstall_native_hooks : unit -> unit
 
 (** {1 The backend registry} *)
 

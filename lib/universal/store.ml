@@ -146,6 +146,14 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
     mutable h_batched_ops : int;
     mutable h_largest_batch : int;
     mutable h_fallbacks : int;
+    h_pid : int;
+    h_tel : Telemetry.Counters.t option;
+        (* cached at attach (the journal idiom): every bump below goes
+           through the free [record_opt]/[add_opt] guard, so the
+           telemetry-off paths stay allocation-free *)
+    last_rebuilds : int array;
+        (* per-shard [U.stats] rebuild totals at the last flush, so
+           flush can attribute the delta to the shard as it happens *)
   }
 
   type stats = {
@@ -168,6 +176,18 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       | Incremental -> U.Incremental
       | Reference -> U.Reference
     in
+    let pid = Runtime.Ctx.pid ctx in
+    let tel =
+      (* only kept when the grid can attribute every shard and this pid:
+         a mis-sized grid silently recording nothing beats raising from
+         deep inside a flush *)
+      match Runtime.Ctx.telemetry ctx with
+      | Some c
+        when pid < Telemetry.Counters.procs c
+             && Array.length t.shards <= Telemetry.Counters.families c ->
+          Some c
+      | _ -> None
+    in
     {
       store = t;
       uhs = Array.map (fun u -> U.attach ~mode:umode u ctx) t.shards;
@@ -179,6 +199,9 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       h_batched_ops = 0;
       h_largest_batch = 0;
       h_fallbacks = 0;
+      h_pid = pid;
+      h_tel = tel;
+      last_rebuilds = Array.make (Array.length t.shards) 0;
     }
 
   let commit_batch h key ops =
@@ -197,7 +220,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
      Property 1 fallback: it restarts accumulation, degenerating to
      singleton (unbatched) commits on hostile runs.  [max_batch] caps
      chunk length without counting as a fallback. *)
-  let chunks_of h ops =
+  let chunks_of h ~shard ops =
     let close chunk acc = if chunk = [] then acc else List.rev chunk :: acc in
     let rec go acc chunk kind = function
       | [] -> List.rev (close chunk acc)
@@ -215,7 +238,11 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
             if
               chunk <> [] && h.max_batch > 1
               && List.length chunk < h.max_batch
-            then h.h_fallbacks <- h.h_fallbacks + 1;
+            then begin
+              h.h_fallbacks <- h.h_fallbacks + 1;
+              Telemetry.record_opt h.h_tel ~pid:h.h_pid ~family:shard
+                Telemetry.Event.Store_batch_fallback
+            end;
             go (close chunk acc) [ op ] (if ro then `Ro else `Mu) rest
           end
     in
@@ -231,25 +258,51 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
   let pending_ops h =
     Hashtbl.fold (fun _ r acc -> acc + List.length !r) h.pending 0
 
+  (* Attribute the rebuilds each shard's construction performed since
+     the last look to that shard.  Only called with telemetry attached
+     (the [None] guard is the caller's), so the per-shard [U.stats]
+     reads never run on the disabled path. *)
+  let note_rebuilds h =
+    Array.iteri
+      (fun shard u ->
+        let total = (U.stats u).U.rebuilds in
+        let d = total - h.last_rebuilds.(shard) in
+        if d > 0 then
+          Telemetry.add_opt h.h_tel ~pid:h.h_pid ~family:shard
+            Telemetry.Event.Store_rebuild d;
+        h.last_rebuilds.(shard) <- total)
+      h.uhs
+
   let flush h =
     let keys = List.rev h.rev_key_order in
     h.rev_key_order <- [];
-    List.map
-      (fun key ->
-        let ops = List.rev !(Hashtbl.find h.pending key) in
-        Hashtbl.remove h.pending key;
-        let resps =
-          List.concat_map (fun chunk -> commit_batch h key chunk)
-            (chunks_of h ops)
-        in
-        (key, resps))
-      keys
+    let out =
+      List.map
+        (fun key ->
+          let ops = List.rev !(Hashtbl.find h.pending key) in
+          Hashtbl.remove h.pending key;
+          let shard = shard_of h.store key in
+          Telemetry.add_opt h.h_tel ~pid:h.h_pid ~family:shard
+            Telemetry.Event.Shard_queue_depth (List.length ops);
+          let resps =
+            List.concat_map (fun chunk -> commit_batch h key chunk)
+              (chunks_of h ~shard ops)
+          in
+          (key, resps))
+        keys
+    in
+    (match h.h_tel with None -> () | Some _ -> note_rebuilds h);
+    out
 
   let execute h ~key op =
     if Hashtbl.mem h.pending key then
       invalid_arg
         "Store.execute: key has pending submitted operations (flush first)";
-    match commit_batch h key [ op ] with [ r ] -> r | _ -> assert false
+    let r =
+      match commit_batch h key [ op ] with [ r ] -> r | _ -> assert false
+    in
+    (match h.h_tel with None -> () | Some _ -> note_rebuilds h);
+    r
 
   let query h ~key op =
     if not (O.reads_only op) then

@@ -149,7 +149,8 @@ module Traffic = struct
     latency : Metrics.Stats.t option;
   }
 
-  let drive ?(loop = Closed) ?(flush_every = 64) ~ops ~submit ~flush () =
+  let drive ?telemetry ?(loop = Closed) ?(flush_every = 64) ~ops ~submit
+      ~flush () =
     if flush_every <= 0 then
       invalid_arg "Workload.Traffic.drive: flush_every must be positive";
     (match loop with
@@ -166,8 +167,14 @@ module Traffic = struct
         let now = Unix.gettimeofday () in
         Queue.iter
           (fun t ->
-            Metrics.Histogram.add lat
-              (int_of_float (Float.max 0.0 ((now -. t) *. 1e9))))
+            let ns = int_of_float (Float.max 0.0 ((now -. t) *. 1e9)) in
+            Metrics.Histogram.add lat ns;
+            (* sampler feed: one observation per completed operation, at
+               flush granularity — the window it lands in is the flush's
+               window, which is also when the operation became visible *)
+            match telemetry with
+            | None -> ()
+            | Some s -> Telemetry.Sampler.observe s ~latency_ns:ns)
           starts;
         Queue.clear starts
       end

@@ -81,9 +81,15 @@ module Traffic : sig
       [submit] and calls [flush] every [flush_every] submissions
       (default 64 — the effective batch-size ceiling) and once at the
       end.  Wall-clock based: meaningful on the native/direct backends.
+      [telemetry], when given, receives every completed operation's
+      latency via [Telemetry.Sampler.observe] at flush granularity —
+      share one sampler across the driving processes to get one
+      per-window time series for the whole run ([None] costs one
+      pattern match per operation and nothing else).
       @raise Invalid_argument
         if [flush_every <= 0] or an open-loop rate is not positive. *)
   val drive :
+    ?telemetry:Telemetry.Sampler.t ->
     ?loop:loop ->
     ?flush_every:int ->
     ops:(string * 'op) list ->

@@ -420,6 +420,45 @@ let store_rows =
   store_stage_rows ~bench:"store_batched" ~ops_per_sec:4e5 ~entries:24.0
   @ store_stage_rows ~bench:"store_unbatched" ~ops_per_sec:2e5 ~entries:96.0
 
+(* the windowed-store family the PR 8 validator requires: each open-loop
+   sweep stage and the read-mix stage at procs 4 native, with a windowed
+   w_ops/w_end_ns series whose per-window ops reconcile against the
+   stage's "ops" total, plus a target_rate row for open-loop stages *)
+let windowed_stage_rows ~bench ~target_rate =
+  let row = Experiments.Bench_json.row ~bench ~procs:4 ~backend:"native" in
+  let wrow ~window =
+    Experiments.Bench_json.wrow ~window ~bench ~procs:4 ~backend:"native"
+  in
+  [
+    row ~metric:"wall_ns" ~value:2e7 ~unit_:"ns";
+    row ~metric:"ops_per_sec" ~value:5e4 ~unit_:"ops/s";
+    row ~metric:"ops" ~value:400.0 ~unit_:"ops";
+    wrow ~window:0 ~metric:"w_ops" ~value:150.0 ~unit_:"ops";
+    wrow ~window:1 ~metric:"w_ops" ~value:250.0 ~unit_:"ops";
+    wrow ~window:0 ~metric:"w_end_ns" ~value:1e7 ~unit_:"ns";
+    wrow ~window:1 ~metric:"w_end_ns" ~value:2e7 ~unit_:"ns";
+    wrow ~window:0 ~metric:"w_ops_per_sec" ~value:1.5e4 ~unit_:"ops/s";
+    wrow ~window:0 ~metric:"w_latency_p99" ~value:120000.0 ~unit_:"ns";
+    wrow ~window:1 ~metric:"w_delta_shard_queue_depth" ~value:250.0
+      ~unit_:"events";
+  ]
+  @
+  match target_rate with
+  | None -> []
+  | Some rate -> [ row ~metric:"target_rate" ~value:rate ~unit_:"ops/s" ]
+
+let windowed_rows =
+  List.concat
+    [
+      windowed_stage_rows ~bench:"store_openloop_r2000"
+        ~target_rate:(Some 2000.0);
+      windowed_stage_rows ~bench:"store_openloop_r5000"
+        ~target_rate:(Some 5000.0);
+      windowed_stage_rows ~bench:"store_openloop_r10000"
+        ~target_rate:(Some 10000.0);
+      windowed_stage_rows ~bench:"store_batched_readmix" ~target_rate:None;
+    ]
+
 let test_bench_json_roundtrip () =
   (* the universal wall-clock family the PR 5 validator requires at the
      full sweep, for both universal benches *)
@@ -450,7 +489,7 @@ let test_bench_json_roundtrip () =
       Experiments.Bench_json.row ~bench:"counter_inc" ~procs:8
         ~backend:"native" ~metric:"ops_per_sec" ~value:4e6 ~unit_:"ops/s";
     ]
-    @ universal_rows @ explore_rows @ store_rows
+    @ universal_rows @ explore_rows @ store_rows @ windowed_rows
   in
   (match
      Experiments.Bench_json.validate_string
@@ -617,19 +656,101 @@ let test_bench_json_roundtrip () =
    with
   | Ok _ -> Alcotest.fail "missing store throughput coverage accepted"
   | Error _ -> ());
+  let store_family = store_rows @ windowed_rows in
   (match
      Experiments.Bench_json.validate_string
        ~scope:Experiments.Bench_json.Store
-       (Experiments.Bench_json.to_json store_rows)
+       (Experiments.Bench_json.to_json store_family)
    with
-  | Ok n -> check_int "store scope passes store-only rows" (List.length store_rows) n
+  | Ok n ->
+      check_int "store scope passes store-only rows"
+        (List.length store_family) n
   | Error errs -> Alcotest.fail (String.concat "; " errs));
   (match
      Experiments.Bench_json.validate_string
-       (Experiments.Bench_json.to_json store_rows)
+       (Experiments.Bench_json.to_json store_family)
    with
   | Ok _ -> Alcotest.fail "store-only rows passed the full validator"
   | Error _ -> ());
+  (* series gates (PR 8): per-window ops that no longer reconcile with
+     the stage total, a dropped windowed series, a w_-prefixed metric
+     without a window, a non-contiguous window index, and a stale
+     target_rate must all be flagged; the windowed rows alone must pass
+     under the Series scope *)
+  let map_windowed f =
+    List.map
+      (fun r ->
+        if
+          r.Experiments.Bench_json.bench = "store_openloop_r5000"
+          && r.Experiments.Bench_json.window <> None
+        then f r
+        else r)
+      rows
+  in
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (map_windowed (fun r ->
+               if r.Experiments.Bench_json.metric = "w_ops" then
+                 { r with Experiments.Bench_json.value = 1.0 }
+               else r)))
+   with
+  | Ok _ -> Alcotest.fail "window ops not summing to the stage total accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (List.filter
+             (fun r ->
+               not
+                 (r.Experiments.Bench_json.bench = "store_batched_readmix"
+                 && r.Experiments.Bench_json.window <> None))
+             rows))
+   with
+  | Ok _ -> Alcotest.fail "missing windowed series accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (Experiments.Bench_json.row ~bench:"store_openloop_r2000" ~procs:4
+             ~backend:"native" ~metric:"w_ops" ~value:3.0 ~unit_:"ops"
+          :: rows))
+   with
+  | Ok _ -> Alcotest.fail "w_-prefixed metric without a window accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (map_windowed (fun r ->
+               if r.Experiments.Bench_json.window = Some 1 then
+                 { r with Experiments.Bench_json.window = Some 2 }
+               else r)))
+   with
+  | Ok _ -> Alcotest.fail "non-contiguous window indices accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       (Experiments.Bench_json.to_json
+          (List.map
+             (fun r ->
+               if
+                 r.Experiments.Bench_json.bench = "store_openloop_r10000"
+                 && r.Experiments.Bench_json.metric = "target_rate"
+               then { r with Experiments.Bench_json.value = 9000.0 }
+               else r)
+             rows))
+   with
+  | Ok _ -> Alcotest.fail "target_rate contradicting the stage name accepted"
+  | Error _ -> ());
+  (match
+     Experiments.Bench_json.validate_string
+       ~scope:Experiments.Bench_json.Series
+       (Experiments.Bench_json.to_json windowed_rows)
+   with
+  | Ok n ->
+      check_int "series scope passes windowed rows"
+        (List.length windowed_rows) n
+  | Error errs -> Alcotest.fail (String.concat "; " errs));
   (* and broken syntax is a parse error, not a crash *)
   match Experiments.Bench_json.validate_string "[{\"bench\": }]" with
   | Ok _ -> Alcotest.fail "garbage accepted"

@@ -449,6 +449,70 @@ let test_ctx_no_sink_allocates_nothing () =
        empty ctx_sites)
     true (ctx_sites = empty)
 
+let test_store_disabled_telemetry_allocates_nothing () =
+  (* PR 8 extends the zero-overhead guarantee to the store hot path: the
+     telemetry guards submit/flush gained (record_opt/add_opt on the
+     handle's attach-time-cached [Counters.t option]) must be free when
+     telemetry is off.  Two measurements: the guard sites on [None]
+     allocate zero words, and a full submit/flush run under [Sink.none]
+     is allocation-deterministic and never allocates more than the same
+     run with a live counter grid (the enabled path does strictly more
+     work — note_rebuilds reads U.stats per shard). *)
+  let measure g =
+    let b0 = Gc.allocated_bytes () in
+    g ();
+    let b1 = Gc.allocated_bytes () in
+    b1 -. b0
+  in
+  let empty = measure (fun () -> for _ = 0 to 9_999 do () done) in
+  let guards =
+    measure (fun () ->
+        for _ = 0 to 9_999 do
+          Telemetry.record_opt None ~pid:0 ~family:0
+            Telemetry.Event.Store_batch_fallback;
+          Telemetry.add_opt None ~pid:0 ~family:0
+            Telemetry.Event.Shard_queue_depth 7
+        done)
+  in
+  check_bool
+    (Printf.sprintf
+       "telemetry guards on None allocate nothing (empty loop %.0f, guards \
+        %.0f)"
+       empty guards)
+    true (guards = empty);
+  let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+  in
+  let script =
+    Workload.keyed_counter_script ~seed:7 ~keys:8 ~theta:0.9
+      ~read_fraction:0.3 ~ops_per_proc:200
+  in
+  let ops = script 0 in
+  let run sink =
+    let t = S.create ~shards:4 ~procs:1 () in
+    let h = S.attach t (Runtime.Ctx.make ?sink ~procs:1 ~pid:0 ()) in
+    measure (fun () ->
+        List.iter (fun (key, op) -> S.submit h ~key op) ops;
+        ignore (S.flush h))
+  in
+  ignore (run None) (* warm-up: one-time lazy initialization *);
+  let off1 = run None in
+  let off2 = run None in
+  let on =
+    let counters = Telemetry.Counters.create ~families:4 ~procs:1 () in
+    run (Some (Runtime.Sink.make ~telemetry:counters ()))
+  in
+  check_bool
+    (Printf.sprintf
+       "telemetry-off store runs are allocation-deterministic (%.0f vs %.0f)"
+       off1 off2)
+    true (off1 = off2);
+  check_bool
+    (Printf.sprintf
+       "telemetry-off store run allocates no more than the enabled run \
+        (off %.0f, on %.0f)"
+       off1 on)
+    true (off1 <= on)
+
 let () =
   Alcotest.run "tracing"
     [
@@ -493,5 +557,8 @@ let () =
             test_disabled_helpers_allocate_nothing;
           Alcotest.test_case "sink-less Ctx allocates nothing" `Quick
             test_ctx_no_sink_allocates_nothing;
+          Alcotest.test_case "store with telemetry off allocates nothing \
+                              extra" `Quick
+            test_store_disabled_telemetry_allocates_nothing;
         ] );
     ]
