@@ -18,7 +18,7 @@
    Timing only:        dune exec bench/main.exe -- --timing
    Quick versions:     dune exec bench/main.exe -- --quick
    JSON pipeline:      dune exec bench/main.exe -- --json [--quick]
-                       (writes BENCH_PR8.json; see Experiments.Bench_json
+                       (writes BENCH_PR9.json; see Experiments.Bench_json
                        for the row schema and EXPERIMENTS.md for the
                        recorded results) *)
 
@@ -26,13 +26,13 @@ open Bechamel
 
 (* --- B1-B6: timing benches ------------------------------------------------ *)
 
-module Scan_d = Wfa.Snapshot.Scan.Make (Wfa.Semilattice.Nat_max) (Wfa.Pram.Memory.Direct)
+module Scan_d = Wfa.Snapshot.Scan.Make (Wfa.Semilattice.Nat_max) (Wfa.Pram.Memory.Direct_v)
 module Arr_d =
-  Wfa.Snapshot.Snapshot_array.Make (Wfa.Snapshot.Slot_value.Int) (Wfa.Pram.Memory.Direct)
-module DC_d = Universal.Direct.Counter (Pram.Memory.Direct)
-module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+  Wfa.Snapshot.Snapshot_array.Make (Wfa.Snapshot.Slot_value.Int) (Wfa.Pram.Memory.Direct_v)
+module DC_d = Universal.Direct.Counter (Pram.Memory.Direct_v)
+module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
 module AA_d = Agreement.Approx_agreement.Make (Pram.Memory.Direct)
-module Counter_native = Universal.Direct.Counter (Pram.Native.Mem)
+module Counter_native = Universal.Direct.Counter (Pram.Native.Versioned)
 
 (* B1/B2 run pid 0 with no concurrent writers: that is the UNCONTENDED
    path, and the row names say so.  The contended counterparts — the same
@@ -161,10 +161,10 @@ let run_contended_timing ~quick =
    tests; the reduction factor is what makes 3-4 process configurations
    checkable at all (recorded in EXPERIMENTS.md). *)
 
-module Scan_sim = Wfa.Snapshot.Scan.Make (Wfa.Semilattice.Nat_max) (Wfa.Pram.Memory.Sim)
+module Scan_sim = Wfa.Snapshot.Scan.Make (Wfa.Semilattice.Nat_max) (Wfa.Pram.Memory.Sim_v)
 module Scan_spec_sim = Wfa.Snapshot.Scan_spec.Make (Wfa.Semilattice.Nat_max)
 module Scan_check_sim = Wfa.Lincheck.Make (Scan_spec_sim)
-module DC_sim = Universal.Direct.Counter (Pram.Memory.Sim)
+module DC_sim = Universal.Direct.Counter (Pram.Memory.Sim_v)
 module Counter_check_sim = Wfa.Lincheck.Make (Spec.Counter_spec)
 module AA_sim = Wfa.Agreement.Approx_agreement.Make (Wfa.Pram.Memory.Sim)
 

@@ -11,7 +11,7 @@
      trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
      top [--once]                live per-shard telemetry view of the store
-     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR8.json)
+     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR9.json)
      bench-validate FILE         schema-check a bench JSON file
 
    Exit codes are meaningful on every subcommand — non-zero whenever the
@@ -174,7 +174,8 @@ let counter_cmd =
        registry hands us; only the memory module differs. *)
     let final_read = ref (fun () -> 0) in
     let program (module M : Pram.Memory.S) () =
-      let module C = Universal.Direct.Counter (M) in
+      let module MV = Pram.Memory.Versioned (M) in
+      let module C = Universal.Direct.Counter (MV) in
       let counter = C.create ~procs in
       (final_read :=
          fun () ->
@@ -372,7 +373,7 @@ let explore_cmd =
             Some (Pram.Explore.Way.Weighted { seed; count = samples; bias })
       in
       let module V = Snapshot.Slot_value.Int in
-      let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim) in
+      let module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim_v) in
       let module Naive_c = Snapshot.Collect.Make (V) (Pram.Memory.Sim) in
       let module Spec2 =
         Snapshot.Array_spec.Make
@@ -675,7 +676,9 @@ let trace_cmd =
         let ctx pid = Runtime.Ctx.make ~sink ~procs ~pid () in
         match workload with
         | `Scan ->
-            let module S = Snapshot.Scan.Make (Semilattice.Int_max) (M) in
+            let module S =
+              Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Versioned (M))
+            in
             let t = S.create ~procs in
             fun pid ->
               let h = S.attach t (ctx pid) in
@@ -690,7 +693,9 @@ let trace_cmd =
               ignore (AA.output h)
         | `Counter ->
             let module UC =
-              Universal.Construction.Make (Spec.Counter_spec) (M)
+              Universal.Construction.Make
+                (Spec.Counter_spec)
+                (Pram.Memory.Versioned (M))
             in
             let t = UC.create ~procs in
             fun pid ->
@@ -979,7 +984,7 @@ let top_cmd =
     else if read_fraction < 0.0 || read_fraction > 1.0 then
       `Error (false, "--read-fraction must be in [0,1]")
     else begin
-      let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Mem)
+      let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Versioned)
       in
       let script =
         Workload.keyed_counter_script ~seed ~keys:32 ~theta:0.9 ~read_fraction
@@ -1113,7 +1118,7 @@ let bench_cmd =
          "Run the JSON bench pipeline: simulator step counts, native \
           multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
           direct timing, and the windowed telemetry series — the \
-          BENCH_PR8.json rows.")
+          BENCH_PR9.json rows.")
     Term.(ret (const run $ json $ out $ quick))
 
 let store_bench_cmd =
@@ -1177,6 +1182,7 @@ let bench_validate_cmd =
                 [
                   ("store", Experiments.Bench_json.Store);
                   ("series", Experiments.Bench_json.Series);
+                  ("scan", Experiments.Bench_json.Scan);
                 ]))
           None
       & info [ "only" ] ~docv:"FAMILY"

@@ -16,8 +16,8 @@
      schedule with one process crashed mid-protocol;
    - on real OCaml domains. *)
 
-module RC_sim = Consensus.Randomized_consensus.Make (Pram.Memory.Sim)
-module RC_native = Consensus.Randomized_consensus.Make (Pram.Native.Mem)
+module RC_sim = Consensus.Randomized_consensus.Make (Pram.Memory.Sim_v)
+module RC_native = Consensus.Randomized_consensus.Make (Pram.Native.Versioned)
 
 let simulator_demo () =
   print_endline "== simulator, split inputs, one crash ==";

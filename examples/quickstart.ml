@@ -79,7 +79,7 @@ let universal_demo () =
      every other operation (Section 5.1). *)
   let module U =
     Wfa.Universal.Construction.Make (Wfa.Spec.Counter_spec)
-      (Wfa.Pram.Memory.Direct)
+      (Wfa.Pram.Memory.Direct_v)
   in
   let t = U.create ~procs:2 in
   let h0 = U.attach t (Wfa.Ctx.make ~procs:2 ~pid:0 ()) in

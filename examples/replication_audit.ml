@@ -16,7 +16,7 @@
 
 (* Both counters as slots of one snapshot object: slot 0 = committed
    (written by the primary), slot 1 = applied (written by the replica). *)
-module Snap = Wfa.Snapshot.Snapshot_array.Make (Wfa.Snapshot.Slot_value.Int) (Wfa.Pram.Memory.Sim)
+module Snap = Wfa.Snapshot.Snapshot_array.Make (Wfa.Snapshot.Slot_value.Int) (Wfa.Pram.Memory.Sim_v)
 module Naive = Wfa.Snapshot.Collect.Make (Wfa.Snapshot.Slot_value.Int) (Wfa.Pram.Memory.Sim)
 
 type verdict = { false_alarms : int; observations : int }

@@ -12,8 +12,8 @@
    The same run stamps every reporter observation with a vector clock,
    so reports can be ordered causally after the fact. *)
 
-module Histogram = Universal.Direct.Histogram (Pram.Native.Mem)
-module VClock = Universal.Direct.Vector_clock (Pram.Native.Mem)
+module Histogram = Universal.Direct.Histogram (Pram.Native.Versioned)
+module VClock = Universal.Direct.Vector_clock (Pram.Native.Versioned)
 
 (* latency -> bucket index (powers of two, microseconds) *)
 let bucket_of_us us =

@@ -37,7 +37,7 @@
    in the paper's reference [6]): every operation of the implementation
    is wait-free, and the expected number of rounds is constant. *)
 
-module Make (M : Pram.Memory.S) = struct
+module Make (M : Pram.Memory.VERSIONED) = struct
   module Gset = Universal.Direct.Gset (M)
   module Coin = Shared_coin.Make (M)
 

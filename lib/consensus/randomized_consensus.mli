@@ -11,7 +11,7 @@
     the implementation for the standard arguments, which rest on the
     boards' linearizability. *)
 
-module Make (M : Pram.Memory.S) : sig
+module Make (M : Pram.Memory.VERSIONED) : sig
   type t
 
   exception No_decision of int

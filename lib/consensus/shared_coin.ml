@@ -10,7 +10,7 @@
    adversary can sometimes split the outcome, which the consensus
    protocol tolerates by retrying. *)
 
-module Make (M : Pram.Memory.S) = struct
+module Make (M : Pram.Memory.VERSIONED) = struct
   module Counter = Universal.Direct.Counter (M)
 
   type t = { counter : Counter.t; threshold : int }

@@ -7,7 +7,7 @@
     outcome, whatever the scheduler does; the consensus protocol retries
     on splits. *)
 
-module Make (M : Pram.Memory.S) : sig
+module Make (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t

@@ -50,21 +50,21 @@ module Store = Universal.Store
 (* Convenience aliases for the most common instantiations: simulator and
    native variants of the flagship objects. *)
 module Sim = struct
-  module Counter = Universal.Direct.Counter (Pram.Memory.Sim)
-  module Gset = Universal.Direct.Gset (Pram.Memory.Sim)
-  module Max_register = Universal.Direct.Max_register (Pram.Memory.Sim)
-  module Logical_clock = Universal.Direct.Logical_clock (Pram.Memory.Sim)
+  module Counter = Universal.Direct.Counter (Pram.Memory.Sim_v)
+  module Gset = Universal.Direct.Gset (Pram.Memory.Sim_v)
+  module Max_register = Universal.Direct.Max_register (Pram.Memory.Sim_v)
+  module Logical_clock = Universal.Direct.Logical_clock (Pram.Memory.Sim_v)
   module Approx_agreement = Agreement.Approx_agreement.Make (Pram.Memory.Sim)
   module Universal_counter =
-    Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+    Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim_v)
 end
 
 module Native = struct
-  module Counter = Universal.Direct.Counter (Pram.Native.Mem)
-  module Gset = Universal.Direct.Gset (Pram.Native.Mem)
-  module Max_register = Universal.Direct.Max_register (Pram.Native.Mem)
-  module Logical_clock = Universal.Direct.Logical_clock (Pram.Native.Mem)
+  module Counter = Universal.Direct.Counter (Pram.Native.Versioned)
+  module Gset = Universal.Direct.Gset (Pram.Native.Versioned)
+  module Max_register = Universal.Direct.Max_register (Pram.Native.Versioned)
+  module Logical_clock = Universal.Direct.Logical_clock (Pram.Native.Versioned)
   module Approx_agreement = Agreement.Approx_agreement.Make (Pram.Native.Mem)
   module Universal_counter =
-    Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Mem)
+    Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Versioned)
 end

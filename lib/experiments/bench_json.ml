@@ -1,6 +1,6 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR8.json and uploaded by CI.
+   BENCH_PR9.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
@@ -646,11 +646,13 @@ let windowed_stage_checks rows =
     stages;
   List.rev !errors
 
-(* Cross-checks beyond well-formedness: the simulator scan rows must
-   equal the Section 6.2 formulas (they are exact counts, not
-   measurements), native throughput must cover the full procs sweep, and
-   no native counter run may have lost updates. *)
-let semantic_checks rows =
+(* The scan-family gates, shared between the full [All] pass and the
+   scan-only [Scan] scope: simulator scan rows must equal the Section
+   6.2 formulas (they are exact counts, not measurements; the adaptive
+   formula applies to the uncontended stage only, since a contended
+   scan may escalate), and the adaptive fast path may never cost more
+   simulator accesses than the Optimized passes it replaces. *)
+let scan_checks rows =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   let scan_formula bench procs =
@@ -659,6 +661,10 @@ let semantic_checks rows =
       Some (formula Snapshot.Scan.Plain)
     else if String.length bench >= 8 && String.sub bench 0 8 = "scan_opt" then
       Some (formula Snapshot.Scan.Optimized)
+    else if bench = "scan_adaptive_uncontended" then
+      (* only the uncontended fast path has an exact count: a contended
+         adaptive scan may escalate, adding the Optimized passes *)
+      Some (formula Snapshot.Scan.Adaptive)
     else None
   in
   List.iter
@@ -682,6 +688,47 @@ let semantic_checks rows =
               expect
         | None -> ())
     rows;
+  (* the headline gate: uncontended adaptive must beat (or tie) the
+     Optimized variant in TOTAL simulator accesses at every measured
+     procs — reads alone would be the wrong comparison, since the
+     adaptive fast path trades one saved write for extra validation
+     reads at small n *)
+  let sim_total bench procs =
+    let get metric =
+      List.find_opt
+        (fun r ->
+          r.bench = bench && r.procs = procs && r.backend = "sim"
+          && r.metric = metric)
+        rows
+    in
+    match (get "reads", get "writes") with
+    | Some r, Some w -> Some (r.value +. w.value)
+    | _ -> None
+  in
+  List.iter
+    (fun procs ->
+      match
+        ( sim_total "scan_adaptive_uncontended" procs,
+          sim_total "scan_opt_uncontended" procs )
+      with
+      | Some a, Some o ->
+          if a > o then
+            err
+              "sim procs=%d: adaptive uncontended scan costs %s accesses, \
+               more than optimized's %s"
+              procs (number_to_string a) (number_to_string o)
+      | None, Some _ ->
+          err "no sim scan_adaptive_uncontended rows for procs=%d" procs
+      | _ -> ())
+    [ 1; 2; 4; 8 ];
+  List.rev !errors
+
+(* Cross-checks beyond well-formedness: the scan gates above, native
+   throughput coverage of the full procs sweep, and no native counter
+   run may have lost updates. *)
+let semantic_checks rows =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   List.iter
     (fun p ->
       let covered =
@@ -814,16 +861,19 @@ let semantic_checks rows =
               (number_to_string s)
       | _ -> ())
     explore_stages;
-  List.rev !errors @ wallclock_checks rows @ store_checks rows
-  @ series_checks rows @ windowed_stage_checks rows
+  List.rev !errors @ scan_checks rows @ wallclock_checks rows
+  @ store_checks rows @ series_checks rows @ windowed_stage_checks rows
 
 (* [Store] restricts the semantic pass to the checks a store-only file
    can satisfy (per-row wall-clock sanity plus the store_* and windowed
    gates), so `wfa store-bench --json` output is CI-gateable without
    carrying every other bench family.  [Series] is the structural
    series pass alone — it gates any file containing windowed rows
-   (`bench-validate --only series`) without requiring stage coverage. *)
-type scope = All | Store | Series
+   (`bench-validate --only series`) without requiring stage coverage.
+   [Scan] is the scan-family pass (formula equalities plus the
+   adaptive-beats-optimized access gate) with per-row wall-clock
+   sanity, for `bench-validate --only scan`. *)
+type scope = All | Store | Series | Scan
 
 let checks_for scope rows =
   match scope with
@@ -832,6 +882,7 @@ let checks_for scope rows =
       wallclock_checks rows @ store_checks rows @ series_checks rows
       @ windowed_stage_checks rows
   | Series -> series_checks rows
+  | Scan -> scan_checks rows @ wallclock_checks rows
 
 let validate_string ?(scope = All) contents =
   match Json.parse contents with
@@ -870,11 +921,12 @@ let validate_file ?(scope = All) ~path () =
 
 let procs_sweep = [ 1; 2; 4; 8 ]
 
-module Scan_sim = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim)
+module Scan_sim = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim_v)
 
 let variant_name = function
   | Snapshot.Scan.Plain -> "scan_plain"
   | Snapshot.Scan.Optimized -> "scan_opt"
+  | Snapshot.Scan.Adaptive -> "scan_adaptive"
 
 (* One scan per process; [contended] interleaves all of them round-robin,
    otherwise only pid 0 runs.  Counts come from a Metrics recorder
@@ -913,7 +965,7 @@ let sim_scan_rows ~variant ~procs ~contended =
       ~unit_:"registers";
   ]
 
-module UC_sim = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+module UC_sim = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim_v)
 
 (* Per-operation step histogram of the generic universal construction
    under round-robin contention: the history grows with every operation,
@@ -959,7 +1011,7 @@ let sim_universal_rows ~procs ~ops_per_proc =
    sequential-spec replay calls, emitted side by side so the O(m) vs
    O(m^2) gap is visible in the committed JSON. *)
 module Sim_universal (O : Spec.Object_spec.S) = struct
-  module U = Universal.Construction.Make (O) (Pram.Memory.Sim)
+  module U = Universal.Construction.Make (O) (Pram.Memory.Sim_v)
 
   let run ~procs ~mode ~script =
     let recorder = Metrics.Recorder.create ~procs in
@@ -1061,9 +1113,9 @@ let sim_agreement_rows ~procs =
    are the wall-clock counterpart, measured through the Workload.Traffic
    front-end so latency percentiles ride along. *)
 
-module Store_sim = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Sim)
+module Store_sim = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Sim_v)
 module Store_native =
-  Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Mem)
+  Universal.Store.Make (Spec.Counter_spec) (Pram.Native.Versioned)
 
 let store_bench_name = function
   | Universal.Store.Unbatched -> "store_unbatched"
@@ -1294,7 +1346,8 @@ let sim_rows ~quick =
               List.concat_map
                 (fun contended -> sim_scan_rows ~variant ~procs ~contended)
                 [ false; true ])
-            [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ])
+            [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized;
+              Snapshot.Scan.Adaptive ])
         sweep;
       List.concat_map
         (fun procs ->
@@ -1316,10 +1369,10 @@ let sim_rows ~quick =
 
 (* --- measurement: native wall-clock ---------------------------------------- *)
 
-module Counter_native = Universal.Direct.Counter (Pram.Native.Mem)
-module Scan_native = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Native.Mem)
+module Counter_native = Universal.Direct.Counter (Pram.Native.Versioned)
+module Scan_native = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Native.Versioned)
 module Arr_native =
-  Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Native.Mem)
+  Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Native.Versioned)
 
 (* The wall-clock metric family (PR 5): every native timing emits the
    raw elapsed span (wall_ns) next to the derived throughput rows, so
@@ -1357,8 +1410,8 @@ let native_counter_rows ~quick ~procs =
         ~unit_:"ops";
     ]
 
-module UC_native = Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Mem)
-module UG_native = Universal.Construction.Make (Spec.Gset_spec) (Pram.Native.Mem)
+module UC_native = Universal.Construction.Make (Spec.Counter_spec) (Pram.Native.Versioned)
+module UG_native = Universal.Construction.Make (Spec.Gset_spec) (Pram.Native.Versioned)
 
 (* Wall-clock of the generic universal construction on real domains
    (incremental mode, the default), one domain per process, every domain
@@ -1586,7 +1639,9 @@ let native_scan_footprint_rows ~procs =
         let sink = sink
       end)
   in
-  let module Scan_inst = Snapshot.Scan.Make (Semilattice.Nat_max) (Inst) in
+  let module Scan_inst =
+    Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Versioned (Inst))
+  in
   let t = Scan_inst.create ~procs in
   Runtime.set_pid 0;
   let h = Scan_inst.attach t (Runtime.Ctx.make ~procs ~pid:0 ()) in
@@ -1629,7 +1684,8 @@ let native_scan_rows ~quick =
                 (fun contended ->
                   native_scan_variant_rows ~quick ~variant ~procs ~contended)
                 [ false; true ])
-            [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ];
+            [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized;
+              Snapshot.Scan.Adaptive ];
           native_array_rows ~quick ~procs ~contended:false;
           native_array_rows ~quick ~procs ~contended:true;
           native_scan_footprint_rows ~procs;
@@ -1675,7 +1731,7 @@ let time_direct ~iters f =
   let t1 = Unix.gettimeofday () in
   (t1 -. t0) *. 1e9 /. float_of_int iters
 
-module UC_direct = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+module UC_direct = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
 module AA_direct = Agreement.Approx_agreement.Make (Pram.Memory.Direct)
 
 let direct_rows ~quick =
@@ -1732,7 +1788,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR8.json"
+let default_path = "BENCH_PR9.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

@@ -7,7 +7,7 @@
    READS per propose for both: the classifier tree (n * ceil(log2 n))
    against the scan (n^2 - 1), showing the crossover. *)
 
-module LA_scan = Snapshot.Lattice_agreement.Via_scan (Pram.Memory.Sim)
+module LA_scan = Snapshot.Lattice_agreement.Via_scan (Pram.Memory.Sim_v)
 module LA_cls = Snapshot.Lattice_agreement.Classifier (Pram.Memory.Sim)
 module PS = Snapshot.Lattice_agreement.Pid_set
 

@@ -2,7 +2,8 @@
 
    E5 (Section 6.2): exact per-Scan read/write counts vs the paper's
    formulas — n^2+n+1 reads / n+2 writes plain, n^2-1 reads / n+1 writes
-   optimized.  These are exact counts, so the table must match the
+   optimized, 4(n-1) reads / 1 write for the uncontended adaptive fast
+   path (PR 9).  These are exact counts, so the table must match the
    formulas exactly.
 
    E7 (Related work): cost per operation for the scan-based snapshot vs
@@ -11,7 +12,7 @@
    linearizability-checker verdicts that separate correct from broken. *)
 
 module L = Semilattice.Nat_max
-module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
+module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim_v)
 
 (* Count reads and writes of one Scan by process 0 via the recorded
    trace. *)
@@ -47,6 +48,8 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
           "plain formula";
           "opt meas";
           "opt formula";
+          "adapt meas";
+          "adapt formula";
           "exact";
         ]
   in
@@ -54,11 +57,17 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
     (fun n ->
       let pr, pw = scan_cost ~procs:n ~variant:Snapshot.Scan.Plain in
       let or_, ow = scan_cost ~procs:n ~variant:Snapshot.Scan.Optimized in
+      let ar, aw = scan_cost ~procs:n ~variant:Snapshot.Scan.Adaptive in
       let fpr, fpw = Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Plain in
       let for_, fow =
         Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Optimized
       in
-      let exact = pr = fpr && pw = fpw && or_ = for_ && ow = fow in
+      let far, faw =
+        Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Adaptive
+      in
+      let exact =
+        pr = fpr && pw = fpw && or_ = for_ && ow = fow && ar = far && aw = faw
+      in
       Table.add_row t
         [
           string_of_int n;
@@ -66,6 +75,8 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
           Printf.sprintf "%d/%d" fpr fpw;
           Printf.sprintf "%d/%d" or_ ow;
           Printf.sprintf "%d/%d" for_ fow;
+          Printf.sprintf "%d/%d" ar aw;
+          Printf.sprintf "%d/%d" far faw;
           (if exact then "yes" else "NO");
         ])
     ns;
@@ -74,7 +85,7 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
 (* --- E7: comparing snapshot algorithms ----------------------------------- *)
 
 module V = Snapshot.Slot_value.Int
-module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim)
+module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim_v)
 module DC = Snapshot.Double_collect.Make (V) (Pram.Memory.Sim)
 module AF = Snapshot.Afek.Make (V) (Pram.Memory.Sim)
 module Naive = Snapshot.Collect.Make (V) (Pram.Memory.Sim)

@@ -36,6 +36,63 @@ module Direct : S with type 'a reg = 'a Register.t = struct
   let write = Register.set
 end
 
+(* Versioned single-writer registers.
+
+   A versioned register is an atomic register whose writes additionally
+   bump a per-register epoch counter, and whose reads can return the
+   (value, epoch) pair consistently.  The adaptive scan (Snapshot.Scan's
+   [Adaptive] variant) collects peers' registers once and then
+   revalidates the epoch vector: if no epoch moved, no write landed in
+   the window and the cheap collect was already atomic.
+
+   The representation of a read is backend-abstract ([versioned] with
+   [value]/[version] projections) so that the native seqlock backend can
+   hand back its internal slot record without allocating a tuple — the
+   uncontended scan path must be allocation-free.
+
+   Only the register's single writer may call [write]: the epoch source
+   is writer-local state, which is exactly the single-writer register
+   discipline of the paper's Section 6 grid. *)
+module type VERSIONED = sig
+  include S
+
+  type 'a versioned
+
+  val read_versioned : 'a reg -> 'a versioned
+  val value : 'a versioned -> 'a
+  val version : 'a versioned -> int
+  val epoch : 'a reg -> int
+end
+
+(* Generic twin over any [S] backend: the underlying register holds the
+   (value, epoch) pair, so every versioned operation is exactly ONE
+   scheduled access — DPOR dependency tracking and the sim cost model
+   see the same access sequence whichever projection the reader uses.
+   The writer-local [next] field never touches shared memory. *)
+module Versioned (M : S) : VERSIONED = struct
+  type 'a reg = { cell : ('a * int) M.reg; mutable next : int }
+  type 'a versioned = 'a * int
+
+  let create ?name init = { cell = M.create ?name (init, 0); next = 0 }
+  let read r = fst (M.read r.cell)
+
+  let write r v =
+    r.next <- r.next + 1;
+    M.write r.cell (v, r.next)
+
+  let read_versioned r = M.read r.cell
+  let value = fst
+  let version = snd
+  let epoch r = snd (M.read r.cell)
+end
+
+(* The standard instantiations algorithms are tested against.  Each
+   functor application mints fresh abstract types, so call sites that
+   share registers must share one of these modules rather than applying
+   [Versioned] twice. *)
+module Sim_v = Versioned (Sim)
+module Direct_v = Versioned (Direct)
+
 (* Hook interface for instrumentation wrappers.  Hooks receive the
    wrapper-assigned register identity; ids are allocated atomically so the
    wrapper is usable over the native domains backend. *)

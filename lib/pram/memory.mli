@@ -33,6 +33,51 @@ module Sim : S with type 'a reg = 'a Register.t
 (** Immediate backend: no scheduling, no suspension. *)
 module Direct : S with type 'a reg = 'a Register.t
 
+(** Versioned single-writer registers: an atomic register whose writes
+    bump a per-register epoch and whose reads return a consistent
+    (value, epoch) observation.  The adaptive scan validates a cheap
+    collect against the epoch vector and escalates to the paper's
+    double-collect only when an epoch moved.
+
+    Reads come back as an abstract ['a versioned] with [value]/[version]
+    projections so the native seqlock backend ({!Native.Versioned}) can
+    return its internal slot record without allocating.
+
+    Only the register's single writer may call [write] — the epoch
+    source is writer-local, matching the single-writer discipline of the
+    Section 6 grid. *)
+module type VERSIONED = sig
+  include S
+
+  type 'a versioned
+  (** One consistent (value, epoch) observation of a register. *)
+
+  val read_versioned : 'a reg -> 'a versioned
+  (** Read value and epoch together — one step. *)
+
+  val value : 'a versioned -> 'a
+  (** Projection; free (no shared access). *)
+
+  val version : 'a versioned -> int
+  (** Projection; free (no shared access). *)
+
+  val epoch : 'a reg -> int
+  (** Read the current epoch alone — one step.  Epochs start at 0 and
+      increase by exactly 1 per [write]. *)
+end
+
+(** Generic versioned twin over any backend: the underlying register
+    holds the (value, epoch) pair, so every versioned operation is
+    exactly one scheduled access — sim cost accounting and DPOR
+    dependency tracking are unchanged. *)
+module Versioned (M : S) : VERSIONED
+
+(** [Versioned (Sim)], applied once so call sites can share it. *)
+module Sim_v : VERSIONED
+
+(** [Versioned (Direct)], applied once so call sites can share it. *)
+module Direct_v : VERSIONED
+
 (** Access hooks for instrumentation wrappers.  The identity passed to a
     hook is assigned by the wrapper (atomically, so it is safe over the
     native backend), not by the wrapped backend. *)

@@ -36,6 +36,77 @@ end
    register never touches the ref. *)
 let on_registration_retry : (unit -> unit) ref = ref (fun () -> ())
 
+(* Observation hook for seqlock read retries in [Versioned], same
+   injection pattern as [on_registration_retry]: pram cannot see the
+   telemetry library, so [Runtime.Backend.run] points this at the
+   sink's [seqlock_retry] counter for the duration of a native run.
+   Only the stale-slot slow path dereferences it. *)
+let on_seqlock_retry : (unit -> unit) ref = ref (fun () -> ())
+
+(* Seqlock-style versioned single-writer registers.
+
+   Layout: a padded atomic [version] plus a plain mutable [slot]
+   pointing at an immutable {v; e} record.  The writer publishes the
+   new slot first, then releases the matching version:
+
+     write:  slot <- {v; e = n+1};  Atomic.set version (n+1)
+
+   A reader anchors freshness on the atomic ([Atomic.get] is an
+   acquire in OCaml 5's memory model: it transfers the writer's
+   preceding plain store of [slot]) and then takes ONE plain load of
+   the slot pointer.  Because the record is immutable, whatever slot
+   pointer the load returns is a fully initialized, internally
+   consistent (value, epoch) pair — OCaml guarantees publication
+   safety for immutable fields, so a torn observation shows up only as
+   [slot.e < anchor], never as a mismatched pair.  On that torn epoch
+   the reader backs off with [Domain.cpu_relax] (reporting through
+   [on_seqlock_retry]) and reloads; the writer's store is already
+   globally ordered before the version it released, so the retry loop
+   is bounded by store visibility, not by writer progress.
+
+   Compared to holding an [Atomic] pair, the collect path does one
+   atomic load per slot instead of participating in the SC order for
+   the value itself, and [read_versioned] returns the stored record —
+   no per-read allocation, which the zero-alloc scan fast path
+   requires.
+
+   Single-writer only: the epoch is derived from the writer's own last
+   publish, so concurrent writers to one register would race the
+   epoch.  Every register the snapshot stack allocates (grid rows,
+   anchor slots, escalation flags) is single-writer, per Section 6. *)
+module Versioned : Memory.VERSIONED = struct
+  type 'a versioned = { v : 'a; e : int }
+  type 'a reg = { version : int Atomic.t; mutable slot : 'a versioned }
+
+  let create ?name init =
+    ignore name;
+    Padding.copy_as_padded
+      { version = Padding.padded_atomic 0; slot = { v = init; e = 0 } }
+
+  let read_versioned r =
+    let anchor = Atomic.get r.version in
+    let rec fresh () =
+      let s = r.slot in
+      if s.e >= anchor then s
+      else begin
+        !on_seqlock_retry ();
+        Domain.cpu_relax ();
+        fresh ()
+      end
+    in
+    fresh ()
+
+  let value s = s.v
+  let version s = s.e
+  let read r = (read_versioned r).v
+  let epoch r = Atomic.get r.version
+
+  let write r v =
+    let e = Atomic.get r.version + 1 in
+    r.slot <- { v; e };
+    Atomic.set r.version e
+end
+
 (* Wraps a backend with read/write counters.  The hot path bumps a
    per-domain cell (domain-local storage, so increments are uncontended
    and counting no longer perturbs the timing of the code it wraps);

@@ -22,6 +22,28 @@ module Mem : Memory.S with type 'a reg = 'a Atomic.t
     dereferences it. *)
 val on_registration_retry : (unit -> unit) ref
 
+(** Called once per torn-epoch retry in a {!Versioned} read, just before
+    the [cpu_relax] back-off.  Defaults to a no-op; [Runtime.Backend.run]
+    points it at the telemetry sink's [seqlock_retry] counter for the
+    duration of a native run.  Only the stale-slot slow path
+    dereferences it. *)
+val on_seqlock_retry : (unit -> unit) ref
+
+(** Seqlock-style versioned single-writer registers: a padded atomic
+    epoch plus a plain slot holding an immutable (value, epoch) record.
+    The writer publishes the slot before releasing the epoch; readers
+    anchor on the atomic epoch and retry (with [Domain.cpu_relax] and
+    {!on_seqlock_retry}) while the slot they load is older than the
+    anchor.  Because the slot record is immutable, a racy load can
+    never yield a mismatched pair — publication safety makes the torn
+    case detectable, not dangerous.  [read_versioned] returns the
+    stored record itself, so the collect path allocates nothing.
+
+    Single-writer registers only (the epoch source is the writer's own
+    last publish), which is the discipline of every register in the
+    Section 6 snapshot stack. *)
+module Versioned : Memory.VERSIONED
+
 (** Wrap any backend with read/write counters for cost accounting under
     domains.  Each domain increments its own domain-local cell
     (uncontended and cache-line padded, so counting does not perturb

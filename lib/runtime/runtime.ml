@@ -179,18 +179,23 @@ end
    object).  With no telemetry half the hooks are reset to no-ops. *)
 let install_native_hooks (sink : Sink.t) =
   match sink.Sink.telemetry with
-  | None -> Pram.Native.on_registration_retry := fun () -> ()
+  | None ->
+      Pram.Native.on_registration_retry := (fun () -> ());
+      Pram.Native.on_seqlock_retry := fun () -> ()
   | Some c ->
       let procs = Telemetry.Counters.procs c in
+      let attribute event () =
+        let pid = current_pid () in
+        if pid >= 0 && pid < procs then
+          Telemetry.Counters.record c ~pid ~family:0 event
+      in
       Pram.Native.on_registration_retry :=
-        fun () ->
-          let pid = current_pid () in
-          if pid >= 0 && pid < procs then
-            Telemetry.Counters.record c ~pid ~family:0
-              Telemetry.Event.Registration_cas_retry
+        attribute Telemetry.Event.Registration_cas_retry;
+      Pram.Native.on_seqlock_retry := attribute Telemetry.Event.Seqlock_retry
 
 let uninstall_native_hooks () =
-  Pram.Native.on_registration_retry := fun () -> ()
+  Pram.Native.on_registration_retry := (fun () -> ());
+  Pram.Native.on_seqlock_retry := fun () -> ()
 
 module Backend = struct
   type kind =

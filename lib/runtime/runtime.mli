@@ -175,8 +175,8 @@ end
 
 (** {1 Native observation hooks} *)
 
-(** Point [Pram.Native]'s observation hooks (currently
-    [on_registration_retry]) at [sink]'s telemetry counters, attributing
+(** Point [Pram.Native]'s observation hooks ([on_registration_retry]
+    and [on_seqlock_retry]) at [sink]'s telemetry counters, attributing
     each event to the calling domain's {!current_pid} at family 0.
     [Pram] sits below the telemetry library, so the wiring is injected
     here rather than imported there.  {!Backend.run} installs/uninstalls

@@ -55,7 +55,7 @@ module type S = sig
   (** Shared reads performed by one [propose] (exact, for E10). *)
 end
 
-module Via_scan (M : Pram.Memory.S) : S = struct
+module Via_scan (M : Pram.Memory.VERSIONED) : S = struct
   module Lat = struct
     type t = Pid_set.t
 

@@ -34,7 +34,7 @@ module type S = sig
 end
 
 (** Lattice agreement as one Section 6 scan: O(n^2) reads. *)
-module Via_scan (M : Pram.Memory.S) : S
+module Via_scan (M : Pram.Memory.VERSIONED) : S
 
 (** The Attiya-Rachman style classifier tree: processes descend a binary
     tree of depth ceil(log2 n); the vertex with threshold k sends a

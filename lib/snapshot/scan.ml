@@ -17,31 +17,71 @@
    Cost accounting (Section 6.2).  The paper counts one read and one write
    for line 2, plus n reads and ONE write per pass — i.e. each pass
    accumulates the joins locally and publishes once.  We implement exactly
-   that, in two variants:
+   that, in three variants:
 
    - [Plain]:     n^2 + n + 1 reads, n + 2 writes per Scan;
    - [Optimized]: n^2 - 1 reads, n + 1 writes per Scan, by (a) mirroring
      the process's own row locally instead of re-reading it (sound:
      single-writer), and (b) skipping the final write to scan[P][n+1],
-     which no other process ever reads.
+     which no other process ever reads;
+   - [Adaptive]:  a contention-adaptive fast path over the versioned
+     column-0 registers — 4(n-1) reads and at most 1 write when no writer
+     interferes, escalating to the [Optimized] passes (and the paper's
+     proof) when one does.  See DESIGN.md section 14 for the full
+     linearization argument; the shape is:
 
-   Both variants keep a local mirror of the process's own row so that the
-   "scan[P][i] \/ ..." join uses the current own value without a shared
-   read; the Plain variant still performs the paper's counted reads of own
-   registers so that measured costs match the n^2 + n + 1 formula.
+       publish own contribution into scan[P][0]
+       read every peer's escalation flag          (abort if any is odd)
+       collect every peer's scan[Q][0] with its epoch
+       re-read every peer's epoch                 (abort if any moved)
+       re-read every escalation flag              (abort if any moved)
+       return the join of the collected column
+
+     If both validations pass, no column-0 write and no full collect
+     overlapped the window between the first collect and the last
+     re-read, so the collected column is an instantaneous cut S(tau) of
+     column 0: column-0 registers are monotone in the lattice, so any
+     two cuts are comparable, a full scan that finished before tau
+     returns a value below S(tau) (every grid register holds a join of
+     column-0 values that had already arrived), and a full scan that
+     starts after tau reads the whole column afresh in its first pass.
+     The escalation flags (esc[Q], odd while Q runs full passes,
+     bumped twice per escalation) exclude exactly the remaining case —
+     a full collect overlapping the window.  Escalated scans and
+     [Adaptive] write_l publishes are indistinguishable from the
+     paper's processes (a publish is a Scan that stopped after line 2,
+     which the asynchronous model already allows), so mixed executions
+     inherit Lemma 32 unchanged.
+
+     Soundness requires concurrent readers of one object to use
+     [Adaptive] (or no variant mixing at all): a raw [Plain]/[Optimized]
+     read_max does not announce its passes in esc[.], so a concurrent
+     adaptive fast path cannot detect it.  Writers ([write_l]) mix
+     freely.
 
    Per-process state lives in a [handle] minted from a [Runtime.Ctx]:
-   the pid, the process's private row mirror, and the cached journal
-   option for the hot-loop guard. *)
+   the pid, the process's private row mirror, scratch rows for the
+   adaptive validation, and the cached journal/telemetry options for the
+   hot-loop guards.  The untraced ([Sink.none]) fast path allocates
+   nothing: dispatch happens before any span closure is built, the
+   collect accumulates through tail recursion instead of a [ref] cell,
+   and versioned reads return the backend's stored observation. *)
 
 type variant =
   | Plain
   | Optimized
+  | Adaptive
 
-module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
+exception Escalate
+
+module Make (L : Semilattice.S) (M : Pram.Memory.VERSIONED) = struct
   type t = {
     procs : int;
     grid : L.t M.reg array array;  (* grid.(p).(i), i in 0 .. procs+1 *)
+    esc : int M.reg array;
+        (* esc.(p): odd while process p runs escalated full passes;
+           bumped twice per escalation, so equality across an adaptive
+           window proves no full collect overlapped it *)
     mirror : L.t array array;
         (* mirror.(p) is process p's private copy of its own row; row p is
            only ever touched by process p, so this is process-local state
@@ -56,6 +96,9 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
         Array.init procs (fun p ->
             Array.init (procs + 2) (fun i ->
                 M.create ~name:(Printf.sprintf "scan[%d][%d]" p i) L.bottom));
+      esc =
+        Array.init procs (fun p ->
+            M.create ~name:(Printf.sprintf "scan.esc[%d]" p) 0);
       mirror = Array.init procs (fun _ -> Array.make (procs + 2) L.bottom);
     }
 
@@ -66,6 +109,15 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     journal : Tracing.Journal.t option;
         (* cached from [ctx] at attach time so the per-pass hot loop can
            guard on it with a single allocation-free match *)
+    quiet : bool;
+        (* no journal and no metrics: [scan] skips the span bracket
+           entirely, so the unobserved path never builds a closure *)
+    tel : Telemetry.Counters.t option;
+        (* cached (and range-checked) at attach: escalations bump
+           [Scan_escalation] through the free [record_opt] guard *)
+    eps : int array;  (* scratch: collected column-0 epochs, by pid *)
+    escs : int array;  (* scratch: collected escalation flags, by pid *)
+    mutable esc_next : int;  (* private mirror of esc.(pid) *)
   }
 
   let attach obj ctx =
@@ -74,7 +126,23 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
       invalid_arg
         (Printf.sprintf "Scan.attach: ctx pid %d but object has %d procs" pid
            obj.procs);
-    { obj; pid; ctx; journal = Runtime.Ctx.journal ctx }
+    let tel =
+      match Runtime.Ctx.telemetry ctx with
+      | Some c when pid < Telemetry.Counters.procs c -> Some c
+      | _ -> None
+    in
+    {
+      obj;
+      pid;
+      ctx;
+      journal = Runtime.Ctx.journal ctx;
+      quiet =
+        Runtime.Ctx.journal ctx = None && Runtime.Ctx.metrics ctx = None;
+      tel;
+      eps = Array.make obj.procs 0;
+      escs = Array.make obj.procs 0;
+      esc_next = 0;
+    }
 
   let scan_plain h v =
     let t = h.obj in
@@ -104,14 +172,14 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
-  let scan_optimized h v =
+  (* The Section 6.2 pass loop, shared by [scan_optimized] and the
+     adaptive escalation (which has already published its contribution
+     into column 0 via the mirror). *)
+  let passes_optimized h =
     let t = h.obj in
     let n = t.procs in
     let row = t.grid.(h.pid) in
     let mir = t.mirror.(h.pid) in
-    let v0 = L.join v mir.(0) in
-    M.write row.(0) v0;
-    mir.(0) <- v0;
     for i = 1 to n + 1 do
       (* inline guard, not Ctx.annotatef: this is the per-pass hot loop,
          and the match keeps the untraced path at literally zero extra
@@ -134,20 +202,122 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) = struct
     done;
     mir.(n + 1)
 
+  let scan_optimized h v =
+    let t = h.obj in
+    let row = t.grid.(h.pid) in
+    let mir = t.mirror.(h.pid) in
+    let v0 = L.join v mir.(0) in
+    M.write row.(0) v0;
+    mir.(0) <- v0;
+    passes_optimized h
+
+  (* Publish the contribution into the process's column-0 register via
+     the mirror.  Skipped when the join is already contained in the
+     published value — sound (the abstract state is unchanged) and
+     essential: it keeps concurrent [read_max]s, whose contribution is
+     bottom, from bumping each other's epochs into escalation. *)
+  let publish h v =
+    let mir = h.obj.mirror.(h.pid) in
+    let v0 = L.join v mir.(0) in
+    if not (L.equal v0 mir.(0)) then begin
+      M.write h.obj.grid.(h.pid).(0) v0;
+      mir.(0) <- v0
+    end
+
+  (* Tail-recursive so the fast path allocates no [ref] cell. *)
+  let rec collect_column0 t h n q acc =
+    if q >= n then acc
+    else if q = h.pid then collect_column0 t h n (q + 1) acc
+    else begin
+      let pv = M.read_versioned t.grid.(q).(0) in
+      h.eps.(q) <- M.version pv;
+      collect_column0 t h n (q + 1) (L.join acc (M.value pv))
+    end
+
+  (* One fast attempt: collect column 0 under the epoch/escalation
+     validation protocol.  Raises [Escalate] on any detected writer. *)
+  let attempt_fast h =
+    let t = h.obj in
+    let n = t.procs in
+    (* escalation pre-read: anyone mid-full-collect defeats the window *)
+    for q = 0 to n - 1 do
+      if q <> h.pid then begin
+        let e = M.read t.esc.(q) in
+        if e land 1 = 1 then raise_notrace Escalate;
+        h.escs.(q) <- e
+      end
+    done;
+    let acc = collect_column0 t h n 0 t.mirror.(h.pid).(0) in
+    (* epoch revalidation: a moved epoch means a write landed inside the
+       window and the collect may not be a cut *)
+    for q = 0 to n - 1 do
+      if q <> h.pid && M.epoch t.grid.(q).(0) <> h.eps.(q) then
+        raise_notrace Escalate
+    done;
+    (* escalation revalidation: exact equality also catches a full
+       collect that started and finished entirely inside the window *)
+    for q = 0 to n - 1 do
+      if q <> h.pid && M.read t.esc.(q) <> h.escs.(q) then
+        raise_notrace Escalate
+    done;
+    acc
+
+  (* Writer detected: announce the full collect in esc.(pid) (odd while
+     running), then fall back to the paper's passes — from here on the
+     execution is exactly a Section 6 Scan and Lemma 32 applies. *)
+  let escalate h =
+    Telemetry.record_opt h.tel ~pid:h.pid ~family:0
+      Telemetry.Event.Scan_escalation;
+    (match h.journal with
+    | None -> ()
+    | Some j ->
+        Tracing.Journal.annotate j ~pid:h.pid "scan escalate: writer detected");
+    h.esc_next <- h.esc_next + 1;
+    M.write h.obj.esc.(h.pid) h.esc_next;
+    let r = passes_optimized h in
+    h.esc_next <- h.esc_next + 1;
+    M.write h.obj.esc.(h.pid) h.esc_next;
+    r
+
+  let scan_adaptive h v =
+    publish h v;
+    if h.obj.procs = 1 then h.obj.mirror.(h.pid).(0)
+    else try attempt_fast h with Escalate -> escalate h
+
+  let scan_variant h v = function
+    | Plain -> scan_plain h v
+    | Optimized -> scan_optimized h v
+    | Adaptive -> scan_adaptive h v
+
   let scan ?(variant = Optimized) h v =
-    Runtime.Ctx.span h.ctx ~op:"scan" (fun () ->
-        match variant with
-        | Plain -> scan_plain h v
-        | Optimized -> scan_optimized h v)
+    if h.quiet then scan_variant h v variant
+    else
+      Runtime.Ctx.span h.ctx ~op:"scan" (fun () -> scan_variant h v variant)
 
   (* The two operations of the atomic scan object (Section 6): Write_L
-     discards the scan's return value; ReadMax contributes bottom. *)
-  let write_l ?variant h v = ignore (scan ?variant h v)
+     discards the scan's return value; ReadMax contributes bottom.
+     Under [Adaptive], a write needs no return value, so it is exactly
+     the publish — one column-0 write (zero when the contribution is
+     already contained), no collect, no validation. *)
+  let write_l ?(variant = Optimized) h v =
+    match variant with
+    | Adaptive ->
+        if h.quiet then publish h v
+        else Runtime.Ctx.span h.ctx ~op:"scan" (fun () -> publish h v)
+    | (Plain | Optimized) as variant -> ignore (scan ~variant h v)
+
   let read_max ?variant h = scan ?variant h L.bottom
 end
 
 (* Exact per-Scan access counts (Section 6.2), used by experiment E5:
-   (reads, writes) for one Scan by one process among [procs]. *)
+   (reads, writes) for one Scan by one process among [procs].  The
+   [Adaptive] row is the UNCONTENDED fast path (4 reads per peer: flag,
+   versioned collect, epoch recheck, flag recheck; one column-0 write) —
+   a contended scan escalates and additionally pays the [Optimized]
+   passes plus two escalation-flag writes.  [Adaptive] [read_max] skips
+   the write (bottom is always contained) and [write_l] skips the
+   collect, so each costs strictly less than the combined formula. *)
 let cost_formula ~procs = function
   | Plain -> ((procs * procs) + procs + 1, procs + 2)
   | Optimized -> ((procs * procs) - 1, procs + 1)
+  | Adaptive -> (4 * (procs - 1), 1)

@@ -19,23 +19,38 @@ type variant =
   | Optimized
       (** the Section 6.2 optimizations: n^2-1 reads, n+1 writes
           (own-row mirroring and no final write) *)
+  | Adaptive
+      (** contention-adaptive: publish, collect column 0 once, and
+          validate against the epoch and escalation vectors — 4(n-1)
+          reads and at most one write when no writer interferes,
+          escalating to the [Optimized] passes (and the paper's proof)
+          when one does.  Sound when all concurrent readers of the
+          object use [Adaptive]; see DESIGN.md section 14. *)
 
-module Make (L : Semilattice.S) (M : Pram.Memory.S) : sig
+(** Raised internally by the adaptive fast path; never escapes [scan]. *)
+exception Escalate
+
+module Make (L : Semilattice.S) (M : Pram.Memory.VERSIONED) : sig
   type t
 
-  (** Allocate the grid for [procs] processes.
+  (** Allocate the grid (plus the per-process escalation flags the
+      [Adaptive] variant validates against) for [procs] processes.
       @raise Invalid_argument if [procs <= 0]. *)
   val create : procs:int -> t
 
   type handle
   (** One process's session with the object: pid, private row mirror,
-      and instrumentation, all drawn from the attached context. *)
+      adaptive validation scratch, and instrumentation, all drawn from
+      the attached context. *)
 
   (** [attach t ctx] mints the handle process [Ctx.pid ctx] uses for
       every operation on [t].  If the context carries a journal, each
       scan is bracketed as a ["scan"] span with one annotation per pass
       (and filed in the metrics span histogram when a recorder is
-      attached); a sink-less context costs nothing.
+      attached); a sink-less context costs nothing — dispatch happens
+      before any span closure is built, so the unobserved adaptive fast
+      path allocates nothing at all.  Escalations are reported to the
+      context's telemetry counters as [Scan_escalation] at family 0.
       @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
   val attach : t -> Runtime.Ctx.t -> handle
 
@@ -44,15 +59,26 @@ module Make (L : Semilattice.S) (M : Pram.Memory.S) : sig
       [read_max]; not itself atomic (see above). *)
   val scan : ?variant:variant -> handle -> L.t -> L.t
 
-  (** Contribute a value to the join (the object's write operation). *)
+  (** Contribute a value to the join (the object's write operation).
+      Under [Adaptive] this is the bare publish — one column-0 write,
+      zero when the contribution is already contained in the published
+      value — since a write needs no return value. *)
   val write_l : ?variant:variant -> handle -> L.t -> unit
 
   (** Return the join of all earlier contributions (the object's read
-      operation). *)
+      operation).  Under [Adaptive] the bottom contribution is always
+      contained, so an uncontended read costs 4(n-1) reads and no
+      write. *)
   val read_max : ?variant:variant -> handle -> L.t
 end
 
 (** Exact per-Scan access counts of Section 6.2: [(reads, writes)] for
     one Scan among [procs] processes.  Experiment E5 checks measured
-    executions against these as equalities. *)
+    executions against these as equalities.  The [Adaptive] row is the
+    uncontended fast path of [scan] (4 reads per peer — escalation
+    flag, versioned collect, epoch recheck, flag recheck — plus the
+    column-0 publish); a contended scan escalates and additionally pays
+    the [Optimized] passes plus two escalation-flag writes.  [read_max]
+    skips the write and [write_l] skips the collect, so each costs
+    strictly less than the combined formula. *)
 val cost_formula : procs:int -> variant -> int * int

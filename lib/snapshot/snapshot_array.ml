@@ -13,7 +13,7 @@
 
 module Make
     (V : Slot_value.S)
-    (M : Pram.Memory.S) =
+    (M : Pram.Memory.VERSIONED) =
 struct
   module Slot = Semilattice.Tagged (V)
   module Lat = Semilattice.Vector (Slot)

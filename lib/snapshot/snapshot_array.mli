@@ -9,7 +9,7 @@
     checked by the test suite against {!Array_spec}, both under random
     schedules with crashes and exhaustively on small configurations. *)
 
-module Make (V : Slot_value.S) (M : Pram.Memory.S) : sig
+module Make (V : Slot_value.S) (M : Pram.Memory.VERSIONED) : sig
   module Slot : module type of Semilattice.Tagged (V)
 
   type t

@@ -23,6 +23,8 @@ module Event = struct
     | Store_batch_fallback
     | Store_rebuild
     | Shard_queue_depth
+    | Seqlock_retry
+    | Scan_escalation
 
   let all =
     [
@@ -31,6 +33,8 @@ module Event = struct
       Store_batch_fallback;
       Store_rebuild;
       Shard_queue_depth;
+      Seqlock_retry;
+      Scan_escalation;
     ]
 
   let count = List.length all
@@ -41,6 +45,8 @@ module Event = struct
     | Store_batch_fallback -> 2
     | Store_rebuild -> 3
     | Shard_queue_depth -> 4
+    | Seqlock_retry -> 5
+    | Scan_escalation -> 6
 
   let name = function
     | Double_collect_restart -> "double_collect_restart"
@@ -48,6 +54,8 @@ module Event = struct
     | Store_batch_fallback -> "store_batch_fallback"
     | Store_rebuild -> "store_rebuild"
     | Shard_queue_depth -> "shard_queue_depth"
+    | Seqlock_retry -> "seqlock_retry"
+    | Scan_escalation -> "scan_escalation"
 
   let of_name s = List.find_opt (fun e -> name e = s) all
   let pp ppf e = Format.pp_print_string ppf (name e)

@@ -48,6 +48,14 @@ module Event : sig
         (** operations drained from a per-key submit queue at flush,
             attributed to the serving shard — per-window deltas are the
             shard's queue throughput *)
+    | Seqlock_retry
+        (** a versioned-register read in [Pram.Native.Versioned]
+            observed a slot older than its epoch anchor and retried
+            (the [cpu_relax] back-off loop) *)
+    | Scan_escalation
+        (** an adaptive scan detected a concurrent writer or full
+            collect during its validation window and fell back to the
+            paper's double-collect passes *)
 
   val all : t list
 

@@ -27,7 +27,7 @@
    DESIGN.md §10 for the soundness argument against Lemmas 16-25 and the
    exact conditions under which the memo falls back to a full rebuild. *)
 
-module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
   type entry = {
     e_pid : int;
     e_seq : int;  (* per-process operation counter, from 1 *)
@@ -116,9 +116,22 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
     pid : int;
     ctx : Runtime.Ctx.t;
     anchor : Anchor.handle;  (* the underlying snapshot-array session *)
+    journal : Tracing.Journal.t option;
+        (* cached from [ctx] at attach time: the execute hot path guards
+           its annotations with a single allocation-free match *)
+    quiet : bool;
+        (* no journal and no metrics: [execute] skips the span bracket,
+           so the unobserved path never builds a closure *)
     mode : mode;
     memo : memo;  (* counters only in [Reference] mode *)
   }
+
+  (* Anchor sessions run on the contention-adaptive scan: O(procs)
+     synchronization per snapshot when no writer interferes, the paper's
+     double-collect under contention.  All construction handles read
+     through this variant, which is exactly the adaptive variant's
+     no-mixing soundness condition (see Scan). *)
+  let variant = Snapshot.Scan.Adaptive
 
   let fresh_memo procs =
     {
@@ -144,6 +157,9 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       pid;
       ctx;
       anchor = Anchor.attach obj.anchor ctx;
+      journal = Runtime.Ctx.journal ctx;
+      quiet =
+        Runtime.Ctx.journal ctx = None && Runtime.Ctx.metrics ctx = None;
       mode;
       memo = fresh_memo obj.procs;
     }
@@ -375,14 +391,23 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
           end
           else rebuild memo view
 
-  (* Figure 4: execute an invocation. *)
-  let execute h op =
+  (* Inline journal guard, not Ctx.annotate/annotatef: this is the
+     per-operation hot path, and the match keeps the unobserved path at
+     literally zero extra allocation (ikfprintf builds small
+     per-argument closures even when dropping its output). *)
+  let annotate h msg =
+    match h.journal with
+    | None -> ()
+    | Some j -> Tracing.Journal.annotate j ~pid:h.pid msg
+
+  (* Figure 4: execute an invocation — the span-less body, so that the
+     [Sink.none] path never builds the span closure. *)
+  let execute_inner h op =
     let t = h.obj and pid = h.pid in
-    Runtime.Ctx.span h.ctx ~op:"uc.execute" @@ fun () ->
     (* Step 1: atomic snapshot of the anchor, linearize (from scratch or
        by delta-merge), compute the response. *)
-    Runtime.Ctx.annotate h.ctx "snapshot";
-    let view = Anchor.snapshot h.anchor in
+    annotate h "snapshot";
+    let view = Anchor.snapshot ~variant h.anchor in
     let state, replayed =
       match h.mode with
       | Reference ->
@@ -394,7 +419,11 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
           let n = advance h.memo view in
           (h.memo.m_state, n)
     in
-    Runtime.Ctx.annotatef h.ctx "replay %d entries" replayed;
+    (match h.journal with
+    | None -> ()
+    | Some j ->
+        Tracing.Journal.annotate j ~pid:h.pid
+          (Printf.sprintf "replay %d entries" replayed));
     let state', resp = O.apply state op in
     t.seq.(pid) <- t.seq.(pid) + 1;
     let e =
@@ -408,8 +437,8 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
       }
     in
     (* Step 2: write out the entry. *)
-    Runtime.Ctx.annotate h.ctx "publish";
-    Anchor.update h.anchor (Some e);
+    annotate h "publish";
+    Anchor.update ~variant h.anchor (Some e);
     (match h.mode with
     | Incremental ->
         (* The caller's own entry is preceded by everything committed
@@ -421,13 +450,18 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
     | Reference -> ());
     resp
 
+  let execute h op =
+    if h.quiet then execute_inner h op
+    else
+      Runtime.Ctx.span h.ctx ~op:"uc.execute" (fun () -> execute_inner h op)
+
   (* Read-only variant: linearizes the current graph and applies [op] to
      the resulting state without publishing an entry.  Valid only for
      operations that do not change the state (e.g. a counter's read); the
      result is still linearizable because such operations commute with or
      are overwritten by everything.  Exposed for the E9 ablation. *)
   let query h op =
-    let view = Anchor.snapshot h.anchor in
+    let view = Anchor.snapshot ~variant h.anchor in
     let state =
       match h.mode with
       | Reference -> state_of_linearization (linearization_of_view view)
@@ -439,7 +473,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
 
   (* Introspection for tests and benches. *)
   let history_size h =
-    let view = Anchor.snapshot h.anchor in
+    let view = Anchor.snapshot ~variant h.anchor in
     Hashtbl.length (collect_entries view)
 end
 

@@ -22,7 +22,7 @@
     byte-identical over exhaustively explored schedules and random
     scripts (test/test_incremental.ml). *)
 
-module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) : sig
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) : sig
   type entry = {
     e_pid : int;
     e_seq : int;  (** per-process operation counter, from 1 *)

@@ -22,7 +22,7 @@
 
    Experiment E9 measures these against the generic construction. *)
 
-module Counter (M : Pram.Memory.S) = struct
+module Counter (M : Pram.Memory.VERSIONED) = struct
   module Totals = Semilattice.Pair (Semilattice.Nat_max) (Semilattice.Nat_max)
   module Lat = Semilattice.Vector (Totals)
   module Scanner = Snapshot.Scan.Make (Lat) (M)
@@ -70,7 +70,7 @@ module Counter (M : Pram.Memory.S) = struct
     Array.fold_left (fun acc (i, d) -> acc + i - d) 0 totals
 end
 
-module Gset (M : Pram.Memory.S) = struct
+module Gset (M : Pram.Memory.VERSIONED) = struct
   module Lat = Semilattice.Set_union (struct
     type t = int
 
@@ -92,7 +92,7 @@ module Gset (M : Pram.Memory.S) = struct
   let mem h x = List.mem x (members h)
 end
 
-module Max_register (M : Pram.Memory.S) = struct
+module Max_register (M : Pram.Memory.VERSIONED) = struct
   module Scanner = Snapshot.Scan.Make (Semilattice.Nat_max) (M)
 
   type t = { scanner : Scanner.t }
@@ -121,7 +121,7 @@ end
    ordered events always get strictly increasing timestamps: causality
    flows through [observe]/[tick], each of which joins the clock before
    bumping it. *)
-module Logical_clock (M : Pram.Memory.S) = struct
+module Logical_clock (M : Pram.Memory.VERSIONED) = struct
   module R = Max_register (M)
 
   type t = { reg : R.t }
@@ -147,7 +147,7 @@ end
    pointwise max.  The direct counterpart of [Spec.Histogram_spec]
    restricted to its commuting core (observe/count/total; reset_all needs
    the generic construction, exactly like the counter's reset). *)
-module Histogram (M : Pram.Memory.S) = struct
+module Histogram (M : Pram.Memory.VERSIONED) = struct
   module Buckets = Semilattice.Map_max (struct
     type t = int
 
@@ -205,7 +205,7 @@ end
    advances the caller's component; [observe] merges a vector received
    from elsewhere; [now] reads the merged vector.  [leq] is the
    happened-before test. *)
-module Vector_clock (M : Pram.Memory.S) = struct
+module Vector_clock (M : Pram.Memory.VERSIONED) = struct
   module Lat = Semilattice.Vector (Semilattice.Nat_max)
   module Scanner = Snapshot.Scan.Make (Lat) (M)
 

@@ -19,7 +19,7 @@
     the handle only. *)
 
 (** Counter with per-process monotone (inc_total, dec_total) pairs. *)
-module Counter (M : Pram.Memory.S) : sig
+module Counter (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t
@@ -38,7 +38,7 @@ module Counter (M : Pram.Memory.S) : sig
 end
 
 (** Grow-only set of ints under union. *)
-module Gset (M : Pram.Memory.S) : sig
+module Gset (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t
@@ -55,7 +55,7 @@ module Gset (M : Pram.Memory.S) : sig
 end
 
 (** Max-register over naturals. *)
-module Max_register (M : Pram.Memory.S) : sig
+module Max_register (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t
@@ -74,7 +74,7 @@ end
     may collide; [tick] returns [(count, pid)] ready for lexicographic
     tie-breaking.  Causally ordered events always receive strictly
     increasing timestamps. *)
-module Logical_clock (M : Pram.Memory.S) : sig
+module Logical_clock (M : Pram.Memory.VERSIONED) : sig
   type t
   type timestamp = int * int
 
@@ -95,7 +95,7 @@ module Logical_clock (M : Pram.Memory.S) : sig
 end
 
 (** Keyed histogram: per-process per-bucket monotone totals. *)
-module Histogram (M : Pram.Memory.S) : sig
+module Histogram (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t
@@ -118,7 +118,7 @@ end
     merged vector including the caller's advanced component; concurrent
     ticks are pairwise comparable (they are scan outputs — Lemma 32) and
     may coincide, unlike message-passing vector clocks. *)
-module Vector_clock (M : Pram.Memory.S) : sig
+module Vector_clock (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t

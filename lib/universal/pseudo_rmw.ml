@@ -29,7 +29,7 @@ module type FUNCTIONS = sig
   val pp_f : Format.formatter -> f -> unit
 end
 
-module Make (F : FUNCTIONS) (M : Pram.Memory.S) = struct
+module Make (F : FUNCTIONS) (M : Pram.Memory.VERSIONED) = struct
   module Log = Semilattice.Grow_list (struct
     type t = F.f
 

@@ -22,7 +22,7 @@ module type FUNCTIONS = sig
   val pp_f : Format.formatter -> f -> unit
 end
 
-module Make (F : FUNCTIONS) (M : Pram.Memory.S) : sig
+module Make (F : FUNCTIONS) (M : Pram.Memory.VERSIONED) : sig
   type t
 
   val create : procs:int -> t

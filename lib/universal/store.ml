@@ -117,7 +117,7 @@ end
 type mode = Incremental | Reference
 type batching = Unbatched | Batched of int
 
-module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) = struct
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
   module B = Batch_spec (O)
   module U = Construction.Make (B) (M)
 

@@ -36,7 +36,7 @@ type mode = Incremental | Reference
     (the baseline the benches compare against). *)
 type batching = Unbatched | Batched of int
 
-module Make (O : Spec.Object_spec.S) (M : Pram.Memory.S) : sig
+module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) : sig
   type t
 
   (** [create ~shards ~procs ()] allocates [shards] independent

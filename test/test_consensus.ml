@@ -2,9 +2,9 @@
    agreement, validity, probabilistic termination — under random
    schedules, with crashes, and on real domains. *)
 
-module RC = Consensus.Randomized_consensus.Make (Pram.Memory.Sim)
-module RC_native = Consensus.Randomized_consensus.Make (Pram.Native.Mem)
-module Coin = Consensus.Shared_coin.Make (Pram.Memory.Sim)
+module RC = Consensus.Randomized_consensus.Make (Pram.Memory.Sim_v)
+module RC_native = Consensus.Randomized_consensus.Make (Pram.Native.Versioned)
+module Coin = Consensus.Shared_coin.Make (Pram.Memory.Sim_v)
 
 let check_bool = Alcotest.(check bool)
 
@@ -74,7 +74,7 @@ let qcheck_unanimous_decides_input =
 
 let test_solo_decides_own_input () =
   let t = RC.create ~procs:3 ~max_rounds:8 in
-  let module RC_d = Consensus.Randomized_consensus.Make (Pram.Memory.Direct) in
+  let module RC_d = Consensus.Randomized_consensus.Make (Pram.Memory.Direct_v) in
   let t2 = RC_d.create ~procs:3 ~max_rounds:8 in
   ignore t;
   let h0 = RC_d.attach t2 (Runtime.Ctx.make ~seed:1 ~procs:3 ~pid:0 ()) in

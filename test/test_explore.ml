@@ -99,7 +99,7 @@ let test_truncation_exact_count () =
 (* --- exhaustive linearizability of the Section 6 scan -------------------- *)
 
 module L = Semilattice.Nat_max
-module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
+module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim_v)
 module Scan_spec = Snapshot.Scan_spec.Make (L)
 module Scan_check = Lincheck.Make (Scan_spec)
 
@@ -166,7 +166,7 @@ let test_scan_exhaustive_with_crash () =
 
 (* --- exhaustive linearizability of the direct counter -------------------- *)
 
-module DC = Universal.Direct.Counter (Pram.Memory.Sim)
+module DC = Universal.Direct.Counter (Pram.Memory.Sim_v)
 module Check_counter = Lincheck.Make (Spec.Counter_spec)
 
 let test_direct_counter_exhaustive () =
@@ -253,7 +253,7 @@ let test_naive_collect_violations_counted () =
 
 (* ...while the atomic snapshot on an update-vs-snapshot workload has
    zero violating schedules (2 processes: C(12,6) = 924 interleavings). *)
-module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim)
+module Arr = Snapshot.Snapshot_array.Make (V) (Pram.Memory.Sim_v)
 module Arr_spec2 =
   Snapshot.Array_spec.Make
     (V)

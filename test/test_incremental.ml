@@ -25,7 +25,7 @@ let ctx ~procs pid = Runtime.Ctx.make ~procs ~pid ()
 (* --- generic differential machinery --------------------------------------- *)
 
 module Diff (O : Spec.Object_spec.S) = struct
-  module U = Universal.Construction.Make (O) (Pram.Memory.Sim)
+  module U = Universal.Construction.Make (O) (Pram.Memory.Sim_v)
 
   (* A program running [script] with [mode] handles, appending each
      response (with its pid) to [out] as it is produced, so crashed
@@ -114,13 +114,17 @@ let test_explore_diff_counter_p2 () =
     (outcome.Pram.Explore.explored > 10)
 
 let test_explore_diff_gset_p3 () =
-  (* Complete DPOR closure at procs 3: two single-op processes (the
-     third stays idle but contributes its anchor slot to every scan),
-     with [Members] making the schedule-dependent state visible in the
-     responses — [Elements []] before the [Add], [Elements [1]] after. *)
+  (* Complete DPOR closure at procs 3: two two-op processes (the third
+     stays idle but contributes its anchor slot to every scan), with
+     [Members] making the schedule-dependent state visible in the
+     responses.  Two ops per process matter here: the construction runs
+     the Adaptive scan, whose uncontended fast path touches so few
+     conflicting registers that single-op closures collapse to a
+     handful of classes — the second round makes escalation and the
+     fast/full interleavings reachable (~2k classes). *)
   let script = function
-    | 0 -> Spec.Gset_spec.[ Add 1 ]
-    | 1 -> Spec.Gset_spec.[ Members ]
+    | 0 -> Spec.Gset_spec.[ Add 1; Members ]
+    | 1 -> Spec.Gset_spec.[ Add 2; Members ]
     | _ -> []
   in
   let outcome =
@@ -129,13 +133,14 @@ let test_explore_diff_gset_p3 () =
   check_bool "all DPOR schedules agree (gset, procs 3)" true
     (Pram.Explore.ok outcome);
   check_bool "non-trivial schedule count" true
-    (outcome.Pram.Explore.explored > 10)
+    (outcome.Pram.Explore.explored > 1_000)
 
 let test_explore_diff_gset_p3_sampled () =
-  (* Three active processes including the overwriting [Clear]: the full
-     DPOR closure at this size exceeds 10^6 classes, so explore a
-     bounded prefix of it and demand zero disagreements in the sample
-     (complete closures are covered by the two tests above). *)
+  (* Three active processes including the overwriting [Clear].  Under
+     the double-collect scan this closure exceeded 10^6 classes and had
+     to be sampled; the Adaptive fast path shrinks it to a few hundred,
+     so the complete closure is now explored (the budget is kept as a
+     safety net only). *)
   let script = function
     | 0 -> Spec.Gset_spec.[ Add 1 ]
     | 1 -> Spec.Gset_spec.[ Clear ]
@@ -145,10 +150,10 @@ let test_explore_diff_gset_p3_sampled () =
     Diff_gset.explore_diff ~mode:Pram.Explore.Dpor ~max_schedules:60_000
       ~procs:3 ~script ()
   in
-  check_bool "no disagreement in the sampled schedules" true
-    (outcome.Pram.Explore.failures = []);
-  check_bool "sampled the full budget" true
-    (outcome.Pram.Explore.explored >= 60_000)
+  check_bool "all DPOR schedules agree (gset, all active)" true
+    (Pram.Explore.ok outcome);
+  check_bool "non-trivial schedule count" true
+    (outcome.Pram.Explore.explored > 500)
 
 let test_explore_diff_counter_crashes () =
   (* Naive exploration with crash branching: a crashed process's
@@ -165,8 +170,10 @@ let test_explore_diff_counter_crashes () =
   in
   check_bool "no disagreement under crashes" true
     (outcome.Pram.Explore.failures = []);
+  (* with the adaptive scan the naive crash-branching space at this
+     size finishes inside the budget (~1.4k schedules) *)
   check_bool "explored a real sample" true
-    (outcome.Pram.Explore.explored >= 4_000)
+    (outcome.Pram.Explore.explored >= 1_000)
 
 (* --- random-script differential (procs 1..4) ------------------------------ *)
 
@@ -209,7 +216,7 @@ let qcheck_diff_sticky =
 
 (* --- O(delta) regression --------------------------------------------------- *)
 
-module UC_direct = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+module UC_direct = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
 
 (* Count the history entries a handle replayed, from the journal's
    ["replay %d entries"] annotations — the observer-sink view of the

@@ -2,7 +2,7 @@
    technique): validity, comparability, wait-freedom and cost for both
    the scan-based and the classifier-tree implementations. *)
 
-module LA_scan = Snapshot.Lattice_agreement.Via_scan (Pram.Memory.Sim)
+module LA_scan = Snapshot.Lattice_agreement.Via_scan (Pram.Memory.Sim_v)
 module LA_cls = Snapshot.Lattice_agreement.Classifier (Pram.Memory.Sim)
 module LA_cls_d = Snapshot.Lattice_agreement.Classifier (Pram.Memory.Direct)
 module PS = Snapshot.Lattice_agreement.Pid_set

@@ -215,7 +215,9 @@ let scan_cost_via_instrument ~procs ~variant =
         let sink = Runtime.Sink.make ~metrics:recorder ()
       end)
   in
-  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let module Scan =
+    Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Versioned (M))
+  in
   let t = Scan.create ~procs in
   Runtime.set_pid 0;
   let h = Scan.attach t (Runtime.Ctx.make ~procs ~pid:0 ()) in
@@ -226,7 +228,7 @@ let scan_cost_via_instrument ~procs ~variant =
 
 let scan_cost_via_observer ~procs ~variant =
   let recorder = Metrics.Recorder.create ~procs in
-  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim) in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim_v) in
   let program () =
     let t = Scan.create ~procs in
     fun pid ->
@@ -252,17 +254,23 @@ let test_cost_formula_matches_counting_backend () =
           Printf.sprintf "%s procs=%d %s"
             (match variant with
             | Snapshot.Scan.Plain -> "plain"
-            | Snapshot.Scan.Optimized -> "optimized")
+            | Snapshot.Scan.Optimized -> "optimized"
+            | Snapshot.Scan.Adaptive -> "adaptive")
             procs what
         in
         check_int (label "reads (instrument)") fr ir;
         check_int (label "writes (instrument)") fw iw;
-        check_int (label "grid registers") (procs * (procs + 2)) regs;
+        (* the grid plus the [procs] adaptive escalation flags *)
+        check_int (label "grid registers") (procs * (procs + 3)) regs;
+        (* round-robin lockstep fires every publish before any collect,
+           so even the contended Adaptive run stays on the exact-count
+           fast path (random schedules may escalate; see
+           test_sink_equals_legacy_paths) *)
         let or_, ow = scan_cost_via_observer ~procs ~variant in
         check_int (label "reads (observer, contended)") fr or_;
         check_int (label "writes (observer, contended)") fw ow
       done)
-    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
+    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized; Snapshot.Scan.Adaptive ]
 
 (* --- one access stream, three meters ---------------------------------------
    The unified [Runtime.Sink] must report exactly the per-pid read/write
@@ -286,7 +294,9 @@ let scan_workload_via_sink ~procs ~variant =
         let sink = Runtime.Sink.make ~metrics:recorder ()
       end)
   in
-  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let module Scan =
+    Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Versioned (M))
+  in
   let t = Scan.create ~procs in
   for pid = 0 to procs - 1 do
     Runtime.set_pid pid;
@@ -311,7 +321,9 @@ let scan_workload_via_hooked ~procs ~variant =
           writes.(!cur) <- writes.(!cur) + 1
       end)
   in
-  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (M) in
+  let module Scan =
+    Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Versioned (M))
+  in
   let t = Scan.create ~procs in
   for pid = 0 to procs - 1 do
     cur := pid;
@@ -322,7 +334,7 @@ let scan_workload_via_hooked ~procs ~variant =
 
 let scan_workload_via_driver ~procs ~variant ~seed =
   let recorder = Metrics.Recorder.create ~procs in
-  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim) in
+  let module Scan = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim_v) in
   let program () =
     let t = Scan.create ~procs in
     fun pid ->
@@ -343,6 +355,7 @@ let test_sink_equals_legacy_paths () =
         match variant with
         | Snapshot.Scan.Plain -> "plain"
         | Snapshot.Scan.Optimized -> "optimized"
+        | Snapshot.Scan.Adaptive -> "adaptive"
       in
       for procs = 1 to 8 do
         let sink = scan_workload_via_sink ~procs ~variant in
@@ -363,6 +376,59 @@ let test_sink_equals_legacy_paths () =
         done
       done)
     [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
+
+(* --- the adaptive scan's contention event, observed end-to-end ------------- *)
+
+(* Force exactly one escalation under the simulator: the reader stores
+   the writer's column-0 epoch during its versioned collect, the writer
+   publishes (moving that epoch), and the reader's revalidation must
+   escalate.  The event reaches the context's telemetry counters and,
+   from there, the OpenMetrics exposition under its registered name —
+   the same surface `wfa_cli top` renders. *)
+let test_scan_escalation_reaches_exporters () =
+  let c = Telemetry.Counters.create ~procs:2 () in
+  let module A = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim_v) in
+  let program () =
+    let t = A.create ~procs:2 in
+    fun pid ->
+      let sink = Runtime.Sink.make ~telemetry:c () in
+      let h = A.attach t (Runtime.Ctx.make ~sink ~procs:2 ~pid ()) in
+      if pid = 0 then begin
+        A.write_l ~variant:Snapshot.Scan.Adaptive h 7;
+        0
+      end
+      else A.read_max ~variant:Snapshot.Scan.Adaptive h
+  in
+  let d = Pram.Driver.create ~procs:2 program in
+  (* reader: escalation-flag pre-read, then the versioned collect of the
+     writer's column (recording epoch 0) *)
+  Pram.Driver.step d 1;
+  Pram.Driver.step d 1;
+  (* writer publishes: the column-0 epoch moves to 1 *)
+  check_bool "writer finishes" true (Pram.Driver.run_solo d 0);
+  (* reader's epoch revalidation sees the moved epoch and escalates *)
+  check_bool "reader finishes" true (Pram.Driver.run_solo d 1);
+  check_int "reader returns the published value" 7
+    (match Pram.Driver.result d 1 with Some v -> v | None -> min_int);
+  check_int "exactly one escalation counted" 1
+    (Telemetry.Counters.total c Telemetry.Event.Scan_escalation);
+  match Telemetry.Openmetrics.parse (Telemetry.Openmetrics.render c) with
+  | Error e -> Alcotest.failf "openmetrics rejected its own render: %s" e
+  | Ok samples ->
+      let value name =
+        List.find_map
+          (fun s ->
+            if
+              s.Telemetry.Openmetrics.s_name = "wfa_event_total"
+              && List.mem ("event", name) s.Telemetry.Openmetrics.s_labels
+            then Some s.Telemetry.Openmetrics.s_value
+            else None)
+          samples
+      in
+      check_bool "scan_escalation exported with the count" true
+        (value "scan_escalation" = Some 1.0);
+      check_bool "seqlock_retry exported (zero in the simulator)" true
+        (value "seqlock_retry" = Some 0.0)
 
 (* --- bench JSON round-trip -------------------------------------------------- *)
 
@@ -786,6 +852,11 @@ let () =
         [
           Alcotest.test_case "sink = hooked = driver observer, procs 1..8"
             `Quick test_sink_equals_legacy_paths;
+        ] );
+      ( "contention-events",
+        [
+          Alcotest.test_case "escalation reaches counters and exporters"
+            `Quick test_scan_escalation_reaches_exporters;
         ] );
       ( "bench-json",
         [

@@ -16,10 +16,10 @@ let check_int = Alcotest.(check int)
 
 let ctx pid = Runtime.Ctx.make ~procs ~pid ()
 
-module C = Universal.Direct.Counter (Pram.Native.Mem)
-module G = Universal.Direct.Gset (Pram.Native.Mem)
-module MR = Universal.Direct.Max_register (Pram.Native.Mem)
-module Arr = Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Native.Mem)
+module C = Universal.Direct.Counter (Pram.Native.Versioned)
+module G = Universal.Direct.Gset (Pram.Native.Versioned)
+module MR = Universal.Direct.Max_register (Pram.Native.Versioned)
+module Arr = Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Native.Versioned)
 module AB = Snapshot.Afek_bounded.Make (Snapshot.Slot_value.Int) (Pram.Native.Mem)
 module AA = Agreement.Approx_agreement.Make (Pram.Native.Mem)
 module Check_counter = Lincheck.Make (Spec.Counter_spec)

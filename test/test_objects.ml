@@ -87,7 +87,7 @@ let histogram_property1 =
     QCheck.(pair histogram_op_gen histogram_op_gen)
     (fun (p, q) -> Spec.Object_spec.property1_pair (module H) p q)
 
-module UH = Universal.Construction.Make (H) (Pram.Memory.Sim)
+module UH = Universal.Construction.Make (H) (Pram.Memory.Sim_v)
 module Check_h = Lincheck.Make (H)
 
 let qcheck_universal_histogram_linearizable =
@@ -125,8 +125,8 @@ let qcheck_universal_histogram_linearizable =
 
 (* --- direct histogram ------------------------------------------------------ *)
 
-module DH = Universal.Direct.Histogram (Pram.Memory.Direct)
-module DH_s = Universal.Direct.Histogram (Pram.Memory.Sim)
+module DH = Universal.Direct.Histogram (Pram.Memory.Direct_v)
+module DH_s = Universal.Direct.Histogram (Pram.Memory.Sim_v)
 
 let test_direct_histogram_sequential () =
   let t = DH.create ~procs:2 in
@@ -176,8 +176,8 @@ let qcheck_direct_histogram_concurrent_total =
 
 (* --- vector clocks ---------------------------------------------------------- *)
 
-module VC = Universal.Direct.Vector_clock (Pram.Memory.Direct)
-module VC_s = Universal.Direct.Vector_clock (Pram.Memory.Sim)
+module VC = Universal.Direct.Vector_clock (Pram.Memory.Direct_v)
+module VC_s = Universal.Direct.Vector_clock (Pram.Memory.Sim_v)
 
 let test_vector_clock_sequential () =
   let t = VC.create ~procs:3 in

@@ -12,13 +12,13 @@
      scan and the Afek et al. baseline terminate. *)
 
 module L = Semilattice.Nat_max
-module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim)
+module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim_v)
 
 (* Direct-backend instantiations for sequential (outside-the-driver)
    tests. *)
-module Scan_d = Snapshot.Scan.Make (L) (Pram.Memory.Direct)
+module Scan_d = Snapshot.Scan.Make (L) (Pram.Memory.Direct_v)
 module Arr_d =
-  Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
+  Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct_v)
 module DC_d =
   Snapshot.Double_collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
 module AF_d = Snapshot.Afek.Make (Snapshot.Slot_value.Int) (Pram.Memory.Direct)
@@ -29,7 +29,7 @@ module Set_lat = Semilattice.Set_union (struct
   let pp = Format.pp_print_int
 end)
 
-module Scan_set = Snapshot.Scan.Make (Set_lat) (Pram.Memory.Sim)
+module Scan_set = Snapshot.Scan.Make (Set_lat) (Pram.Memory.Sim_v)
 
 module Scan_seq_spec = Snapshot.Scan_spec.Make (L)
 module Scan_check = Lincheck.Make (Scan_seq_spec)
@@ -60,8 +60,11 @@ let test_scan_plain_equals_optimized () =
     let c = Scan_d.read_max ~variant h0 in
     (a, b, c)
   in
-  check_bool "variants agree sequentially" true
-    (run Snapshot.Scan.Plain = run Snapshot.Scan.Optimized)
+  let plain = run Snapshot.Scan.Plain in
+  check_bool "optimized agrees sequentially" true
+    (plain = run Snapshot.Scan.Optimized);
+  check_bool "adaptive agrees sequentially" true
+    (plain = run Snapshot.Scan.Adaptive)
 
 (* --- Section 6.2 cost formulas (experiment E5's unit-level form) ------- *)
 
@@ -96,6 +99,126 @@ let test_cost_optimized () =
         (reads + writes)
         (scan_cost ~procs:n ~variant:Snapshot.Scan.Optimized))
     [ 1; 2; 3; 5; 8 ]
+
+let test_cost_adaptive () =
+  (* A solo run never escalates, so the adaptive fast path's exact
+     count — 4 reads per peer plus the column-0 publish — is an
+     equality, like the two paper formulas above. *)
+  List.iter
+    (fun n ->
+      let reads, writes =
+        Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Adaptive
+      in
+      check_int
+        (Printf.sprintf "adaptive scan cost at n=%d" n)
+        (reads + writes)
+        (scan_cost ~procs:n ~variant:Snapshot.Scan.Adaptive))
+    [ 1; 2; 3; 5; 8 ]
+
+(* --- DPOR-complete cross-variant differential --------------------------- *)
+
+(* The schedule spaces of two variants cannot be matched step for step
+   (their access sequences differ), so the differential compares the
+   complete SETS of reachable outcomes instead: explore the
+   write_l/read_max workload to DPOR completeness under each variant and
+   collect every result vector.  Outcomes are a function of the
+   Mazurkiewicz class, so the collected set is the full set of reachable
+   outcomes, and two variants implement the same object on every
+   explored schedule iff the sets are byte-identical. *)
+let variant_outcome_set ~procs ~active variant =
+  let results = Hashtbl.create 16 in
+  let program () =
+    let t = Scan_set.create ~procs in
+    fun pid ->
+      let h = Scan_set.attach t (ctx ~procs pid) in
+      if pid < active then begin
+        Scan_set.write_l ~variant h (Set_lat.of_list [ pid + 1 ]);
+        Set_lat.elements (Scan_set.read_max ~variant h)
+      end
+      else []
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs program
+      (fun d _sched ->
+        let v = List.init procs (fun p -> Pram.Driver.result d p) in
+        Hashtbl.replace results v ();
+        true)
+  in
+  let set = Hashtbl.fold (fun k () acc -> k :: acc) results [] in
+  (outcome, List.sort compare set)
+
+(* The same workload over the double-collect baseline (sorted non-default
+   slots stand in for the set elements), as an implementation-independent
+   reference point for the outcome sets. *)
+let dc_outcome_set ~procs ~active =
+  let module DC2 =
+    Snapshot.Double_collect.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+  in
+  let results = Hashtbl.create 16 in
+  let program () =
+    let t = DC2.create ~procs in
+    fun pid ->
+      let h = DC2.attach t (ctx ~procs pid) in
+      if pid < active then begin
+        DC2.update h (pid + 1);
+        DC2.snapshot_exn h |> Array.to_list
+        |> List.filter (fun v -> v <> 0)
+        |> List.sort compare
+      end
+      else []
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Dpor ~procs program
+      (fun d _sched ->
+        let v = List.init procs (fun p -> Pram.Driver.result d p) in
+        Hashtbl.replace results v ();
+        true)
+  in
+  let set = Hashtbl.fold (fun k () acc -> k :: acc) results [] in
+  (outcome, List.sort compare set)
+
+let test_dpor_differential_p2 () =
+  let o_a, s_a = variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Adaptive in
+  let o_o, s_o =
+    variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Optimized
+  in
+  let o_p, s_p = variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Plain in
+  let o_dc, s_dc = dc_outcome_set ~procs:2 ~active:2 in
+  check_bool "adaptive closure complete" true (Pram.Explore.ok o_a);
+  check_bool "optimized closure complete" true (Pram.Explore.ok o_o);
+  check_bool "plain closure complete" true (Pram.Explore.ok o_p);
+  check_bool "double-collect closure complete" true (Pram.Explore.ok o_dc);
+  (* the adaptive fast path escalates on some of these schedules, so the
+     contended branch is inside the explored closure *)
+  check_bool "adaptive closure non-trivial" true
+    (o_a.Pram.Explore.explored > 10);
+  check_bool "optimized closure non-trivial" true
+    (o_o.Pram.Explore.explored > 500);
+  check_bool "adaptive = optimized outcome sets" true (s_a = s_o);
+  check_bool "adaptive = plain outcome sets" true (s_a = s_p);
+  check_bool "adaptive = double-collect outcome sets" true (s_a = s_dc);
+  (* the workload's three linearizable outcomes, spelled out: the reader
+     that linearizes first misses the other writer's element *)
+  check_int "all three outcomes reached" 3 (List.length s_a)
+
+let test_dpor_differential_p3 () =
+  (* Third process idle but attached: its anchor slot is in every scan,
+     so the collects and validations genuinely span three columns.
+     (Plain at this size explores the same 8_613-class closure as
+     Optimized but takes ~10s; the p2 test above already ties Plain
+     in.) *)
+  let o_a, s_a = variant_outcome_set ~procs:3 ~active:2 Snapshot.Scan.Adaptive in
+  let o_o, s_o =
+    variant_outcome_set ~procs:3 ~active:2 Snapshot.Scan.Optimized
+  in
+  check_bool "adaptive closure complete" true (Pram.Explore.ok o_a);
+  check_bool "optimized closure complete" true (Pram.Explore.ok o_o);
+  check_bool "adaptive closure non-trivial" true
+    (o_a.Pram.Explore.explored > 50);
+  check_bool "optimized closure non-trivial" true
+    (o_o.Pram.Explore.explored > 1_000);
+  check_bool "adaptive = optimized outcome sets" true (s_a = s_o);
+  check_int "all three outcomes reached" 3 (List.length s_a)
 
 (* --- Lemma 32: comparability of concurrent scan results ---------------- *)
 
@@ -290,7 +413,7 @@ let qcheck_wait_free =
 
 (* --- snapshot array on top of the scan --------------------------------- *)
 
-module Arr = Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim)
+module Arr = Snapshot.Snapshot_array.Make (Snapshot.Slot_value.Int) (Pram.Memory.Sim_v)
 module Arr_spec =
   Snapshot.Array_spec.Make
     (Snapshot.Slot_value.Int)
@@ -564,6 +687,11 @@ let () =
           Alcotest.test_case "variants agree" `Quick test_scan_plain_equals_optimized;
           Alcotest.test_case "cost: plain formula" `Quick test_cost_plain;
           Alcotest.test_case "cost: optimized formula" `Quick test_cost_optimized;
+          Alcotest.test_case "cost: adaptive formula" `Quick test_cost_adaptive;
+          Alcotest.test_case "DPOR differential, procs 2 (all variants)" `Quick
+            test_dpor_differential_p2;
+          Alcotest.test_case "DPOR differential, procs 3" `Quick
+            test_dpor_differential_p3;
           QCheck_alcotest.to_alcotest qcheck_comparability;
           QCheck_alcotest.to_alcotest qcheck_scan_linearizable;
           Alcotest.test_case "combined fetch-and-join is not atomic" `Quick

@@ -104,7 +104,7 @@ let test_parse_errors () =
 (* The scan workload with span annotations, parameterized by the journal
    so a replay can attach a fresh one. *)
 let scan_program ~procs j () =
-  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
+  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim_v) in
   let t = S.create ~procs in
   let sink = Runtime.Sink.make ~journal:j () in
   fun pid ->
@@ -337,7 +337,7 @@ let scan_access_counts ~journal ~procs =
     | false -> None
     | true -> Some (Tracing.Journal.create ~procs ())
   in
-  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim) in
+  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Sim_v) in
   let sink =
     match j with
     | None -> Runtime.Sink.none
@@ -480,7 +480,7 @@ let test_store_disabled_telemetry_allocates_nothing () =
         %.0f)"
        empty guards)
     true (guards = empty);
-  let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+  let module S = Universal.Store.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
   in
   let script =
     Workload.keyed_counter_script ~seed:7 ~keys:8 ~theta:0.9
@@ -490,6 +490,10 @@ let test_store_disabled_telemetry_allocates_nothing () =
   let run sink =
     let t = S.create ~shards:4 ~procs:1 () in
     let h = S.attach t (Runtime.Ctx.make ?sink ~procs:1 ~pid:0 ()) in
+    (* flush pending GC bookkeeping (e.g. the one-time adoption of
+       terminated domains' allocation stats from earlier test suites)
+       so [Gc.allocated_bytes] deltas reflect this run alone *)
+    Gc.full_major ();
     measure (fun () ->
         List.iter (fun (key, op) -> S.submit h ~key op) ops;
         ignore (S.flush h))
@@ -509,6 +513,92 @@ let test_store_disabled_telemetry_allocates_nothing () =
   check_bool
     (Printf.sprintf
        "telemetry-off store run allocates no more than the enabled run \
+        (off %.0f, on %.0f)"
+       off1 on)
+    true (off1 <= on)
+
+let test_adaptive_read_max_allocates_nothing () =
+  (* PR 9's end-to-end guarantee: the adaptive scan's uncontended
+     [read_max] under [Sink.none] allocates NOTHING — not "nothing
+     extra", zero bytes.  Everything it needs lives in the handle
+     (scratch epoch/flag rows), the collect accumulates through tail
+     recursion, versioned reads hand back the backend's stored
+     observation, and the bottom contribution skips the publish, so no
+     write (and no [Direct_v] pair) happens either. *)
+  let procs = 4 in
+  let module S = Snapshot.Scan.Make (Semilattice.Int_max) (Pram.Memory.Direct_v)
+  in
+  let t = S.create ~procs in
+  let hs =
+    Array.init procs (fun pid ->
+        S.attach t (Runtime.Ctx.make ~procs ~pid ()))
+  in
+  (* a real joined state to collect, and one warm-up read per handle *)
+  Array.iteri (fun pid h -> S.write_l ~variant:Snapshot.Scan.Adaptive h (pid + 1)) hs;
+  Array.iter (fun h -> ignore (S.read_max ~variant:Snapshot.Scan.Adaptive h)) hs;
+  let measure g =
+    let b0 = Gc.allocated_bytes () in
+    g ();
+    let b1 = Gc.allocated_bytes () in
+    b1 -. b0
+  in
+  Gc.full_major ();
+  let empty = measure (fun () -> for _ = 0 to 9_999 do () done) in
+  let reads =
+    measure (fun () ->
+        for i = 0 to 9_999 do
+          ignore (S.read_max ~variant:Snapshot.Scan.Adaptive hs.(i land 3))
+        done)
+  in
+  check_bool
+    (Printf.sprintf
+       "uncontended adaptive read_max allocates zero bytes (empty loop %.0f, \
+        reads %.0f)"
+       empty reads)
+    true (reads = empty)
+
+let test_universal_scan_update_allocates_nothing_extra () =
+  (* The universal construction's scan/update path (execute = adaptive
+     snapshot + publish-only update) under [Sink.none]: the dispatch on
+     the attach-time [quiet] bit must make the unobserved path
+     allocation-deterministic, and never costlier than the same ops with
+     a live journal+metrics sink (which builds span closures and
+     events). *)
+  let procs = 2 in
+  let module U =
+    Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
+  in
+  let measure g =
+    let b0 = Gc.allocated_bytes () in
+    g ();
+    let b1 = Gc.allocated_bytes () in
+    b1 -. b0
+  in
+  let run sink =
+    let t = U.create ~procs in
+    let h = U.attach t (Runtime.Ctx.make ?sink ~procs ~pid:0 ()) in
+    Gc.full_major ();
+    measure (fun () ->
+        for _ = 1 to 100 do
+          ignore (U.execute h (Spec.Counter_spec.Inc 1))
+        done)
+  in
+  ignore (run None) (* warm-up: one-time lazy initialization *);
+  let off1 = run None in
+  let off2 = run None in
+  let on =
+    let recorder = Metrics.Recorder.create ~procs in
+    let j = Tracing.Journal.create ~procs () in
+    run (Some (Runtime.Sink.make ~metrics:recorder ~journal:j ()))
+  in
+  check_bool
+    (Printf.sprintf
+       "sink-less universal execute is allocation-deterministic (%.0f vs %.0f)"
+       off1 off2)
+    true (off1 = off2);
+  check_bool
+    (Printf.sprintf
+       "sink-less universal execute allocates no more than the observed run \
         (off %.0f, on %.0f)"
        off1 on)
     true (off1 <= on)
@@ -560,5 +650,9 @@ let () =
           Alcotest.test_case "store with telemetry off allocates nothing \
                               extra" `Quick
             test_store_disabled_telemetry_allocates_nothing;
+          Alcotest.test_case "adaptive read_max allocates zero bytes" `Quick
+            test_adaptive_read_max_allocates_nothing;
+          Alcotest.test_case "universal scan/update allocates nothing extra"
+            `Quick test_universal_scan_update_allocates_nothing_extra;
         ] );
     ]

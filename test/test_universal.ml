@@ -168,10 +168,10 @@ let qcheck_lemma20_linearizations_equivalent =
 
 (* --- linearizability of universal objects -------------------------------- *)
 
-module UC = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim)
-module UG = Universal.Construction.Make (Spec.Gset_spec) (Pram.Memory.Sim)
-module UM = Universal.Construction.Make (Spec.Max_register_spec) (Pram.Memory.Sim)
-module UR = Universal.Construction.Make (Spec.Rw_register_spec) (Pram.Memory.Sim)
+module UC = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Sim_v)
+module UG = Universal.Construction.Make (Spec.Gset_spec) (Pram.Memory.Sim_v)
+module UM = Universal.Construction.Make (Spec.Max_register_spec) (Pram.Memory.Sim_v)
+module UR = Universal.Construction.Make (Spec.Rw_register_spec) (Pram.Memory.Sim_v)
 module Check_counter = Lincheck.Make (Spec.Counter_spec)
 module Check_gset = Lincheck.Make (Spec.Gset_spec)
 module Check_maxreg = Lincheck.Make (Spec.Max_register_spec)
@@ -290,7 +290,7 @@ let qcheck_universal_rwreg_linearizable =
 
 (* --- sequential behaviour and the wait-free bound ------------------------ *)
 
-module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct)
+module UC_d = Universal.Construction.Make (Spec.Counter_spec) (Pram.Memory.Direct_v)
 
 let test_universal_counter_sequential () =
   let t = UC_d.create ~procs:2 in
@@ -316,8 +316,10 @@ let test_universal_query_matches_execute () =
 
 let test_universal_steps_bounded () =
   (* The synchronization overhead per operation is one snapshot plus one
-     update: 2 scans = 2(n^2 - 1) reads + 2(n + 1) writes.  Solo run of
-     one op must take exactly that many steps. *)
+     update.  The construction runs the Adaptive scan, so a solo (hence
+     uncontended) op is exactly the combined fast-path formula: the
+     snapshot pays the 4(n-1) validation reads (its bottom contribution
+     skips the publish) and the update is the publish write alone. *)
   let procs = 4 in
   let program () =
     let t = UC.create ~procs in
@@ -328,9 +330,10 @@ let test_universal_steps_bounded () =
   let d = Pram.Driver.create ~procs program in
   check_bool "finishes" true (Pram.Driver.run_solo d 0);
   let reads, writes =
-    Snapshot.Scan.cost_formula ~procs Snapshot.Scan.Optimized
+    Snapshot.Scan.cost_formula ~procs Snapshot.Scan.Adaptive
   in
-  check_int "steps = 2 scans" (2 * (reads + writes)) (Pram.Driver.steps d 0)
+  check_int "steps = snapshot + update" (reads + writes)
+    (Pram.Driver.steps d 0)
 
 let qcheck_universal_wait_free =
   QCheck.Test.make ~name:"universal op completes solo after crashes"
@@ -358,7 +361,7 @@ let qcheck_universal_wait_free =
 
 (* --- long-lived workloads (the "unbounded lifetime" the paper stresses) -- *)
 
-module DC_s2 = Universal.Direct.Counter (Pram.Memory.Sim)
+module DC_s2 = Universal.Direct.Counter (Pram.Memory.Sim_v)
 
 let qcheck_long_lived_universal_counter =
   (* inc/dec only: whatever the schedule, once quiescent the counter's
@@ -466,11 +469,11 @@ let test_property1_gate () =
 
 (* --- direct constructions (the E9 ablation) ------------------------------- *)
 
-module DC_d = Universal.Direct.Counter (Pram.Memory.Direct)
-module DG_d = Universal.Direct.Gset (Pram.Memory.Direct)
-module DM_d = Universal.Direct.Max_register (Pram.Memory.Direct)
-module LC_d = Universal.Direct.Logical_clock (Pram.Memory.Direct)
-module DC_s = Universal.Direct.Counter (Pram.Memory.Sim)
+module DC_d = Universal.Direct.Counter (Pram.Memory.Direct_v)
+module DG_d = Universal.Direct.Gset (Pram.Memory.Direct_v)
+module DM_d = Universal.Direct.Max_register (Pram.Memory.Direct_v)
+module LC_d = Universal.Direct.Logical_clock (Pram.Memory.Direct_v)
+module DC_s = Universal.Direct.Counter (Pram.Memory.Sim_v)
 
 let test_direct_counter_sequential () =
   let t = DC_d.create ~procs:2 in
@@ -558,8 +561,8 @@ module Add_mul_mod = struct
   let pp_f = Format.pp_print_int
 end
 
-module PRMW_d = Universal.Pseudo_rmw.Make (Add_mul_mod) (Pram.Memory.Direct)
-module PRMW_s = Universal.Pseudo_rmw.Make (Add_mul_mod) (Pram.Memory.Sim)
+module PRMW_d = Universal.Pseudo_rmw.Make (Add_mul_mod) (Pram.Memory.Direct_v)
+module PRMW_s = Universal.Pseudo_rmw.Make (Add_mul_mod) (Pram.Memory.Sim_v)
 
 let test_pseudo_rmw_sequential () =
   let t = PRMW_d.create ~procs:2 in

@@ -14,8 +14,10 @@
    - differential completeness: on the injected-bug corpus the default
      pre-emption bound finds exactly what unbounded DPOR finds at
      procs 2-3, random ways find the same bugs at procs 5-8 within a
-     fixed budget, and a weighted near-serial way catches a real-time
-     -order violation that both DPOR and same-budget uniform sampling
+     fixed budget, and a weighted near-serial way catches both a
+     real-time-order violation that DPOR and same-budget uniform
+     sampling miss, and a torn seqlock read in a broken VERSIONED
+     backend that bounded systematic and same-budget uniform sampling
      miss;
    - parallel determinism: jobs=1 and jobs=4 produce byte-identical
      outcomes, counterexamples included. *)
@@ -405,6 +407,134 @@ let test_weighted_catches_realtime_bug () =
       check_bool "history rendered in the message" true
         (String.length cex.E.cex_message > 40)
 
+(* --- weighted ways vs the adaptive scan's torn-read hazard ---------------- *)
+
+(* A deliberately broken VERSIONED backend: value and epoch live in
+   SEPARATE registers, so [read_versioned] is two scheduled accesses
+   instead of the one consistent observation the signature promises.  A
+   write landing in the window leaves the OLD value paired with the NEW
+   epoch, so the adaptive fast path's epoch revalidation passes over a
+   collect that missed the write — the torn-read failure the seqlock
+   slot record exists to prevent (DESIGN.md section 14). *)
+module Torn_versioned = struct
+  module B = Pram.Memory.Sim
+
+  type 'a reg = { v : 'a B.reg; e : int B.reg; mutable next : int }
+  type 'a versioned = 'a * int
+
+  let create ?name init =
+    let name = Option.value name ~default:"torn" in
+    {
+      v = B.create ~name:(name ^ ".v") init;
+      e = B.create ~name:(name ^ ".e") 0;
+      next = 0;
+    }
+
+  let read r = B.read r.v
+
+  let write r x =
+    r.next <- r.next + 1;
+    B.write r.v x;
+    B.write r.e r.next
+
+  (* BUG: two steps, torn window in between *)
+  let read_versioned r =
+    let x = B.read r.v in
+    (x, B.read r.e)
+
+  let value = fst
+  let version = snd
+  let epoch r = B.read r.e
+end
+
+module Set_lat = Semilattice.Set_union (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end)
+
+module Set_scan_spec = Snapshot.Scan_spec.Make (Set_lat)
+module Set_scan_check = Lincheck.Make (Set_scan_spec)
+
+(* Two writers contributing distinct elements, two adaptive readers:
+   when each reader's torn window swallows a different writer's publish,
+   the readers return INCOMPARABLE sets ({1} vs {2}) — non-linearizable
+   (and a Lemma 32 violation). *)
+module Adaptive_set_workload (M : Pram.Memory.VERSIONED) = struct
+  module Scan = Snapshot.Scan.Make (Set_lat) (M)
+
+  let mk () =
+    let recorder = ref (Spec.History.Recorder.create ()) in
+    let program () =
+      recorder := Spec.History.Recorder.create ();
+      let t = Scan.create ~procs:4 in
+      fun pid ->
+        let h = Scan.attach t (Runtime.Ctx.make ~procs:4 ~pid ()) in
+        if pid < 2 then
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid
+               (`Write_l (Set_lat.of_list [ pid + 1 ]))
+               (fun () ->
+                 Scan.write_l ~variant:Snapshot.Scan.Adaptive h
+                   (Set_lat.of_list [ pid + 1 ]);
+                 `Unit))
+        else
+          ignore
+            (Spec.History.Recorder.record !recorder ~pid `Read_max (fun () ->
+                 `Join (Scan.read_max ~variant:Snapshot.Scan.Adaptive h)))
+    in
+    (recorder, program)
+end
+
+module Torn_workload = Adaptive_set_workload (Torn_versioned)
+module Honest_workload = Adaptive_set_workload (Pram.Memory.Sim_v)
+
+let test_weighted_catches_torn_seqlock_read () =
+  (* The violation needs two well-placed preemptions — one per reader's
+     torn window — so each budgeted way sees a different face of it:
+     systematic search bounded to ONE preemption proves its bound clean
+     (and must account for the pruning); uniform sampling at a
+     64-schedule budget scatters its many preemptions and misses;
+     weighted near-serial sampling — few, deliberately placed switches —
+     lands on it within the same budget. *)
+  let seed = 3 and budget = 64 in
+  let bounded =
+    Set_scan_check.search_check
+      ~way:(E.Way.Systematic (E.Bounds.make ~preempt:1 ()))
+      ~procs:4 Torn_workload.mk
+  in
+  check_bool "one-preemption systematic search is clean" true
+    (E.report_ok bounded);
+  check_bool "and records what it pruned" true
+    (bounded.E.r_outcome.E.coverage.E.cov_pruned > 0);
+  let uni =
+    Set_scan_check.search_check
+      ~way:(E.Way.Uniform { seed; count = budget })
+      ~shrink:false ~procs:4 Torn_workload.mk
+  in
+  check_bool "uniform sampling misses it at the same budget" true
+    (E.report_ok uni);
+  let catching_way = E.Way.Weighted { seed; count = budget; bias = 16.0 } in
+  let wei =
+    Set_scan_check.search_check ~way:catching_way ~procs:4 Torn_workload.mk
+  in
+  check_bool "weighted near-serial sampling finds the torn read" false
+    (E.report_ok wei);
+  (match wei.E.r_counterexample with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some cex ->
+      check_bool "provenance names the weighted way" true
+        (contains cex.E.cex_way "weighted("));
+  (* control: the honest one-access backend under the catching way is
+     clean — the sampler is catching the injected tear, not the adaptive
+     algorithm *)
+  let honest =
+    Set_scan_check.search_check ~way:catching_way ~procs:4 Honest_workload.mk
+  in
+  check_bool "honest seqlock backend is clean under the catching way" true
+    (E.report_ok honest)
+
 (* --- parallel determinism ------------------------------------------------- *)
 
 let test_jobs_determinism () =
@@ -478,6 +608,8 @@ let () =
             test_preempt_bound_is_bug_finding_only;
           Alcotest.test_case "weighted way catches a real-time bug" `Quick
             test_weighted_catches_realtime_bug;
+          Alcotest.test_case "weighted way catches a torn seqlock read" `Quick
+            test_weighted_catches_torn_seqlock_read;
         ] );
       ( "parallel determinism",
         [

@@ -132,7 +132,7 @@ let qcheck_pct_preserves_correct_algorithms =
   (* PCT schedules are still legal schedules: the scan stays
      linearizable under them (sanity for the scheduler itself) *)
   let module L = Semilattice.Nat_max in
-  let module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim) in
+  let module Scan = Snapshot.Scan.Make (L) (Pram.Memory.Sim_v) in
   let module Spec_scan = Snapshot.Scan_spec.Make (L) in
   let module Check = Lincheck.Make (Spec_scan) in
   QCheck.Test.make ~name:"scan linearizable under PCT" ~count:200
