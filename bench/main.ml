@@ -18,7 +18,7 @@
    Timing only:        dune exec bench/main.exe -- --timing
    Quick versions:     dune exec bench/main.exe -- --quick
    JSON pipeline:      dune exec bench/main.exe -- --json [--quick]
-                       (writes BENCH_PR9.json; see Experiments.Bench_json
+                       (writes BENCH_PR10.json; see Experiments.Bench_json
                        for the row schema and EXPERIMENTS.md for the
                        recorded results) *)
 

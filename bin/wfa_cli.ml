@@ -11,7 +11,7 @@
      trace                       run a workload under the structured tracer
      lincheck-demo               show the checker catching a naive collect
      top [--once]                live per-shard telemetry view of the store
-     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR9.json)
+     bench --json [--quick]      run the JSON bench pipeline (BENCH_PR10.json)
      bench-validate FILE         schema-check a bench JSON file
 
    Exit codes are meaningful on every subcommand — non-zero whenever the
@@ -662,7 +662,27 @@ let trace_cmd =
              the simulator additionally parse -> replay the recorded \
              schedule -> re-export and require byte-identical output.")
   in
-  let run workload kind procs fmt out seed sched depth check =
+  let variant_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("plain", Snapshot.Scan.Plain);
+               ("optimized", Snapshot.Scan.Optimized);
+               ("adaptive", Snapshot.Scan.Adaptive);
+               ("lattice", Snapshot.Scan.Lattice);
+             ])
+          Snapshot.Scan.Optimized
+      & info [ "variant" ] ~docv:"V"
+          ~doc:
+            "Scan workload only: the scan variant to trace — $(b,plain), \
+             $(b,optimized) (the default), $(b,adaptive), or $(b,lattice) \
+             (the classifier-tree scan; its descents show up as \
+             classifier_descend telemetry and lattice-descend journal \
+             annotations).")
+  in
+  let run workload kind procs fmt out seed sched depth check variant =
     if procs <= 0 then `Error (false, "procs must be positive")
     else if depth < 1 then `Error (false, "depth must be at least 1")
     else begin
@@ -682,8 +702,8 @@ let trace_cmd =
             let t = S.create ~procs in
             fun pid ->
               let h = S.attach t (ctx pid) in
-              S.write_l h (pid + 1);
-              ignore (S.read_max h)
+              S.write_l ~variant h (pid + 1);
+              ignore (S.read_max ~variant h)
         | `Agreement ->
             let module AA = Agreement.Approx_agreement.Make (M) in
             let t = AA.create ~procs ~epsilon:0.05 in
@@ -807,7 +827,7 @@ let trace_cmd =
     Term.(
       ret
         (const run $ workload $ backend $ procs $ format_arg $ out $ seed
-       $ sched_arg $ depth_arg $ check))
+       $ sched_arg $ depth_arg $ check $ variant_arg))
 
 (* --- lincheck-demo ----------------------------------------------------------- *)
 
@@ -1118,7 +1138,7 @@ let bench_cmd =
          "Run the JSON bench pipeline: simulator step counts, native \
           multi-domain throughput and wall-clock spans (procs 1,2,4,8), \
           direct timing, and the windowed telemetry series — the \
-          BENCH_PR9.json rows.")
+          BENCH_PR10.json rows.")
     Term.(ret (const run $ json $ out $ quick))
 
 let store_bench_cmd =

@@ -1,6 +1,6 @@
 (* The JSON bench pipeline: one flat row schema shared by
    `bench/main.exe -- --json` and `wfa_cli bench`, written to
-   BENCH_PR9.json and uploaded by CI.
+   BENCH_PR10.json and uploaded by CI.
 
      { "bench": "scan_plain_contended", "procs": 4, "backend": "sim",
        "metric": "reads", "value": 21, "unit": "accesses" }
@@ -650,8 +650,12 @@ let windowed_stage_checks rows =
    scan-only [Scan] scope: simulator scan rows must equal the Section
    6.2 formulas (they are exact counts, not measurements; the adaptive
    formula applies to the uncontended stage only, since a contended
-   scan may escalate), and the adaptive fast path may never cost more
-   simulator accesses than the Optimized passes it replaces. *)
+   scan may escalate; the lattice formula applies to BOTH stages, since
+   the classifier-tree scan's count is schedule-oblivious), the adaptive
+   fast path may never cost more simulator accesses than the Optimized
+   passes it replaces, and the contended lattice scan must beat (or
+   tie) contended Optimized at procs >= 4 — the E17 crossover, pinned
+   where the formulas guarantee it. *)
 let scan_checks rows =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
@@ -665,6 +669,13 @@ let scan_checks rows =
       (* only the uncontended fast path has an exact count: a contended
          adaptive scan may escalate, adding the Optimized passes *)
       Some (formula Snapshot.Scan.Adaptive)
+    else if
+      String.length bench >= 12 && String.sub bench 0 12 = "scan_lattice"
+    then
+      (* contended or not: every descent costs the same ceil(log2 n)
+         levels, and the one-scan-per-process sim workload all lands in
+         generation 1 with no fence retries *)
+      Some (formula Snapshot.Scan.Lattice)
     else None
   in
   List.iter
@@ -721,6 +732,27 @@ let scan_checks rows =
           err "no sim scan_adaptive_uncontended rows for procs=%d" procs
       | _ -> ())
     [ 1; 2; 4; 8 ];
+  (* the E17 crossover gate: under contention the lattice scan's
+     2(n-1) + n ceil(log2 n) + ceil(log2 n) + 3 total accesses must
+     come in at or under contended Optimized's n^2 + n at procs >= 4
+     (at procs <= 3 Optimized is still cheaper; the formulas cross
+     between 3 and 4) *)
+  List.iter
+    (fun procs ->
+      match
+        ( sim_total "scan_lattice_contended" procs,
+          sim_total "scan_opt_contended" procs )
+      with
+      | Some l, Some o ->
+          if l > o then
+            err
+              "sim procs=%d: contended lattice scan costs %s accesses, \
+               more than optimized's %s"
+              procs (number_to_string l) (number_to_string o)
+      | None, Some _ ->
+          err "no sim scan_lattice_contended rows for procs=%d" procs
+      | _ -> ())
+    [ 4; 8 ];
   List.rev !errors
 
 (* Cross-checks beyond well-formedness: the scan gates above, native
@@ -927,6 +959,7 @@ let variant_name = function
   | Snapshot.Scan.Plain -> "scan_plain"
   | Snapshot.Scan.Optimized -> "scan_opt"
   | Snapshot.Scan.Adaptive -> "scan_adaptive"
+  | Snapshot.Scan.Lattice -> "scan_lattice"
 
 (* One scan per process; [contended] interleaves all of them round-robin,
    otherwise only pid 0 runs.  Counts come from a Metrics recorder
@@ -1347,7 +1380,7 @@ let sim_rows ~quick =
                 (fun contended -> sim_scan_rows ~variant ~procs ~contended)
                 [ false; true ])
             [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized;
-              Snapshot.Scan.Adaptive ])
+              Snapshot.Scan.Adaptive; Snapshot.Scan.Lattice ])
         sweep;
       List.concat_map
         (fun procs ->
@@ -1685,7 +1718,7 @@ let native_scan_rows ~quick =
                   native_scan_variant_rows ~quick ~variant ~procs ~contended)
                 [ false; true ])
             [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized;
-              Snapshot.Scan.Adaptive ];
+              Snapshot.Scan.Adaptive; Snapshot.Scan.Lattice ];
           native_array_rows ~quick ~procs ~contended:false;
           native_array_rows ~quick ~procs ~contended:true;
           native_scan_footprint_rows ~procs;
@@ -1788,7 +1821,7 @@ let direct_rows ~quick =
 let collect ~quick =
   List.concat [ sim_rows ~quick; native_rows ~quick; direct_rows ~quick ]
 
-let default_path = "BENCH_PR9.json"
+let default_path = "BENCH_PR10.json"
 
 (* Runs the full pipeline and writes [path]; returns the rows. *)
 let run ?(path = default_path) ~quick () =

@@ -11,7 +11,7 @@
    layers: the upper-bound half of tightness, with the paper's exact
    constants. *)
 
-module IIS = Snapshot.Iis.Make (Pram.Memory.Sim)
+module IIS = Snapshot.Iis.Make (Pram.Memory.Sim_v)
 
 let worst_gap ~procs ~layers ~rule ~delta ~seeds =
   let inputs =
@@ -19,7 +19,7 @@ let worst_gap ~procs ~layers ~rule ~delta ~seeds =
         if p = 0 then 0.0 else if p = 1 then delta else delta /. 2.0)
   in
   let program () =
-    let t = IIS.create ~procs ~layers in
+    let t = IIS.create ~procs ~layers () in
     fun pid ->
       let h = IIS.attach t (Runtime.Ctx.make ~procs ~pid ()) in
       IIS.run h ~rule:(rule h) inputs.(pid)

@@ -3,8 +3,10 @@
    E5 (Section 6.2): exact per-Scan read/write counts vs the paper's
    formulas — n^2+n+1 reads / n+2 writes plain, n^2-1 reads / n+1 writes
    optimized, 4(n-1) reads / 1 write for the uncontended adaptive fast
-   path (PR 9).  These are exact counts, so the table must match the
-   formulas exactly.
+   path (PR 9), and 2(n-1) + n*ceil(log2 n) reads / ceil(log2 n) + 3
+   writes for the classifier-tree lattice scan (PR 10) — contended or
+   not.  These are exact counts, so the table must match the formulas
+   exactly.
 
    E7 (Related work): cost per operation for the scan-based snapshot vs
    the double-collect baseline (quiet and contended) vs the Afek et al.
@@ -50,6 +52,8 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
           "opt formula";
           "adapt meas";
           "adapt formula";
+          "lat meas";
+          "lat formula";
           "exact";
         ]
   in
@@ -58,6 +62,7 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
       let pr, pw = scan_cost ~procs:n ~variant:Snapshot.Scan.Plain in
       let or_, ow = scan_cost ~procs:n ~variant:Snapshot.Scan.Optimized in
       let ar, aw = scan_cost ~procs:n ~variant:Snapshot.Scan.Adaptive in
+      let lr, lw = scan_cost ~procs:n ~variant:Snapshot.Scan.Lattice in
       let fpr, fpw = Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Plain in
       let for_, fow =
         Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Optimized
@@ -65,8 +70,12 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
       let far, faw =
         Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Adaptive
       in
+      let flr, flw =
+        Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Lattice
+      in
       let exact =
         pr = fpr && pw = fpw && or_ = for_ && ow = fow && ar = far && aw = faw
+        && lr = flr && lw = flw
       in
       Table.add_row t
         [
@@ -77,6 +86,8 @@ let e5 ?(ns = [ 1; 2; 3; 4; 6; 8; 10; 12 ]) () =
           Printf.sprintf "%d/%d" for_ fow;
           Printf.sprintf "%d/%d" ar aw;
           Printf.sprintf "%d/%d" far faw;
+          Printf.sprintf "%d/%d" lr lw;
+          Printf.sprintf "%d/%d" flr flw;
           (if exact then "yes" else "NO");
         ])
     ns;

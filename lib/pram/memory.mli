@@ -78,6 +78,35 @@ module Sim_v : VERSIONED
 (** [Versioned (Direct)], applied once so call sites can share it. *)
 module Direct_v : VERSIONED
 
+(** Stamped write-once slots: single-writer registers holding at most
+    one payload per STAMP (generation number).  [peek] with a stamp
+    other than the one last posted sees the slot as empty, and posting a
+    newer stamp recycles the slot in place — a bounded register pool
+    serves an unbounded sequence of logically fresh write-once trees
+    (the Lattice scan's generation-stamped classifier trees).
+
+    The write-once discipline is the caller's: the slot's single writer
+    posts at most once per stamp.  Each operation is exactly one
+    scheduled access, like {!Versioned}. *)
+module Stamped_slot (M : S) : sig
+  type 'a slot
+  (** A stamped slot over an [M] register. *)
+
+  val make : ?name:string -> unit -> 'a slot
+  (** An empty slot (no stamp, no payload).  No shared access. *)
+
+  val post : 'a slot -> stamp:int -> 'a -> unit
+  (** Publish a payload under [stamp], recycling any older stamp — one
+      step.  Single-writer; at most once per stamp. *)
+
+  val peek : 'a slot -> stamp:int -> 'a option
+  (** The payload posted under exactly [stamp], if it is still the
+      slot's current stamp — one step. *)
+
+  val stamp : 'a slot -> int
+  (** The slot's current stamp (0 when never posted) — one step. *)
+end
+
 (** Access hooks for instrumentation wrappers.  The identity passed to a
     hook is assigned by the wrapper (atomically, so it is safe over the
     native backend), not by the wrapped backend. *)

@@ -77,7 +77,7 @@ module Via_scan (M : Pram.Memory.VERSIONED) : S = struct
   type handle = Scanner.handle
 
   let create ~procs = Scanner.create ~procs
-  let attach = Scanner.attach
+  let attach t ctx = Scanner.attach t ctx
   let propose h v = Scanner.scan h v
 
   let reads_per_propose ~procs =

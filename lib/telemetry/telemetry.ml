@@ -25,6 +25,7 @@ module Event = struct
     | Shard_queue_depth
     | Seqlock_retry
     | Scan_escalation
+    | Classifier_descend
 
   let all =
     [
@@ -35,6 +36,7 @@ module Event = struct
       Shard_queue_depth;
       Seqlock_retry;
       Scan_escalation;
+      Classifier_descend;
     ]
 
   let count = List.length all
@@ -47,6 +49,7 @@ module Event = struct
     | Shard_queue_depth -> 4
     | Seqlock_retry -> 5
     | Scan_escalation -> 6
+    | Classifier_descend -> 7
 
   let name = function
     | Double_collect_restart -> "double_collect_restart"
@@ -56,6 +59,7 @@ module Event = struct
     | Shard_queue_depth -> "shard_queue_depth"
     | Seqlock_retry -> "seqlock_retry"
     | Scan_escalation -> "scan_escalation"
+    | Classifier_descend -> "classifier_descend"
 
   let of_name s = List.find_opt (fun e -> name e = s) all
   let pp ppf e = Format.pp_print_string ppf (name e)

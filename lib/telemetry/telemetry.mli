@@ -56,6 +56,10 @@ module Event : sig
         (** an adaptive scan detected a concurrent writer or full
             collect during its validation window and fell back to the
             paper's double-collect passes *)
+    | Classifier_descend
+        (** a Lattice scan descended a generation-stamped classifier
+            tree (once per attempt; more than one per scan means a
+            generation fence forced a retry) *)
 
   val all : t list
 

@@ -123,15 +123,19 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
         (* no journal and no metrics: [execute] skips the span bracket,
            so the unobserved path never builds a closure *)
     mode : mode;
+    variant : Snapshot.Scan.variant;  (* the anchor's scan variant *)
     memo : memo;  (* counters only in [Reference] mode *)
   }
 
-  (* Anchor sessions run on the contention-adaptive scan: O(procs)
+  (* Anchor sessions default to the contention-adaptive scan: O(procs)
      synchronization per snapshot when no writer interferes, the paper's
-     double-collect under contention.  All construction handles read
-     through this variant, which is exactly the adaptive variant's
-     no-mixing soundness condition (see Scan). *)
-  let variant = Snapshot.Scan.Adaptive
+     double-collect under contention.  [attach ?variant] can select
+     another variant — notably [Lattice] for O(procs log procs)
+     synchronization even under contention — but ALL handles of one
+     object must use the same one: both Adaptive and Lattice are sound
+     only when every concurrent reader announces through the same
+     protocol (see Scan). *)
+  let default_variant = Snapshot.Scan.Adaptive
 
   let fresh_memo procs =
     {
@@ -145,7 +149,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
       m_rebuilds = 0;
     }
 
-  let attach ?(mode = Incremental) obj ctx =
+  let attach ?(mode = Incremental) ?(variant = default_variant) obj ctx =
     let pid = Runtime.Ctx.pid ctx in
     if pid >= obj.procs then
       invalid_arg
@@ -161,6 +165,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
       quiet =
         Runtime.Ctx.journal ctx = None && Runtime.Ctx.metrics ctx = None;
       mode;
+      variant;
       memo = fresh_memo obj.procs;
     }
 
@@ -407,7 +412,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
     (* Step 1: atomic snapshot of the anchor, linearize (from scratch or
        by delta-merge), compute the response. *)
     annotate h "snapshot";
-    let view = Anchor.snapshot ~variant h.anchor in
+    let view = Anchor.snapshot ~variant:h.variant h.anchor in
     let state, replayed =
       match h.mode with
       | Reference ->
@@ -438,7 +443,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
     in
     (* Step 2: write out the entry. *)
     annotate h "publish";
-    Anchor.update ~variant h.anchor (Some e);
+    Anchor.update ~variant:h.variant h.anchor (Some e);
     (match h.mode with
     | Incremental ->
         (* The caller's own entry is preceded by everything committed
@@ -461,7 +466,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
      result is still linearizable because such operations commute with or
      are overwritten by everything.  Exposed for the E9 ablation. *)
   let query h op =
-    let view = Anchor.snapshot ~variant h.anchor in
+    let view = Anchor.snapshot ~variant:h.variant h.anchor in
     let state =
       match h.mode with
       | Reference -> state_of_linearization (linearization_of_view view)
@@ -473,7 +478,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
 
   (* Introspection for tests and benches. *)
   let history_size h =
-    let view = Anchor.snapshot ~variant h.anchor in
+    let view = Anchor.snapshot ~variant:h.variant h.anchor in
     Hashtbl.length (collect_entries view)
 end
 

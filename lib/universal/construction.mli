@@ -74,8 +74,16 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) : sig
       ["uc.execute"] span with snapshot / replay / publish annotations
       (and filed in the metrics span histogram when a recorder is
       attached); a sink-less context costs nothing.
+
+      [variant] (default [Snapshot.Scan.Adaptive]) selects the scan
+      variant the handle's anchor snapshots run on — [Lattice] gives
+      O(procs log procs) synchronization per operation even under
+      contention.  Every handle of one object must use the same
+      variant: Adaptive and Lattice are each sound only among readers
+      announcing through their own protocol.
       @raise Invalid_argument if the context pid exceeds [t]'s procs. *)
-  val attach : ?mode:mode -> t -> Runtime.Ctx.t -> handle
+  val attach :
+    ?mode:mode -> ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
 
   (** Figure 4's [execute]: snapshot, linearize (memoized or from
       scratch, per the handle's {!mode}), respond, publish. *)

@@ -18,7 +18,10 @@
    Each module follows the handle convention: [attach t ctx] mints one
    process's session (including the underlying scan session, which
    inherits the context's instrumentation), and operations take the
-   handle only.
+   handle only.  [attach ?variant] selects the scan variant every
+   operation of that handle runs on (default [Optimized]); as with the
+   scan itself, all handles of one object must agree on it when the
+   variant is [Adaptive] or [Lattice].
 
    Experiment E9 measures these against the generic construction. *)
 
@@ -42,10 +45,20 @@ module Counter (M : Pram.Memory.VERSIONED) = struct
       dec_total = Array.make procs 0;
     }
 
-  type handle = { obj : t; pid : int; scanner : Scanner.handle }
+  type handle = {
+    obj : t;
+    pid : int;
+    scanner : Scanner.handle;
+    variant : Snapshot.Scan.variant;
+  }
 
-  let attach obj ctx =
-    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+  let attach ?(variant = Snapshot.Scan.Optimized) obj ctx =
+    {
+      obj;
+      pid = Runtime.Ctx.pid ctx;
+      scanner = Scanner.attach obj.scanner ctx;
+      variant;
+    }
 
   let publish h =
     let t = h.obj in
@@ -53,7 +66,7 @@ module Counter (M : Pram.Memory.VERSIONED) = struct
       Lat.singleton ~width:t.procs h.pid
         (t.inc_total.(h.pid), t.dec_total.(h.pid))
     in
-    Scanner.write_l h.scanner contribution
+    Scanner.write_l ~variant:h.variant h.scanner contribution
 
   let inc h amount =
     if amount < 0 then invalid_arg "Direct.Counter.inc: negative amount";
@@ -66,7 +79,7 @@ module Counter (M : Pram.Memory.VERSIONED) = struct
     publish h
 
   let read h =
-    let totals = Scanner.read_max h.scanner in
+    let totals = Scanner.read_max ~variant:h.variant h.scanner in
     Array.fold_left (fun acc (i, d) -> acc + i - d) 0 totals
 end
 
@@ -84,11 +97,16 @@ module Gset (M : Pram.Memory.VERSIONED) = struct
 
   let create ~procs = { scanner = Scanner.create ~procs }
 
-  type handle = Scanner.handle
+  type handle = { scanner : Scanner.handle; variant : Snapshot.Scan.variant }
 
-  let attach t ctx = Scanner.attach t.scanner ctx
-  let add h x = Scanner.write_l h (Lat.of_list [ x ])
-  let members h = Lat.elements (Scanner.read_max h)
+  let attach ?(variant = Snapshot.Scan.Optimized) (t : t) ctx =
+    { scanner = Scanner.attach t.scanner ctx; variant }
+
+  let add h x = Scanner.write_l ~variant:h.variant h.scanner (Lat.of_list [ x ])
+
+  let members h =
+    Lat.elements (Scanner.read_max ~variant:h.variant h.scanner)
+
   let mem h x = List.mem x (members h)
 end
 
@@ -99,15 +117,16 @@ module Max_register (M : Pram.Memory.VERSIONED) = struct
 
   let create ~procs = { scanner = Scanner.create ~procs }
 
-  type handle = Scanner.handle
+  type handle = { scanner : Scanner.handle; variant : Snapshot.Scan.variant }
 
-  let attach t ctx = Scanner.attach t.scanner ctx
+  let attach ?(variant = Snapshot.Scan.Optimized) (t : t) ctx =
+    { scanner = Scanner.attach t.scanner ctx; variant }
 
   let write_max h v =
     if v < 0 then invalid_arg "Direct.Max_register: negative value";
-    Scanner.write_l h v
+    Scanner.write_l ~variant:h.variant h.scanner v
 
-  let read_max h = Scanner.read_max h
+  let read_max h = Scanner.read_max ~variant:h.variant h.scanner
 end
 
 (* Lamport logical clocks [33] on the max register: [tick] produces a
@@ -131,7 +150,8 @@ module Logical_clock (M : Pram.Memory.VERSIONED) = struct
 
   type handle = { pid : int; rh : R.handle }
 
-  let attach t ctx = { pid = Runtime.Ctx.pid ctx; rh = R.attach t.reg ctx }
+  let attach ?variant t ctx =
+    { pid = Runtime.Ctx.pid ctx; rh = R.attach ?variant t.reg ctx }
 
   let tick h : timestamp =
     let c = R.read_max h.rh in
@@ -171,20 +191,31 @@ module Histogram (M : Pram.Memory.VERSIONED) = struct
       own = Array.make procs Buckets.bottom;
     }
 
-  type handle = { obj : t; pid : int; scanner : Scanner.handle }
+  type handle = {
+    obj : t;
+    pid : int;
+    scanner : Scanner.handle;
+    variant : Snapshot.Scan.variant;
+  }
 
-  let attach obj ctx =
-    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+  let attach ?(variant = Snapshot.Scan.Optimized) obj ctx =
+    {
+      obj;
+      pid = Runtime.Ctx.pid ctx;
+      scanner = Scanner.attach obj.scanner ctx;
+      variant;
+    }
 
   let observe h ~bucket weight =
     if weight < 0 then invalid_arg "Direct.Histogram.observe: negative weight";
     let t = h.obj and pid = h.pid in
     t.own.(pid) <-
       Buckets.add bucket (Buckets.find bucket t.own.(pid) + weight) t.own.(pid);
-    Scanner.write_l h.scanner (Lat.singleton ~width:t.procs pid t.own.(pid))
+    Scanner.write_l ~variant:h.variant h.scanner
+      (Lat.singleton ~width:t.procs pid t.own.(pid))
 
   let merged h =
-    let per_proc = Scanner.read_max h.scanner in
+    let per_proc = Scanner.read_max ~variant:h.variant h.scanner in
     Array.fold_left
       (fun acc m ->
         List.fold_left
@@ -218,21 +249,31 @@ module Vector_clock (M : Pram.Memory.VERSIONED) = struct
   let create ~procs =
     { procs; scanner = Scanner.create ~procs; own_count = Array.make procs 0 }
 
-  type handle = { obj : t; pid : int; scanner : Scanner.handle }
+  type handle = {
+    obj : t;
+    pid : int;
+    scanner : Scanner.handle;
+    variant : Snapshot.Scan.variant;
+  }
 
-  let attach obj ctx =
-    { obj; pid = Runtime.Ctx.pid ctx; scanner = Scanner.attach obj.scanner ctx }
+  let attach ?(variant = Snapshot.Scan.Optimized) obj ctx =
+    {
+      obj;
+      pid = Runtime.Ctx.pid ctx;
+      scanner = Scanner.attach obj.scanner ctx;
+      variant;
+    }
 
   let tick h =
     let t = h.obj in
     t.own_count.(h.pid) <- t.own_count.(h.pid) + 1;
-    Scanner.scan h.scanner
+    Scanner.scan ~variant:h.variant h.scanner
       (Lat.singleton ~width:t.procs h.pid t.own_count.(h.pid))
 
-  let observe h v = Scanner.write_l h.scanner v
+  let observe h v = Scanner.write_l ~variant:h.variant h.scanner v
 
   let now h =
-    let v = Scanner.read_max h.scanner in
+    let v = Scanner.read_max ~variant:h.variant h.scanner in
     if Array.length v = 0 then Array.make h.obj.procs 0 else v
 
   let leq a b =

@@ -16,7 +16,12 @@
     Every module follows the handle convention: [attach t ctx] mints
     process [Ctx.pid ctx]'s session with the object (the underlying scan
     session inherits the context's instrumentation), and operations take
-    the handle only. *)
+    the handle only.  [attach ?variant] selects the scan variant every
+    operation of that handle runs on (default
+    [Snapshot.Scan.Optimized]); [Lattice] drops the per-operation cost
+    to O(n log n) even under contention.  As with the scan itself, all
+    handles of one object must use the same variant when it is
+    [Adaptive] or [Lattice]. *)
 
 (** Counter with per-process monotone (inc_total, dec_total) pairs. *)
 module Counter (M : Pram.Memory.VERSIONED) : sig
@@ -26,7 +31,7 @@ module Counter (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
 
   (** @raise Invalid_argument on negative amounts. *)
   val inc : handle -> int -> unit
@@ -45,7 +50,7 @@ module Gset (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
   val add : handle -> int -> unit
 
   (** Sorted ascending. *)
@@ -62,7 +67,7 @@ module Max_register (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
 
   (** @raise Invalid_argument on negative values. *)
   val write_max : handle -> int -> unit
@@ -82,7 +87,7 @@ module Logical_clock (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
 
   (** A timestamp strictly above everything this process has observed. *)
   val tick : handle -> timestamp
@@ -102,7 +107,7 @@ module Histogram (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
 
   (** @raise Invalid_argument on negative weights. *)
   val observe : handle -> bucket:int -> int -> unit
@@ -125,7 +130,7 @@ module Vector_clock (M : Pram.Memory.VERSIONED) : sig
 
   type handle
 
-  val attach : t -> Runtime.Ctx.t -> handle
+  val attach : ?variant:Snapshot.Scan.variant -> t -> Runtime.Ctx.t -> handle
   val tick : handle -> int array
 
   (** Merge a vector received out of band. *)

@@ -166,7 +166,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
     rebuilds : int;
   }
 
-  let attach ?(mode = Incremental) ?(batching = Batched 64) t ctx =
+  let attach ?(mode = Incremental) ?(batching = Batched 64) ?variant t ctx =
     (match batching with
     | Batched n when n < 2 ->
         invalid_arg "Store.attach: Batched max size must be >= 2"
@@ -190,7 +190,7 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) = struct
     in
     {
       store = t;
-      uhs = Array.map (fun u -> U.attach ~mode:umode u ctx) t.shards;
+      uhs = Array.map (fun u -> U.attach ~mode:umode ?variant u ctx) t.shards;
       max_batch = (match batching with Unbatched -> 1 | Batched n -> n);
       pending = Hashtbl.create 16;
       rev_key_order = [];

@@ -71,11 +71,19 @@ module Make (O : Spec.Object_spec.S) (M : Pram.Memory.VERSIONED) : sig
 
   (** [attach t ctx] mints process [Ctx.pid ctx]'s session with every
       shard.  [batching] defaults to [Batched 64]; [mode] to
-      [Incremental].
+      [Incremental]; [variant] is forwarded to every shard's
+      {!Construction.Make.attach} (all handles of one store must agree,
+      as for the construction itself).
       @raise Invalid_argument
         if the context pid exceeds [t]'s procs, or [Batched n] with
         [n < 2]. *)
-  val attach : ?mode:mode -> ?batching:batching -> t -> Runtime.Ctx.t -> handle
+  val attach :
+    ?mode:mode ->
+    ?batching:batching ->
+    ?variant:Snapshot.Scan.variant ->
+    t ->
+    Runtime.Ctx.t ->
+    handle
 
   (** [execute h ~key op] commits [op] immediately as a singleton entry
       and returns its response.

@@ -120,8 +120,12 @@ let test_explore_diff_gset_p3 () =
      responses.  Two ops per process matter here: the construction runs
      the Adaptive scan, whose uncontended fast path touches so few
      conflicting registers that single-op closures collapse to a
-     handful of classes — the second round makes escalation and the
-     fast/full interleavings reachable (~2k classes). *)
+     handful of classes — the second round makes the fast/full
+     interleavings reachable.  (Bounded retry — PR 10 — absorbs single
+     invalidations that used to escalate, so the closure is ~90 classes
+     where it was ~2k; scan-level escalation coverage lives in
+     test_snapshot's retries:1 differential and test_metrics' forced
+     escalation.) *)
   let script = function
     | 0 -> Spec.Gset_spec.[ Add 1; Members ]
     | 1 -> Spec.Gset_spec.[ Add 2; Members ]
@@ -133,14 +137,14 @@ let test_explore_diff_gset_p3 () =
   check_bool "all DPOR schedules agree (gset, procs 3)" true
     (Pram.Explore.ok outcome);
   check_bool "non-trivial schedule count" true
-    (outcome.Pram.Explore.explored > 1_000)
+    (outcome.Pram.Explore.explored > 50)
 
 let test_explore_diff_gset_p3_sampled () =
   (* Three active processes including the overwriting [Clear].  Under
      the double-collect scan this closure exceeded 10^6 classes and had
-     to be sampled; the Adaptive fast path shrinks it to a few hundred,
-     so the complete closure is now explored (the budget is kept as a
-     safety net only). *)
+     to be sampled; the Adaptive fast path shrinks it to a few hundred
+     (a few dozen with bounded retry), so the complete closure is now
+     explored (the budget is kept as a safety net only). *)
   let script = function
     | 0 -> Spec.Gset_spec.[ Add 1 ]
     | 1 -> Spec.Gset_spec.[ Clear ]
@@ -153,7 +157,7 @@ let test_explore_diff_gset_p3_sampled () =
   check_bool "all DPOR schedules agree (gset, all active)" true
     (Pram.Explore.ok outcome);
   check_bool "non-trivial schedule count" true
-    (outcome.Pram.Explore.explored > 500)
+    (outcome.Pram.Explore.explored > 10)
 
 let test_explore_diff_counter_crashes () =
   (* Naive exploration with crash branching: a crashed process's

@@ -101,6 +101,30 @@ let test_measured_cost_matches () =
         (Pram.Driver.steps d 0))
     [ 2; 4; 8 ]
 
+let test_reads_per_propose_counted () =
+  (* [reads_per_propose] pinned as an equality against the counting
+     backend at procs 1..8: a solo propose performs exactly
+     ceil(log2 n) levels of n slot reads (plus one write per level,
+     not part of the read formula). *)
+  for procs = 1 to 8 do
+    let recorder = Metrics.Recorder.create ~procs in
+    let module M =
+      Runtime.Instrument
+        (Pram.Memory.Direct)
+        (struct
+          let sink = Runtime.Sink.make ~metrics:recorder ()
+        end)
+    in
+    let module C = Snapshot.Lattice_agreement.Classifier (M) in
+    let t = C.create ~procs in
+    Runtime.set_pid 0;
+    ignore (C.propose (C.attach t (ctx ~procs 0)) (PS.singleton 0));
+    check_int
+      (Printf.sprintf "classifier reads at n=%d" procs)
+      (C.reads_per_propose ~procs)
+      (Metrics.Recorder.reads recorder ~pid:0)
+  done
+
 let test_exhaustive_two_procs () =
   let program () =
     let t = LA_cls.create ~procs:2 in
@@ -147,6 +171,8 @@ let () =
           Alcotest.test_case "cost formulas" `Quick test_costs;
           Alcotest.test_case "measured cost matches" `Quick
             test_measured_cost_matches;
+          Alcotest.test_case "reads_per_propose counted, procs 1..8" `Quick
+            test_reads_per_propose_counted;
           Alcotest.test_case "exhaustive n=2 with crashes" `Quick
             test_exhaustive_two_procs;
           QCheck_alcotest.to_alcotest

@@ -255,13 +255,23 @@ let test_cost_formula_matches_counting_backend () =
             (match variant with
             | Snapshot.Scan.Plain -> "plain"
             | Snapshot.Scan.Optimized -> "optimized"
-            | Snapshot.Scan.Adaptive -> "adaptive")
+            | Snapshot.Scan.Adaptive -> "adaptive"
+            | Snapshot.Scan.Lattice -> "lattice")
             procs what
         in
         check_int (label "reads (instrument)") fr ir;
         check_int (label "writes (instrument)") fw iw;
-        (* the grid plus the [procs] adaptive escalation flags *)
-        check_int (label "grid registers") (procs * (procs + 3)) regs;
+        (* the grid, the [procs] adaptive escalation flags, the [procs]
+           lattice generation registers, and the classifier-tree pool
+           ([lattice_pool] trees of [2^levels - 1] vertices with [procs]
+           slots each) *)
+        let levels = Snapshot.Scan.lattice_levels ~procs in
+        let pool_regs =
+          Snapshot.Scan.lattice_pool * ((1 lsl levels) - 1) * procs
+        in
+        check_int (label "grid registers")
+          ((procs * (procs + 4)) + pool_regs)
+          regs;
         (* round-robin lockstep fires every publish before any collect,
            so even the contended Adaptive run stays on the exact-count
            fast path (random schedules may escalate; see
@@ -270,7 +280,12 @@ let test_cost_formula_matches_counting_backend () =
         check_int (label "reads (observer, contended)") fr or_;
         check_int (label "writes (observer, contended)") fw ow
       done)
-    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized; Snapshot.Scan.Adaptive ]
+    [
+      Snapshot.Scan.Plain;
+      Snapshot.Scan.Optimized;
+      Snapshot.Scan.Adaptive;
+      Snapshot.Scan.Lattice;
+    ]
 
 (* --- one access stream, three meters ---------------------------------------
    The unified [Runtime.Sink] must report exactly the per-pid read/write
@@ -356,6 +371,7 @@ let test_sink_equals_legacy_paths () =
         | Snapshot.Scan.Plain -> "plain"
         | Snapshot.Scan.Optimized -> "optimized"
         | Snapshot.Scan.Adaptive -> "adaptive"
+        | Snapshot.Scan.Lattice -> "lattice"
       in
       for procs = 1 to 8 do
         let sink = scan_workload_via_sink ~procs ~variant in
@@ -375,16 +391,23 @@ let test_sink_equals_legacy_paths () =
           check_int (label "driver" "writes") sw dw
         done
       done)
-    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized ]
+    (* Adaptive is excluded: random schedules may escalate, making its
+       per-pid counts schedule-dependent.  Lattice is included — its
+       counts are oblivious for one scan per process (all scans land in
+       generation 1, so the fence never retries). *)
+    [ Snapshot.Scan.Plain; Snapshot.Scan.Optimized; Snapshot.Scan.Lattice ]
 
 (* --- the adaptive scan's contention event, observed end-to-end ------------- *)
 
 (* Force exactly one escalation under the simulator: the reader stores
    the writer's column-0 epoch during its versioned collect, the writer
    publishes (moving that epoch), and the reader's revalidation must
-   escalate.  The event reaches the context's telemetry counters and,
-   from there, the OpenMetrics exposition under its registered name —
-   the same surface `wfa_cli top` renders. *)
+   escalate.  [retries:1] pins the pre-retry behavior — with the default
+   bounded retry the second collect would validate (the writer has
+   finished) and no escalation would fire.  The event reaches the
+   context's telemetry counters and, from there, the OpenMetrics
+   exposition under its registered name — the same surface
+   `wfa_cli top` renders. *)
 let test_scan_escalation_reaches_exporters () =
   let c = Telemetry.Counters.create ~procs:2 () in
   let module A = Snapshot.Scan.Make (Semilattice.Nat_max) (Pram.Memory.Sim_v) in
@@ -392,7 +415,7 @@ let test_scan_escalation_reaches_exporters () =
     let t = A.create ~procs:2 in
     fun pid ->
       let sink = Runtime.Sink.make ~telemetry:c () in
-      let h = A.attach t (Runtime.Ctx.make ~sink ~procs:2 ~pid ()) in
+      let h = A.attach ~retries:1 t (Runtime.Ctx.make ~sink ~procs:2 ~pid ()) in
       if pid = 0 then begin
         A.write_l ~variant:Snapshot.Scan.Adaptive h 7;
         0

@@ -64,7 +64,9 @@ let test_scan_plain_equals_optimized () =
   check_bool "optimized agrees sequentially" true
     (plain = run Snapshot.Scan.Optimized);
   check_bool "adaptive agrees sequentially" true
-    (plain = run Snapshot.Scan.Adaptive)
+    (plain = run Snapshot.Scan.Adaptive);
+  check_bool "lattice agrees sequentially" true
+    (plain = run Snapshot.Scan.Lattice)
 
 (* --- Section 6.2 cost formulas (experiment E5's unit-level form) ------- *)
 
@@ -115,6 +117,93 @@ let test_cost_adaptive () =
         (scan_cost ~procs:n ~variant:Snapshot.Scan.Adaptive))
     [ 1; 2; 3; 5; 8 ]
 
+let test_cost_lattice () =
+  (* The lattice descent is all fixed-trip loops and a solo run stays in
+     generation 1, so — like the paper formulas — the count is an
+     equality: 2(n-1) collect/fence reads plus ceil(log2 n) levels of n
+     slot peeks, and ceil(log2 n) + 3 writes.  (test_metrics additionally
+     pins the same equality per-pid under a contended round-robin run at
+     procs 1..8.) *)
+  List.iter
+    (fun n ->
+      let reads, writes =
+        Snapshot.Scan.cost_formula ~procs:n Snapshot.Scan.Lattice
+      in
+      check_int
+        (Printf.sprintf "lattice scan cost at n=%d" n)
+        (reads + writes)
+        (scan_cost ~procs:n ~variant:Snapshot.Scan.Lattice))
+    [ 1; 2; 3; 5; 8 ]
+
+(* --- multi-shot reuse: generations past the pool boundary --------------- *)
+
+let test_lattice_multishot_reuse () =
+  (* Three processes interleave 4 rounds of lattice scans each — 12
+     generations against a pool of [lattice_pool = 4] trees, so every
+     tree is recycled at least twice.  Sequentially every scan must
+     return the exact join of all contributions so far; stale stamps
+     from earlier occupants of a recycled tree must never leak in. *)
+  let procs = 3 in
+  let t = Scan_d.create ~procs in
+  let h = Array.init procs (fun pid -> Scan_d.attach t (ctx ~procs pid)) in
+  let expected = ref 0 in
+  for round = 0 to 3 do
+    for pid = 0 to procs - 1 do
+      let v = (round * 10) + pid + 1 in
+      expected := max !expected v;
+      check_int
+        (Printf.sprintf "round %d pid %d sees the running join" round pid)
+        !expected
+        (Scan_d.scan ~variant:Snapshot.Scan.Lattice h.(pid) v)
+    done
+  done;
+  check_int "final read_max" !expected
+    (Scan_d.read_max ~variant:Snapshot.Scan.Lattice h.(0))
+
+(* --- bounded retry: the escalation rate drops under contention ---------- *)
+
+let test_adaptive_retry_reduces_escalations () =
+  (* The same contended workload (three processes, three scans each,
+     seeded random schedules) with the fast collect allowed one attempt
+     vs the default two: a single racing writer invalidates at most one
+     window, so the second attempt turns most escalations back into
+     fast-path completions.  Gate on the aggregate [Scan_escalation]
+     counts: strictly fewer with retries, and never more per seed. *)
+  let escalations ~retries ~seed =
+    let procs = 3 in
+    let c = Telemetry.Counters.create ~procs () in
+    let program () =
+      let t = Scan.create ~procs in
+      fun pid ->
+        let sink = Runtime.Sink.make ~telemetry:c () in
+        let h = Scan.attach ~retries t (Runtime.Ctx.make ~sink ~procs ~pid ()) in
+        for i = 1 to 3 do
+          ignore
+            (Scan.scan ~variant:Snapshot.Scan.Adaptive h ((pid * 100) + i))
+        done
+    in
+    let d = Pram.Driver.create ~procs program in
+    Pram.Scheduler.run (Pram.Scheduler.random ~seed ()) d;
+    for p = 0 to procs - 1 do
+      if Pram.Driver.runnable d p then ignore (Pram.Driver.run_solo d p)
+    done;
+    Telemetry.Counters.total c Telemetry.Event.Scan_escalation
+  in
+  let seeds = List.init 24 (fun i -> 1000 + (17 * i)) in
+  let one, two =
+    List.fold_left
+      (fun (a1, a2) seed ->
+        let e1 = escalations ~retries:1 ~seed in
+        let e2 = escalations ~retries:2 ~seed in
+        check_bool
+          (Printf.sprintf "seed %d: retrying never escalates more" seed)
+          true (e2 <= e1);
+        (a1 + e1, a2 + e2))
+      (0, 0) seeds
+  in
+  check_bool "the one-attempt runs do escalate" true (one > 0);
+  check_bool "bounded retry strictly reduces total escalations" true (two < one)
+
 (* --- DPOR-complete cross-variant differential --------------------------- *)
 
 (* The schedule spaces of two variants cannot be matched step for step
@@ -125,12 +214,12 @@ let test_cost_adaptive () =
    Mazurkiewicz class, so the collected set is the full set of reachable
    outcomes, and two variants implement the same object on every
    explored schedule iff the sets are byte-identical. *)
-let variant_outcome_set ~procs ~active variant =
+let variant_outcome_set ?retries ~procs ~active variant =
   let results = Hashtbl.create 16 in
   let program () =
     let t = Scan_set.create ~procs in
     fun pid ->
-      let h = Scan_set.attach t (ctx ~procs pid) in
+      let h = Scan_set.attach ?retries t (ctx ~procs pid) in
       if pid < active then begin
         Scan_set.write_l ~variant h (Set_lat.of_list [ pid + 1 ]);
         Set_lat.elements (Scan_set.read_max ~variant h)
@@ -178,15 +267,27 @@ let dc_outcome_set ~procs ~active =
   (outcome, List.sort compare set)
 
 let test_dpor_differential_p2 () =
-  let o_a, s_a = variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Adaptive in
+  (* [retries:1] pins the pre-retry adaptive: with the default bounded
+     retry a single peer write can only invalidate one of the two
+     windows, so the escalation branch would fall out of the closure. *)
+  let o_a, s_a =
+    variant_outcome_set ~retries:1 ~procs:2 ~active:2 Snapshot.Scan.Adaptive
+  in
+  let o_a2, s_a2 =
+    variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Adaptive
+  in
   let o_o, s_o =
     variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Optimized
   in
   let o_p, s_p = variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Plain in
+  let o_l, s_l = variant_outcome_set ~procs:2 ~active:2 Snapshot.Scan.Lattice in
   let o_dc, s_dc = dc_outcome_set ~procs:2 ~active:2 in
   check_bool "adaptive closure complete" true (Pram.Explore.ok o_a);
+  check_bool "adaptive (bounded retry) closure complete" true
+    (Pram.Explore.ok o_a2);
   check_bool "optimized closure complete" true (Pram.Explore.ok o_o);
   check_bool "plain closure complete" true (Pram.Explore.ok o_p);
+  check_bool "lattice closure complete" true (Pram.Explore.ok o_l);
   check_bool "double-collect closure complete" true (Pram.Explore.ok o_dc);
   (* the adaptive fast path escalates on some of these schedules, so the
      contended branch is inside the explored closure *)
@@ -194,8 +295,12 @@ let test_dpor_differential_p2 () =
     (o_a.Pram.Explore.explored > 10);
   check_bool "optimized closure non-trivial" true
     (o_o.Pram.Explore.explored > 500);
+  check_bool "lattice closure non-trivial" true
+    (o_l.Pram.Explore.explored > 10);
   check_bool "adaptive = optimized outcome sets" true (s_a = s_o);
+  check_bool "adaptive = bounded-retry outcome sets" true (s_a = s_a2);
   check_bool "adaptive = plain outcome sets" true (s_a = s_p);
+  check_bool "lattice = optimized outcome sets" true (s_l = s_o);
   check_bool "adaptive = double-collect outcome sets" true (s_a = s_dc);
   (* the workload's three linearizable outcomes, spelled out: the reader
      that linearizes first misses the other writer's element *)
@@ -207,18 +312,71 @@ let test_dpor_differential_p3 () =
      (Plain at this size explores the same 8_613-class closure as
      Optimized but takes ~10s; the p2 test above already ties Plain
      in.) *)
-  let o_a, s_a = variant_outcome_set ~procs:3 ~active:2 Snapshot.Scan.Adaptive in
+  let o_a, s_a =
+    variant_outcome_set ~retries:1 ~procs:3 ~active:2 Snapshot.Scan.Adaptive
+  in
   let o_o, s_o =
     variant_outcome_set ~procs:3 ~active:2 Snapshot.Scan.Optimized
   in
+  let o_l, s_l = variant_outcome_set ~procs:3 ~active:2 Snapshot.Scan.Lattice in
   check_bool "adaptive closure complete" true (Pram.Explore.ok o_a);
   check_bool "optimized closure complete" true (Pram.Explore.ok o_o);
+  check_bool "lattice closure complete" true (Pram.Explore.ok o_l);
   check_bool "adaptive closure non-trivial" true
     (o_a.Pram.Explore.explored > 50);
   check_bool "optimized closure non-trivial" true
     (o_o.Pram.Explore.explored > 1_000);
+  (* the lattice access sequence is mostly single-writer slot posts and
+     reads, so DPOR collapses it to a couple dozen classes at this size *)
+  check_bool "lattice closure non-trivial" true
+    (o_l.Pram.Explore.explored > 10);
   check_bool "adaptive = optimized outcome sets" true (s_a = s_o);
+  check_bool "lattice = optimized outcome sets" true (s_l = s_o);
   check_int "all three outcomes reached" 3 (List.length s_a)
+
+(* --- lattice under crashes: death mid-descend breaks nothing ------------ *)
+
+let test_lattice_crash_mid_descend () =
+  (* Crash-branching exploration of the lattice workload (procs 3, one
+     crash): branches include a process dying at every point of its
+     classifier descent — after the announce, between slot posts, before
+     the fence.  Survivors must still agree: every completed read_max
+     pair stays lattice-comparable, and each completed process's result
+     contains its own contribution. *)
+  let procs = 3 in
+  let program () =
+    let t = Scan_set.create ~procs in
+    fun pid ->
+      let h = Scan_set.attach t (ctx ~procs pid) in
+      Scan_set.write_l ~variant:Snapshot.Scan.Lattice h
+        (Set_lat.of_list [ pid + 1 ]);
+      Scan_set.read_max ~variant:Snapshot.Scan.Lattice h
+  in
+  let outcome =
+    Pram.Explore.exhaustive ~mode:Pram.Explore.Naive ~max_crashes:1
+      ~max_schedules:4_000 ~procs program
+      (fun d _sched ->
+        let done_ =
+          List.filter_map
+            (fun p ->
+              match Pram.Driver.result d p with
+              | Some r -> Some (p, r)
+              | None -> None)
+            (List.init procs Fun.id)
+        in
+        List.for_all
+          (fun (p, r) ->
+            Set_lat.elements r |> List.mem (p + 1)
+            && List.for_all
+                 (fun (_, r') ->
+                   Semilattice.comparable (module Set_lat) r r')
+                 done_)
+          done_)
+  in
+  check_bool "no violation in any crash branch" true
+    (outcome.Pram.Explore.failures = []);
+  check_bool "explored a real sample" true
+    (outcome.Pram.Explore.explored >= 1_000)
 
 (* --- Lemma 32: comparability of concurrent scan results ---------------- *)
 
@@ -688,10 +846,17 @@ let () =
           Alcotest.test_case "cost: plain formula" `Quick test_cost_plain;
           Alcotest.test_case "cost: optimized formula" `Quick test_cost_optimized;
           Alcotest.test_case "cost: adaptive formula" `Quick test_cost_adaptive;
+          Alcotest.test_case "cost: lattice formula" `Quick test_cost_lattice;
+          Alcotest.test_case "lattice multi-shot reuse past the pool" `Quick
+            test_lattice_multishot_reuse;
+          Alcotest.test_case "bounded retry reduces escalations" `Quick
+            test_adaptive_retry_reduces_escalations;
           Alcotest.test_case "DPOR differential, procs 2 (all variants)" `Quick
             test_dpor_differential_p2;
           Alcotest.test_case "DPOR differential, procs 3" `Quick
             test_dpor_differential_p3;
+          Alcotest.test_case "lattice crash mid-descend" `Quick
+            test_lattice_crash_mid_descend;
           QCheck_alcotest.to_alcotest qcheck_comparability;
           QCheck_alcotest.to_alcotest qcheck_scan_linearizable;
           Alcotest.test_case "combined fetch-and-join is not atomic" `Quick

@@ -349,9 +349,10 @@ let test_explore_differential () =
 
 let test_explore_differential_sampled () =
   (* The richer two-key program (a real multi-op chunk on the batched
-     side) has ~330k DPOR classes — explore a bounded prefix and demand
-     zero disagreements in it (the complete closure is covered by the
-     one-op test above). *)
+     side) once had ~330k DPOR classes; the adaptive scan's bounded
+     retry collapses most escalation branches, so the closure now
+     completes well inside the budget (kept as a safety net).  Demand
+     zero disagreements across all of it. *)
   List.iter
     (fun batching ->
       let setup =
@@ -368,7 +369,7 @@ let test_explore_differential_sampled () =
       check_bool "every DPOR schedule folds to the spec" true
         (Pram.Explore.ok outcome);
       check_bool "non-trivial schedule count" true
-        (outcome.Pram.Explore.explored > 50))
+        (outcome.Pram.Explore.explored > 10))
     [ Universal.Store.Batched 4; Universal.Store.Unbatched ]
 
 let test_random_ways_differential () =

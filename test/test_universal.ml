@@ -187,16 +187,24 @@ module Runner
       type handle
 
       val create : procs:int -> t
-      val attach : ?mode:mode -> t -> Runtime.Ctx.t -> handle
+
+      val attach :
+        ?mode:mode ->
+        ?variant:Snapshot.Scan.variant ->
+        t ->
+        Runtime.Ctx.t ->
+        handle
+
       val execute : handle -> O.operation -> O.response
     end) =
 struct
-  let run ~procs ~seed ~crash_prob (script : int -> O.operation list) =
+  let run ?variant ~procs ~seed ~crash_prob (script : int -> O.operation list)
+      =
     let recorder = Spec.History.Recorder.create () in
     let program () =
       let t = U.create ~procs in
       fun pid ->
-        let h = U.attach t (ctx ~procs pid) in
+        let h = U.attach ?variant t (ctx ~procs pid) in
         List.iter
           (fun op ->
             ignore
@@ -303,6 +311,112 @@ let test_universal_counter_sequential () =
   check_bool "reset" true (UC_d.execute h1 (Reset 100) = Unit);
   check_bool "read after reset" true (UC_d.execute h0 Read = Value 100);
   check_int "history grows" 5 (UC_d.history_size h0)
+
+(* --- satellite: Lattice anchors are drop-in for Optimized ones ----------- *)
+
+(* Same random script, same operation-level interleaving, byte-identical
+   histories.  Whole operations are the atomic turns (Direct memory, no
+   driver), so the interleaving is fixed by the seed and the ONLY
+   difference between the two runs is the scan protocol the anchor
+   snapshots use — any divergence in responses would be a soundness bug
+   in the lattice scan's join semantics. *)
+module Hist_ident (O : Spec.Object_spec.S) = struct
+  module U = Universal.Construction.Make (O) (Pram.Memory.Direct_v)
+
+  let run ~variant ~procs ~turns (scripts : O.operation array array) =
+    let t = U.create ~procs in
+    let hs =
+      Array.init procs (fun p -> U.attach ~variant t (ctx ~procs p))
+    in
+    let next = Array.make procs 0 in
+    List.map
+      (fun p ->
+        let i = next.(p) in
+        next.(p) <- i + 1;
+        (p, scripts.(p).(i), U.execute hs.(p) scripts.(p).(i)))
+      turns
+
+  let identical ~procs ~turns scripts =
+    let h v = run ~variant:v ~procs ~turns scripts in
+    Marshal.to_string (h Snapshot.Scan.Optimized) []
+    = Marshal.to_string (h Snapshot.Scan.Lattice) []
+end
+
+module HI_counter = Hist_ident (Spec.Counter_spec)
+module HI_gset = Hist_ident (Spec.Gset_spec)
+
+(* one turn per scripted operation, shuffled: both runs exhaust every
+   script in the same order *)
+let shuffled_turns st scripts =
+  let procs = Array.length scripts in
+  List.concat
+    (List.init procs (fun p ->
+         List.init (Array.length scripts.(p)) (fun _ -> p)))
+  |> List.map (fun p -> (Random.State.bits st, p))
+  |> List.sort compare
+  |> List.map snd
+
+let qcheck_lattice_counter_histories_identical =
+  QCheck.Test.make
+    ~name:"lattice vs optimized: counter histories byte-identical"
+    ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, procs) ->
+      let st = Random.State.make [| seed; procs; 0xC0 |] in
+      let op _ =
+        let open Spec.Counter_spec in
+        match Random.State.int st 6 with
+        | 0 -> Inc (1 + Random.State.int st 5)
+        | 1 -> Dec (1 + Random.State.int st 5)
+        | 2 -> Reset (Random.State.int st 10)
+        | _ -> Read
+      in
+      let scripts =
+        Array.init procs (fun _ ->
+            Array.init (1 + Random.State.int st 6) op)
+      in
+      HI_counter.identical ~procs ~turns:(shuffled_turns st scripts) scripts)
+
+let qcheck_lattice_gset_histories_identical =
+  QCheck.Test.make
+    ~name:"lattice vs optimized: gset histories byte-identical"
+    ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (seed, procs) ->
+      let st = Random.State.make [| seed; procs; 0x65 |] in
+      let op _ =
+        let open Spec.Gset_spec in
+        match Random.State.int st 5 with
+        | 0 | 1 -> Add (Random.State.int st 6)
+        | 2 -> Clear
+        | _ -> Members
+      in
+      let scripts =
+        Array.init procs (fun _ ->
+            Array.init (1 + Random.State.int st 6) op)
+      in
+      HI_gset.identical ~procs ~turns:(shuffled_turns st scripts) scripts)
+
+let qcheck_universal_counter_lattice_linearizable =
+  (* and under real concurrency: Lattice anchors through the full
+     driver, random schedules with crashes, checked linearizable *)
+  QCheck.Test.make
+    ~name:"Theorem 26 on Lattice anchors: counter linearizable" ~count:100
+    QCheck.(pair (int_bound 1_000_000) bool)
+    (fun (seed, crash) ->
+      let script pid =
+        let open Spec.Counter_spec in
+        match pid with
+        | 0 -> [ Inc 1; Read; Inc 2 ]
+        | 1 -> [ Dec 1; Read ]
+        | _ -> [ Reset 10; Read ]
+      in
+      let events =
+        Run_counter.run ~variant:Snapshot.Scan.Lattice ~procs:3 ~seed
+          ~crash_prob:(if crash then 0.03 else 0.0)
+          script
+      in
+      Check_counter.is_linearizable events)
 
 let test_universal_query_matches_execute () =
   let t = UC_d.create ~procs:2 in
@@ -638,6 +752,11 @@ let () =
             test_universal_steps_bounded;
           Alcotest.test_case "Property 1 gate" `Quick test_property1_gate;
           QCheck_alcotest.to_alcotest qcheck_universal_counter_linearizable;
+          QCheck_alcotest.to_alcotest
+            qcheck_lattice_counter_histories_identical;
+          QCheck_alcotest.to_alcotest qcheck_lattice_gset_histories_identical;
+          QCheck_alcotest.to_alcotest
+            qcheck_universal_counter_lattice_linearizable;
           QCheck_alcotest.to_alcotest qcheck_universal_gset_linearizable;
           QCheck_alcotest.to_alcotest qcheck_universal_maxreg_linearizable;
           QCheck_alcotest.to_alcotest qcheck_universal_rwreg_linearizable;
